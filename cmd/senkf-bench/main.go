@@ -1,0 +1,104 @@
+// Command senkf-bench regenerates every figure of the paper's evaluation
+// (Figures 1, 5, 9, 10, 11, 12, 13) by running the P-EnKF, L-EnKF and
+// S-EnKF schedules on the simulated 12,000-processor machine, and prints
+// each as a text table with the headline observations the paper reports.
+//
+// Usage:
+//
+//	senkf-bench                 # all figures at paper scale
+//	senkf-bench -quick          # reduced scale (seconds instead of minutes)
+//	senkf-bench -figure 13      # one figure only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("senkf-bench: ")
+	var (
+		quick     = flag.Bool("quick", false, "run the reduced-scale suite")
+		figure    = flag.Int("figure", 0, "regenerate only this figure number (1, 5, 9, 10, 11, 12, 13)")
+		ablations = flag.Bool("ablations", false, "run the co-design ablation ladder instead of the figures")
+		epsSweep  = flag.Bool("eps-sweep", false, "run the auto-tuner ε-sensitivity sweep instead of the figures")
+		csvDir    = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	suite := senkf.PaperFigures()
+	if *quick {
+		suite = senkf.QuickFigures()
+	}
+	if *epsSweep {
+		np := suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
+		f, err := suite.EpsilonSweep(np, []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *ablations {
+		np := suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
+		abs, err := suite.Ablations(np)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := senkf.WriteAblations(os.Stdout, np, abs); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	type job struct {
+		id int
+		fn func() (senkf.Figure, error)
+	}
+	jobs := []job{
+		{1, suite.Fig01}, {5, suite.Fig05}, {9, suite.Fig09}, {10, suite.Fig10},
+		{11, suite.Fig11}, {12, suite.Fig12}, {13, suite.Fig13},
+	}
+	ran := 0
+	for _, j := range jobs {
+		if *figure != 0 && *figure != j.id {
+			continue
+		}
+		f, err := j.fn()
+		if err != nil {
+			log.Fatalf("figure %d: %v", j.id, err)
+		}
+		if err := f.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, fmt.Sprintf("fig%02d.csv", j.id))
+			cf, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f.WriteCSV(cf); err != nil {
+				cf.Close()
+				log.Fatal(err)
+			}
+			if err := cf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown figure %d (have 1, 5, 9, 10, 11, 12, 13)", *figure)
+	}
+}

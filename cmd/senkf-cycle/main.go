@@ -1,0 +1,111 @@
+// Command senkf-cycle runs a sequential (cycled) data assimilation
+// experiment: an advection–diffusion model integrates the truth and an
+// imperfect ensemble forward; every cycle, observations of the evolving
+// truth are assimilated by the chosen analyzer (serial reference or the
+// real parallel S-EnKF/P-EnKF over member files), and a free-running
+// ensemble is tracked as the control.
+//
+// Usage:
+//
+//	senkf-cycle -cycles 10
+//	senkf-cycle -cycles 20 -analyzer senkf -nsdx 4 -nsdy 2 -layers 3 -ncg 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("senkf-cycle: ")
+	var (
+		nx       = flag.Int("nx", 48, "grid points along longitude")
+		ny       = flag.Int("ny", 24, "grid points along latitude")
+		members  = flag.Int("members", 20, "ensemble size N")
+		xi       = flag.Int("xi", 3, "localization half-width ξ")
+		eta      = flag.Int("eta", 2, "localization half-height η")
+		cycles   = flag.Int("cycles", 10, "number of forecast-analysis cycles")
+		steps    = flag.Int("steps", 3, "model steps per cycle")
+		cx       = flag.Float64("cx", 0.4, "zonal velocity (cells/step)")
+		cy       = flag.Float64("cy", 0.2, "meridional velocity (cells/step)")
+		nu       = flag.Float64("nu", 0.02, "diffusivity")
+		obsVar   = flag.Float64("obs-var", 1e-4, "observation error variance")
+		modelErr = flag.Float64("model-error", 0.2, "stochastic model error SD")
+		inflate  = flag.Float64("inflation", 1.1, "multiplicative covariance inflation")
+		analyzer = flag.String("analyzer", "serial", "analysis path: serial | senkf | penkf")
+		nsdx     = flag.Int("nsdx", 4, "sub-domains along longitude (parallel analyzers)")
+		nsdy     = flag.Int("nsdy", 2, "sub-domains along latitude (parallel analyzers)")
+		layers   = flag.Int("layers", 3, "S-EnKF stages L")
+		ncg      = flag.Int("ncg", 2, "S-EnKF concurrent groups")
+		seed     = flag.Uint64("seed", 2019, "experiment seed")
+	)
+	flag.Parse()
+
+	mesh, err := senkf.NewMesh(*nx, *ny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	radius, err := senkf.NewRadius(*xi, *eta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fm, err := senkf.NewForwardModel(mesh, *cx, *cy, *nu, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
+	ensemble, err := senkf.GenerateEnsemble(mesh, truth, *members, 1.5, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var an senkf.Analyzer
+	switch *analyzer {
+	case "serial":
+		an = senkf.SerialAnalyzer()
+	case "senkf", "penkf":
+		dec, err := senkf.NewDecomposition(mesh, *nsdx, *nsdy, radius)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "senkf-cycle")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if *analyzer == "senkf" {
+			an = senkf.SEnKFAnalyzer(dir, dec, *layers, *ncg)
+		} else {
+			an = senkf.PEnKFAnalyzer(dir, dec)
+		}
+	default:
+		log.Fatalf("unknown analyzer %q", *analyzer)
+	}
+
+	cfg := senkf.CycleConfig{
+		Enkf:          senkf.Config{Mesh: mesh, Radius: radius, N: *members, Inflation: *inflate},
+		Model:         fm,
+		StepsPerCycle: *steps,
+		ObsStrideX:    2, ObsStrideY: 2,
+		ObsVar:       *obsVar,
+		ModelErrorSD: *modelErr,
+		Seed:         *seed,
+	}
+	history, err := senkf.RunCycles(cfg, truth, ensemble, *cycles, an)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycle | background RMSE | analysis RMSE | free-run RMSE | spread")
+	for _, st := range history {
+		fmt.Printf("%5d | %15.4f | %13.4f | %13.4f | %.4f\n",
+			st.Cycle, st.BackgroundRMSE, st.AnalysisRMSE, st.FreeRMSE, st.Spread)
+	}
+	last := history[len(history)-1]
+	fmt.Printf("\nassimilation %.4f vs free run %.4f after %d cycles (%.1fx better)\n",
+		last.AnalysisRMSE, last.FreeRMSE, *cycles, last.FreeRMSE/last.AnalysisRMSE)
+}

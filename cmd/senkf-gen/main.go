@@ -1,0 +1,57 @@
+// Command senkf-gen generates a synthetic background ensemble on disk: a
+// deterministic ocean-like truth field plus N member files in the ensemble
+// file format, ready for senkf-run. It stands in for the "long-time ocean
+// model integration" that produces the background ensemble in the paper's
+// evaluation (§5.1).
+//
+// Usage:
+//
+//	senkf-gen -dir /tmp/ens -nx 96 -ny 48 -members 16 -spread 1.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("senkf-gen: ")
+	var (
+		dir     = flag.String("dir", "", "output directory for member files (required)")
+		nx      = flag.Int("nx", senkf.LaptopScale.NX, "grid points along longitude")
+		ny      = flag.Int("ny", senkf.LaptopScale.NY, "grid points along latitude")
+		members = flag.Int("members", senkf.LaptopScale.Members, "ensemble size N")
+		spread  = flag.Float64("spread", senkf.LaptopScale.Spread, "background ensemble spread")
+		seed    = flag.Uint64("seed", senkf.LaptopScale.Seed, "generation seed")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		log.Fatal("missing -dir")
+	}
+	mesh, err := senkf.NewMesh(*nx, *ny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
+	fields, err := senkf.GenerateEnsemble(mesh, truth, *members, *spread, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := senkf.WriteEnsemble(*dir, mesh, fields)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d members (%dx%d grid) to %s\n", len(paths), *nx, *ny, *dir)
+	fmt.Printf("first file: %s\n", paths[0])
+	before := senkf.RMSE(senkf.EnsembleMean(fields), truth)
+	fmt.Printf("background ensemble-mean RMSE vs truth: %.4f\n", before)
+}

@@ -1,0 +1,69 @@
+// Command senkf-tune runs the paper's auto-tuning (§4.4, Algorithms 1–2)
+// for a given processor budget over the paper-scale problem (or a custom
+// one) and prints the economic configuration: how many processors to spend
+// on file reading (C1 = n_cg·n_sdy) versus local analysis
+// (C2 = n_sdx·n_sdy), and the optimal (n_sdx, n_sdy, L, n_cg).
+//
+// Usage:
+//
+//	senkf-tune -np 12000
+//	senkf-tune -np 12000 -eps 0.01 -max-l 12 -max-ncg 12 -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("senkf-tune: ")
+	var (
+		np       = flag.Int("np", 12000, "total processor budget n_p")
+		eps      = flag.Float64("eps", 0.001, "earnings-rate threshold ε of Eq. (14)")
+		maxL     = flag.Int("max-l", 12, "cap on the layer count L (0 = unbounded)")
+		maxNCg   = flag.Int("max-ncg", 12, "cap on the concurrent group count (0 = unbounded)")
+		simulate = flag.Bool("simulate", false, "also simulate the tuned schedule and the P-EnKF baseline")
+	)
+	flag.Parse()
+
+	machine := senkf.DefaultMachine()
+	p := machine.P
+	fmt.Printf("problem: %dx%d grid, %d members, h=%dB, ξ=%d η=%d\n",
+		p.NX, p.NY, p.N, p.H, p.Xi, p.Eta)
+
+	tuned, ok := senkf.AutoTuneConstrained(p, *np, *eps, senkf.TuneConstraints{MaxL: *maxL, MaxNCg: *maxNCg})
+	if !ok {
+		log.Fatalf("no feasible configuration for np=%d", *np)
+	}
+	fmt.Printf("tuned for np=%d (ε=%g):\n", *np, *eps)
+	fmt.Printf("  n_sdx=%d n_sdy=%d L=%d n_cg=%d\n",
+		tuned.Choice.NSdx, tuned.Choice.NSdy, tuned.Choice.L, tuned.Choice.NCg)
+	fmt.Printf("  I/O processors C1=%d, compute processors C2=%d (%d total of %d budget)\n",
+		tuned.C1, tuned.C2, tuned.C1+tuned.C2, *np)
+	fmt.Printf("  model time (Eq. 10): %.2fs\n", tuned.TTotal)
+
+	if !*simulate {
+		return
+	}
+	sres, err := senkf.SimulateSEnKF(machine, tuned.Choice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated S-EnKF: %.2fs (first stage %.2fs, %.0f%% of I/O overlapped)\n",
+		sres.Runtime, sres.FirstStage, 100*sres.OverlapFraction)
+	nsdx, nsdy, err := senkf.ChooseDecomposition(p, *np)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres, err := senkf.SimulatePEnKF(machine, nsdx, nsdy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated P-EnKF at np=%d: %.2fs (I/O share %.0f%%)\n",
+		*np, pres.Runtime, pres.IOPercent())
+	fmt.Printf("speedup: %.2fx\n", pres.Runtime/sres.Runtime)
+}

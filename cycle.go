@@ -1,0 +1,68 @@
+package senkf
+
+import (
+	"senkf/internal/cycle"
+	"senkf/internal/enkf"
+	"senkf/internal/grid"
+	"senkf/internal/model"
+	"senkf/internal/obs"
+	"senkf/internal/workload"
+)
+
+// Sequential assimilation types.
+type (
+	// ForwardModel is the numerical model integrated between analyses: a
+	// 2-D advection–diffusion equation on the doubly periodic mesh,
+	// standing in for the paper's ocean model.
+	ForwardModel = model.AdvectionDiffusion
+	// CycleConfig drives a cycled (sequential) assimilation experiment.
+	CycleConfig = cycle.Config
+	// CycleStats records one forecast–analysis cycle's outcome.
+	CycleStats = cycle.Stats
+	// Analyzer computes an analysis ensemble from a background ensemble
+	// and an observation network.
+	Analyzer = cycle.Analyzer
+)
+
+// NewForwardModel validates the advection–diffusion parameters against the
+// scheme's stability conditions and returns the model.
+func NewForwardModel(m Mesh, cx, cy, nu, dt float64) (*ForwardModel, error) {
+	return model.New(m, cx, cy, nu, dt)
+}
+
+// RunCycles performs sequential data assimilation: `cycles` rounds of
+// model forecast (truth, ensemble, and a free-running control), observation
+// of the evolving truth, and analysis through the given Analyzer.
+func RunCycles(c CycleConfig, truth []float64, ensemble [][]float64, cycles int, analyze Analyzer) ([]CycleStats, error) {
+	return cycle.Run(c, truth, ensemble, cycles, analyze)
+}
+
+// SerialAnalyzer analyses with the serial reference implementation.
+func SerialAnalyzer() Analyzer { return cycle.SerialAnalyzer() }
+
+// SEnKFAnalyzer analyses each cycle with the real parallel S-EnKF: the
+// background ensemble is written to dir as member files (as an operational
+// system would between model run and assimilation) and assimilated by
+// C1 + C2 goroutine ranks.
+func SEnKFAnalyzer(dir string, dec Decomposition, layers, ncg int) Analyzer {
+	return cycle.SEnKFAnalyzer(dir, dec, layers, ncg)
+}
+
+// PEnKFAnalyzer analyses each cycle with the block-reading baseline.
+func PEnKFAnalyzer(dir string, dec Decomposition) Analyzer {
+	return cycle.PEnKFAnalyzer(dir, dec)
+}
+
+// GenerateSmoothNoise returns a deterministic smooth random field with
+// point-wise standard deviation on the order of sd — usable as spatially
+// correlated model error.
+func GenerateSmoothNoise(m Mesh, sd float64, seed uint64, keys ...int) []float64 {
+	return workload.SmoothNoise(m, sd, seed, keys...)
+}
+
+// compile-time coherence between facade aliases and internals.
+var (
+	_          = func(c CycleConfig) enkf.Config { return c.Enkf }
+	_          = func(c CycleConfig) grid.Mesh { return c.Enkf.Mesh }
+	_ Analyzer = func(enkf.Config, [][]float64, *obs.Network) ([][]float64, error) { return nil, nil }
+)

@@ -1,0 +1,83 @@
+// Auto-tuning walkthrough: the §4.4 machinery step by step. For a fixed
+// compute cost C2, the minimal first-stage acquisition time T1 falls as
+// more I/O processors C1 are spent (Figure 12); the earnings rate (Eq. 13)
+// quantifies the benefit of each extra processor, and the economic
+// condition (Eq. 14) stops when more spending no longer pays. Algorithm 2
+// then sweeps C2 to pick the overall configuration, which this example
+// validates against a discrete-event simulation of the tuned schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine := senkf.DefaultMachine()
+	p := machine.P
+	const np = 8000
+	const eps = 0.001
+
+	// 1. The T1(C1) trade-off at a fixed compute cost.
+	const c2 = 2000
+	opts := senkf.PaperFigureOptions()
+	opts.Fig12C2 = c2
+	suite := senkf.NewFigureSuite(opts)
+	fig, err := suite.Fig12()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T1 vs C1 at C2 = %d (model and simulated measurement):\n", c2)
+	for _, s := range fig.Series {
+		fmt.Printf("  %s:", s.Label)
+		for i := range s.X {
+			fmt.Printf(" (%.0f, %.2fs)", s.X[i], s.Y[i])
+		}
+		fmt.Println()
+	}
+	for _, n := range fig.Notes {
+		fmt.Println("  " + n)
+	}
+
+	// 2. Algorithm 2 over the full budget, with the layer and group counts
+	//    capped to schedulable values.
+	tuned, ok := senkf.AutoTuneConstrained(p, np, eps, senkf.TuneConstraints{MaxL: 12, MaxNCg: 12})
+	if !ok {
+		log.Fatal("auto-tuner found no configuration")
+	}
+	fmt.Printf("\nAlgorithm 2 for np=%d: %v  (C1=%d I/O + C2=%d compute, model %.1fs)\n",
+		np, tuned.Choice, tuned.C1, tuned.C2, tuned.TTotal)
+
+	// 3. Validate the tuned configuration in simulation against neighbours.
+	fmt.Println("\nsimulated runtime of the tuned choice vs perturbed choices:")
+	candidates := []senkf.Choice{tuned.Choice}
+	half := tuned.Choice
+	half.NCg = max(1, half.NCg/2)
+	candidates = append(candidates, half)
+	one := tuned.Choice
+	one.L = 1
+	candidates = append(candidates, one)
+	for _, ch := range candidates {
+		res, err := senkf.SimulateSEnKF(machine, ch)
+		if err != nil {
+			fmt.Printf("  %v: infeasible (%v)\n", ch, err)
+			continue
+		}
+		marker := ""
+		if ch == tuned.Choice {
+			marker = "  <- tuned"
+		}
+		fmt.Printf("  %v: %.1fs (first stage %.1fs, overlap %.0f%%)%s\n",
+			ch, res.Runtime, res.FirstStage, 100*res.OverlapFraction, marker)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

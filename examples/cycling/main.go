@@ -1,0 +1,84 @@
+// Cycling: sequential data assimilation — the operational context the
+// paper's introduction describes. An ensemble of ocean-like states is
+// integrated forward with an advection–diffusion model under stochastic
+// model error; every cycle, observations of the evolving truth are
+// assimilated by the *real parallel S-EnKF* (member files on disk, C1 I/O
+// ranks + C2 compute ranks, multi-stage overlap), and the analysis seeds
+// the next forecast. A free-running ensemble that never assimilates is the
+// control.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mesh, err := senkf.NewMesh(48, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	radius, err := senkf.NewRadius(3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A westerly drift with weak diffusion, stepped 3x per cycle.
+	fm, err := senkf.NewForwardModel(mesh, 0.4, 0.2, 0.02, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const members = 20
+	const seed = 2019
+	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, seed)
+	ensemble, err := senkf.GenerateEnsemble(mesh, truth, members, 1.5, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := senkf.CycleConfig{
+		Enkf: senkf.Config{
+			Mesh: mesh, Radius: radius, N: members,
+			Inflation: 1.1, // sustain spread across cycles
+		},
+		Model:         fm,
+		StepsPerCycle: 3,
+		ObsStrideX:    2, ObsStrideY: 2,
+		ObsVar:       1e-4,
+		ModelErrorSD: 0.2, // imperfect ensemble model
+		Seed:         seed,
+	}
+
+	dir, err := os.MkdirTemp("", "senkf-cycling")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dec, err := senkf.NewDecomposition(mesh, 4, 2, radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer := senkf.SEnKFAnalyzer(dir, dec, 3, 2)
+
+	const cycles = 10
+	history, err := senkf.RunCycles(cfg, truth, ensemble, cycles, analyzer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d forecast-analysis cycles, S-EnKF analysis each cycle (%d+%d ranks)\n\n",
+		cycles, dec.SubDomains(), 2*dec.NSdy)
+	fmt.Println("cycle | background RMSE | analysis RMSE | free-run RMSE | spread")
+	for _, st := range history {
+		fmt.Printf("%5d | %15.4f | %13.4f | %13.4f | %.4f\n",
+			st.Cycle, st.BackgroundRMSE, st.AnalysisRMSE, st.FreeRMSE, st.Spread)
+	}
+	last := history[len(history)-1]
+	fmt.Printf("\nafter %d cycles: assimilation %.4f vs free run %.4f (%.1fx better)\n",
+		cycles, last.AnalysisRMSE, last.FreeRMSE, last.FreeRMSE/last.AnalysisRMSE)
+}

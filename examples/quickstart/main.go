@@ -1,0 +1,94 @@
+// Quickstart: generate a synthetic ocean ensemble, assimilate observations
+// with S-EnKF (concurrent-group bar reading + multi-stage overlapped
+// analysis), and verify the result against the serial reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A small latitude–longitude mesh and a localization radius:
+	//    every grid point is updated from observations within a
+	//    (2ξ+1) × (2η+1) local box.
+	mesh, err := senkf.NewMesh(96, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	radius, err := senkf.NewRadius(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Synthetic truth and a 16-member background ensemble, written to
+	//    disk as one file per member — the input format of all parallel
+	//    implementations.
+	const members = 16
+	const seed = 42
+	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, seed)
+	background, err := senkf.GenerateEnsemble(mesh, truth, members, 1.5, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "senkf-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := senkf.WriteEnsemble(dir, mesh, background); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. An observation network: every 3rd point observed with small error.
+	net, err := senkf.NewStridedNetwork(mesh, truth, 3, 3, 0.01, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run S-EnKF: a 4×2 compute decomposition with L = 4 stages and
+	//    n_cg = 2 concurrent I/O groups (8 compute ranks + 4 I/O ranks).
+	cfg := senkf.Config{Mesh: mesh, Radius: radius, N: members, Seed: seed}
+	dec, err := senkf.NewDecomposition(mesh, 4, 2, radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem := senkf.Problem{Cfg: cfg, Dir: dir, Net: net}
+	plan := senkf.Plan{Dec: dec, L: 4, NCg: 2}
+	analysis, err := senkf.RunSEnKF(problem, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The parallel result matches the serial reference exactly, and the
+	//    assimilation pulled the ensemble towards the truth.
+	reference, err := senkf.SerialReference(cfg, background, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for k := range reference {
+		for i := range reference[k] {
+			if d := abs(analysis[k][i] - reference[k][i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("S-EnKF ranks: %d compute + %d I/O\n", plan.ComputeRanks(), plan.IORanks())
+	fmt.Printf("max |S-EnKF - serial reference| = %g (exact reproduction)\n", maxDiff)
+	fmt.Printf("ensemble-mean RMSE vs truth: %.4f -> %.4f\n",
+		senkf.RMSE(senkf.EnsembleMean(background), truth),
+		senkf.RMSE(senkf.EnsembleMean(analysis), truth))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+// Scaling study: the paper's headline experiment (Figure 13) — strong
+// scaling of P-EnKF versus auto-tuned S-EnKF on the simulated machine. By
+// default the reduced-scale suite runs in seconds; pass -paper to run the
+// full 2,000–12,000-processor sweep over the 0.1° problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	paper := flag.Bool("paper", false, "run at the paper's scale (2,000-12,000 simulated processors)")
+	flag.Parse()
+
+	suite := senkf.QuickFigures()
+	if *paper {
+		suite = senkf.PaperFigures()
+	}
+
+	fig13, err := suite.Fig13()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fig13.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// The mechanism behind the headline: Figure 1's growing I/O share in
+	// P-EnKF, and Figure 11's sustained overlap in S-EnKF.
+	fig01, err := suite.Fig01()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fig01.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fig11, err := suite.Fig11()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fig11.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

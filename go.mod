@@ -1,0 +1,3 @@
+module senkf
+
+go 1.22

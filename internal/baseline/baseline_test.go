@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"testing"
+
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/grid"
+	"senkf/internal/metrics"
+	"senkf/internal/obs"
+	"senkf/internal/workload"
+)
+
+func setup(t *testing.T) (Problem, [][]float64) {
+	t.Helper()
+	ps := workload.TestScale
+	m, err := ps.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := workload.Truth(m, workload.DefaultFieldSpec, ps.Seed)
+	bg, err := workload.Ensemble(m, truth, ps.Members, ps.Spread, ps.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := ensio.WriteEnsemble(dir, m, bg); err != nil {
+		t.Fatal(err)
+	}
+	net, err := obs.StridedNetwork(m, truth, ps.ObsStride, ps.ObsStride, ps.ObsVar, ps.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := enkf.Config{Mesh: m, Radius: ps.Radius(), N: ps.Members, Seed: ps.Seed}
+	dec, err := grid.NewDecomposition(m, 4, 2, cfg.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := enkf.SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net}, ref
+}
+
+func TestPEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
+	p, ref := setup(t)
+	for _, d := range [][2]int{{1, 1}, {2, 1}, {4, 2}, {6, 3}, {12, 4}} {
+		dec, err := grid.NewDecomposition(p.Cfg.Mesh, d[0], d[1], p.Cfg.Radius)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		prob := p
+		prob.Dec = dec
+		got, err := RunPEnKF(prob)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if diff := enkf.MaxAbsDiffFields(got, ref); diff != 0 {
+			t.Errorf("decomposition %v: differs from reference by %g", d, diff)
+		}
+	}
+}
+
+func TestLEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
+	p, ref := setup(t)
+	for _, d := range [][2]int{{1, 1}, {3, 2}, {4, 4}} {
+		dec, err := grid.NewDecomposition(p.Cfg.Mesh, d[0], d[1], p.Cfg.Radius)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		prob := p
+		prob.Dec = dec
+		got, err := RunLEnKF(prob)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if diff := enkf.MaxAbsDiffFields(got, ref); diff != 0 {
+			t.Errorf("decomposition %v: differs from reference by %g", d, diff)
+		}
+	}
+}
+
+func TestPEnKFRecordsReadAndCompute(t *testing.T) {
+	p, _ := setup(t)
+	rec := metrics.NewRecorder()
+	p.Rec = rec
+	if _, err := RunPEnKF(p); err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Breakdown("cp")
+	if b.Read <= 0 || b.Compute <= 0 {
+		t.Errorf("breakdown %+v", b)
+	}
+	if b.Comm != 0 {
+		t.Error("P-EnKF should not communicate during acquisition")
+	}
+	if got := len(rec.Procs("cp")); got != p.Dec.SubDomains() {
+		t.Errorf("recorded %d procs, want %d", got, p.Dec.SubDomains())
+	}
+}
+
+func TestLEnKFRecordsReaderPhases(t *testing.T) {
+	p, _ := setup(t)
+	rec := metrics.NewRecorder()
+	p.Rec = rec
+	if _, err := RunLEnKF(p); err != nil {
+		t.Fatal(err)
+	}
+	reader := rec.Breakdown("cp0000")
+	if reader.Read <= 0 || reader.Comm <= 0 {
+		t.Errorf("reader breakdown %+v", reader)
+	}
+	// Non-reader ranks wait, never read.
+	other := rec.Breakdown("cp0001")
+	if other.Read != 0 || other.Wait <= 0 {
+		t.Errorf("non-reader breakdown %+v", other)
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	p, _ := setup(t)
+	bad := p
+	bad.Net = nil
+	if _, err := RunPEnKF(bad); err == nil {
+		t.Error("nil network accepted")
+	}
+	bad = p
+	bad.Dir = ""
+	if _, err := RunLEnKF(bad); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad = p
+	otherMesh, _ := grid.NewMesh(12, 12)
+	bad.Dec, _ = grid.NewDecomposition(otherMesh, 2, 2, p.Cfg.Radius)
+	if _, err := RunPEnKF(bad); err == nil {
+		t.Error("mesh mismatch accepted")
+	}
+}
+
+func TestMissingFilesFailCleanly(t *testing.T) {
+	p, _ := setup(t)
+	p.Dir = t.TempDir()
+	if _, err := RunPEnKF(p); err == nil {
+		t.Error("P-EnKF with missing files should fail")
+	}
+	if _, err := RunLEnKF(p); err == nil {
+		t.Error("L-EnKF with missing files should fail")
+	}
+}

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/grid"
+	"senkf/internal/metrics"
+	"senkf/internal/mpi"
+	"senkf/internal/obs"
+)
+
+// MultiLevelProblem mirrors core.MultiLevelProblem for the baseline side
+// (the packages stay independent — core must not be imported here).
+type MultiLevelProblem struct {
+	Cfg  enkf.Config
+	Dir  string
+	Nets []*obs.Network
+	Rec  *metrics.Recorder
+}
+
+// Validate checks the problem.
+func (p MultiLevelProblem) Validate() error {
+	if err := p.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(p.Nets) == 0 {
+		return fmt.Errorf("baseline: no observation networks (need one per level)")
+	}
+	for l, n := range p.Nets {
+		if n == nil {
+			return fmt.Errorf("baseline: nil network at level %d", l)
+		}
+	}
+	if p.Dir == "" {
+		return fmt.Errorf("baseline: empty member directory")
+	}
+	return nil
+}
+
+// RunPEnKFMultiLevel executes the block-reading baseline over a multi-level
+// ensemble: every rank block-reads its expansion *of every level* from
+// every member file — paying the per-row addressing penalty on rows that
+// are now levels × heavier — and assimilates level by level. The analysis
+// is returned as [level][member][]field.
+func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if dec.Mesh != p.Cfg.Mesh {
+		return nil, fmt.Errorf("baseline: decomposition mesh %v differs from config mesh %v", dec.Mesh, p.Cfg.Mesh)
+	}
+	levels := len(p.Nets)
+	np := dec.SubDomains()
+	w, err := mpi.NewWorld(np)
+	if err != nil {
+		return nil, err
+	}
+	var fields [][][]float64
+	t0 := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		i, j := dec.CoordsOf(c.Rank())
+		name := fmt.Sprintf("cp%04d", c.Rank())
+		exp := dec.Expansion(i, j)
+		blks := make([]*enkf.Block, levels)
+		for lvl := range blks {
+			blks[lvl] = enkf.NewBlock(exp, p.Cfg.N)
+		}
+
+		readStart := time.Now()
+		for k := 0; k < p.Cfg.N; k++ {
+			mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
+			if err != nil {
+				return err
+			}
+			if mf.Header.LevelCount() != levels {
+				mf.Close()
+				return fmt.Errorf("baseline: member %d has %d levels, problem has %d", k, mf.Header.LevelCount(), levels)
+			}
+			data, err := mf.ReadBlockLevels(exp)
+			mf.Close()
+			if err != nil {
+				return err
+			}
+			for lvl := 0; lvl < levels; lvl++ {
+				blks[lvl].Data[k] = data[lvl]
+			}
+		}
+		record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+
+		compStart := time.Now()
+		results := make([]*enkf.Block, levels)
+		for lvl := 0; lvl < levels; lvl++ {
+			out, err := p.Cfg.AnalyzeBox(blks[lvl], p.Nets[lvl].InBox(exp), dec.SubDomain(i, j))
+			if err != nil {
+				return err
+			}
+			results[lvl] = out
+		}
+		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+
+		// Gather per level at rank 0.
+		if c.Rank() != 0 {
+			for lvl, res := range results {
+				meta := []int{lvl, res.Box.X0, res.Box.X1, res.Box.Y0, res.Box.Y1}
+				if err := c.Send(0, resultTag+lvl, meta, flattenBlock(res)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		out := make([][][]float64, levels)
+		for lvl := 0; lvl < levels; lvl++ {
+			blocks := []*enkf.Block{results[lvl]}
+			for r := 1; r < np; r++ {
+				m, err := c.Recv(mpi.AnySource, resultTag+lvl)
+				if err != nil {
+					return err
+				}
+				box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+				blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
+				if err != nil {
+					return err
+				}
+				blocks = append(blocks, blk)
+			}
+			f, err := enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
+			if err != nil {
+				return err
+			}
+			out[lvl] = f
+		}
+		fields = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/grid"
+	"senkf/internal/metrics"
+	"senkf/internal/mpi"
+	"senkf/internal/obs"
+)
+
+// MultiLevelProblem is the 3-D variant of Problem: member files carry
+// `Levels` vertical levels interleaved per grid point (realising the
+// paper's h = levels × 8 bytes per-point volume), and each level has its
+// own observation network. The levels are assimilated with 2-D
+// localization, level by level — standard practice for layered ocean
+// states — but the I/O is shared: one bar read per stage fetches *all*
+// levels of the stage rows with a single addressing operation.
+type MultiLevelProblem struct {
+	Cfg  enkf.Config // per-level analysis parameters (shared)
+	Dir  string
+	Nets []*obs.Network // one network per vertical level
+	Rec  *metrics.Recorder
+}
+
+// Validate checks the problem.
+func (p MultiLevelProblem) Validate() error {
+	if err := p.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(p.Nets) == 0 {
+		return fmt.Errorf("core: no observation networks (need one per level)")
+	}
+	for l, n := range p.Nets {
+		if n == nil {
+			return fmt.Errorf("core: nil network at level %d", l)
+		}
+	}
+	if p.Dir == "" {
+		return fmt.Errorf("core: empty member directory")
+	}
+	return nil
+}
+
+// Levels returns the number of vertical levels.
+func (p MultiLevelProblem) Levels() int { return len(p.Nets) }
+
+// mlTag gives every (stage, member, level) triple a distinct message tag.
+func mlTag(stage, nMembers, member, levels, level int) int {
+	return (stage*nMembers+member)*levels + level
+}
+
+// RunSEnKFMultiLevel executes the S-EnKF schedule over a multi-level
+// ensemble and returns the analysis as [level][member][]field, assembled at
+// world rank 0.
+func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if pl.Dec.Mesh != p.Cfg.Mesh {
+		return nil, fmt.Errorf("core: decomposition mesh %v differs from config mesh %v", pl.Dec.Mesh, p.Cfg.Mesh)
+	}
+	if err := pl.Validate(p.Cfg.N); err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(pl.WorldSize())
+	if err != nil {
+		return nil, err
+	}
+	var fields [][][]float64
+	t0 := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		if c.Rank() < pl.ComputeRanks() {
+			f, err := runComputeML(c, p, pl, t0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fields = f
+			}
+			return nil
+		}
+		return runIOML(c, p, pl, t0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// runIOML is the multi-level I/O rank: one bar read per (stage, file)
+// fetches every level at once; the per-level column blocks are then cut out
+// and streamed to the compute ranks.
+func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
+	q := c.Rank() - pl.ComputeRanks()
+	g := q / pl.Dec.NSdy
+	j := q % pl.Dec.NSdy
+	name := fmt.Sprintf("io%04d", q)
+	levels := p.Levels()
+
+	var files []*ensio.MemberFile
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	var members []int
+	for k := g; k < p.Cfg.N; k += pl.NCg {
+		mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
+		if err != nil {
+			return err
+		}
+		if mf.Header.LevelCount() != levels {
+			return fmt.Errorf("core: member %d has %d levels, problem has %d", k, mf.Header.LevelCount(), levels)
+		}
+		files = append(files, mf)
+		members = append(members, k)
+	}
+
+	for l := 0; l < pl.L; l++ {
+		lb, err := pl.Dec.LayerBar(j, l, pl.L)
+		if err != nil {
+			return err
+		}
+		for fi, mf := range files {
+			k := members[fi]
+			readStart := time.Now()
+			bars, err := mf.ReadBarLevels(lb.Y0, lb.Y1) // all levels, one seek
+			if err != nil {
+				return err
+			}
+			record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+
+			commStart := time.Now()
+			for i := 0; i < pl.Dec.NSdx; i++ {
+				exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
+				if err != nil {
+					return err
+				}
+				dst := pl.Dec.RankOf(i, j)
+				meta := []int{k, exp.X0, exp.X1, exp.Y0, exp.Y1}
+				for lvl := 0; lvl < levels; lvl++ {
+					payload := make([]float64, exp.Points())
+					bar := bars[lvl]
+					for y := exp.Y0; y < exp.Y1; y++ {
+						srcOff := (y-lb.Y0)*p.Cfg.Mesh.NX + exp.X0
+						dstOff := (y - exp.Y0) * exp.Width()
+						copy(payload[dstOff:dstOff+exp.Width()], bar[srcOff:srcOff+exp.Width()])
+					}
+					if err := c.Send(dst, mlTag(l, p.Cfg.N, k, levels, lvl), meta, payload); err != nil {
+						return err
+					}
+				}
+			}
+			record(p.Rec, name, metrics.PhaseComm, t0, commStart, time.Now())
+		}
+	}
+	return nil
+}
+
+// runComputeML is the multi-level compute rank: the helper goroutine
+// assembles one block per level per stage while the main flow analyses the
+// previous stage, level by level.
+func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][][]float64, error) {
+	i, j := pl.Dec.CoordsOf(c.Rank())
+	name := fmt.Sprintf("cp%04d", c.Rank())
+	levels := p.Levels()
+
+	type stageData struct {
+		blks []*enkf.Block // one per level
+		err  error
+	}
+	stages := make(chan stageData, pl.L)
+
+	go func() {
+		for l := 0; l < pl.L; l++ {
+			exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
+			if err != nil {
+				stages <- stageData{err: err}
+				return
+			}
+			blks := make([]*enkf.Block, levels)
+			for lvl := range blks {
+				blks[lvl] = enkf.NewBlock(exp, p.Cfg.N)
+			}
+			for k := 0; k < p.Cfg.N; k++ {
+				for lvl := 0; lvl < levels; lvl++ {
+					m, err := c.Recv(mpi.AnySource, mlTag(l, p.Cfg.N, k, levels, lvl))
+					if err != nil {
+						stages <- stageData{err: err}
+						return
+					}
+					box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+					if box != exp || len(m.Data) != exp.Points() {
+						stages <- stageData{err: fmt.Errorf("core: stage %d member %d level %d: bad block %v/%d", l, k, lvl, box, len(m.Data))}
+						return
+					}
+					blks[lvl].Data[m.Meta[0]] = m.Data
+				}
+			}
+			stages <- stageData{blks: blks}
+		}
+	}()
+
+	layers, err := pl.Dec.Layers(i, j, pl.L)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*enkf.Block, levels)
+	for lvl := range results {
+		results[lvl] = enkf.NewBlock(pl.Dec.SubDomain(i, j), p.Cfg.N)
+	}
+	for l := 0; l < pl.L; l++ {
+		waitStart := time.Now()
+		sd := <-stages
+		if sd.err != nil {
+			return nil, sd.err
+		}
+		record(p.Rec, name, metrics.PhaseWait, t0, waitStart, time.Now())
+
+		compStart := time.Now()
+		for lvl := 0; lvl < levels; lvl++ {
+			out, err := p.Cfg.AnalyzeBox(sd.blks[lvl], p.Nets[lvl].InBox(sd.blks[lvl].Box), layers[l])
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < p.Cfg.N; k++ {
+				for y := layers[l].Y0; y < layers[l].Y1; y++ {
+					for x := layers[l].X0; x < layers[l].X1; x++ {
+						results[lvl].Set(k, x, y, out.At(k, x, y))
+					}
+				}
+			}
+		}
+		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+	}
+
+	// Gather per-level sub-domain results at rank 0.
+	if c.Rank() != 0 {
+		for lvl, res := range results {
+			meta := []int{lvl, res.Box.X0, res.Box.X1, res.Box.Y0, res.Box.Y1}
+			if err := c.Send(0, resultTag+lvl, meta, flattenBlock(res)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	out := make([][][]float64, levels)
+	for lvl := 0; lvl < levels; lvl++ {
+		blocks := []*enkf.Block{results[lvl]}
+		for r := 1; r < pl.ComputeRanks(); r++ {
+			m, err := c.Recv(mpi.AnySource, resultTag+lvl)
+			if err != nil {
+				return nil, err
+			}
+			box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+			blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
+			if err != nil {
+				return nil, err
+			}
+			blocks = append(blocks, blk)
+		}
+		fields, err := enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
+		if err != nil {
+			return nil, err
+		}
+		out[lvl] = fields
+	}
+	return out, nil
+}

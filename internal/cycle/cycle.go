@@ -1,0 +1,231 @@
+// Package cycle implements sequential data assimilation: the
+// forecast–analysis loop in which an ensemble of model states is integrated
+// forward in time ("utilizes ensemble integrations to predict the error
+// statistics forward in time", §1), observations of the evolving truth are
+// assimilated, and the updated ensemble seeds the next forecast. Every
+// cycle can run the analysis through any of the implementations — the
+// serial reference, or the real parallel S-EnKF/P-EnKF paths via member
+// files on disk, exactly as an operational system would between model runs.
+package cycle
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/baseline"
+	"senkf/internal/core"
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/grid"
+	"senkf/internal/model"
+	"senkf/internal/obs"
+	"senkf/internal/workload"
+)
+
+// Analyzer turns a background ensemble and an observation network into an
+// analysis ensemble under the given configuration.
+type Analyzer func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error)
+
+// Config drives a cycled experiment.
+type Config struct {
+	Enkf  enkf.Config
+	Model *model.AdvectionDiffusion
+	// StepsPerCycle is the number of model steps between analyses.
+	StepsPerCycle int
+	// Observation network geometry, regenerated from the evolving truth
+	// each cycle.
+	ObsStrideX, ObsStrideY int
+	ObsVar                 float64
+	// ModelErrorSD, when positive, adds independent Gaussian noise of this
+	// standard deviation to every ensemble member after each forecast —
+	// stochastic model error. The truth trajectory is not perturbed, so
+	// the ensemble's model is imperfect, as in any real system; without
+	// it a perfect deterministic model lets the filter converge below the
+	// observation floor and the cycling becomes trivial.
+	ModelErrorSD float64
+	// Seed derives per-cycle observation noise, perturbation streams and
+	// model-error realizations.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Enkf.Validate(); err != nil {
+		return err
+	}
+	if c.Model == nil {
+		return fmt.Errorf("cycle: nil model")
+	}
+	if c.Model.Mesh != c.Enkf.Mesh {
+		return fmt.Errorf("cycle: model mesh %v differs from assimilation mesh %v", c.Model.Mesh, c.Enkf.Mesh)
+	}
+	if c.StepsPerCycle <= 0 {
+		return fmt.Errorf("cycle: steps per cycle must be positive, got %d", c.StepsPerCycle)
+	}
+	if c.ObsStrideX <= 0 || c.ObsStrideY <= 0 {
+		return fmt.Errorf("cycle: observation strides must be positive")
+	}
+	if c.ObsVar <= 0 {
+		return fmt.Errorf("cycle: observation variance must be positive, got %g", c.ObsVar)
+	}
+	if c.ModelErrorSD < 0 {
+		return fmt.Errorf("cycle: negative model error %g", c.ModelErrorSD)
+	}
+	return nil
+}
+
+// cycleSeed derives an independent seed for cycle i.
+func (c Config) cycleSeed(i int) uint64 {
+	return c.Seed + 0x9E3779B97F4A7C15*uint64(i+1)
+}
+
+// Stats records one cycle's outcome.
+type Stats struct {
+	Cycle          int
+	BackgroundRMSE float64 // forecast ensemble mean vs truth, before analysis
+	AnalysisRMSE   float64 // analysis ensemble mean vs truth
+	FreeRMSE       float64 // no-assimilation control ensemble mean vs truth
+	Spread         float64 // mean ensemble standard deviation after analysis
+}
+
+// spread returns the mean point-wise ensemble standard deviation.
+func spread(fields [][]float64) float64 {
+	if len(fields) < 2 {
+		return 0
+	}
+	n := len(fields)
+	pts := len(fields[0])
+	var total float64
+	for i := 0; i < pts; i++ {
+		var mean float64
+		for k := 0; k < n; k++ {
+			mean += fields[k][i]
+		}
+		mean /= float64(n)
+		var v float64
+		for k := 0; k < n; k++ {
+			d := fields[k][i] - mean
+			v += d * d
+		}
+		total += math.Sqrt(v / float64(n-1))
+	}
+	return total / float64(pts)
+}
+
+// Run performs the given number of forecast–analysis cycles starting from
+// truth0 and ensemble0, and returns per-cycle statistics. A free-running
+// copy of the ensemble (never assimilating) is propagated alongside as the
+// control experiment.
+func Run(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze Analyzer) ([]Stats, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if cycles <= 0 {
+		return nil, fmt.Errorf("cycle: cycle count must be positive, got %d", cycles)
+	}
+	if analyze == nil {
+		return nil, fmt.Errorf("cycle: nil analyzer")
+	}
+	if len(ensemble0) != c.Enkf.N {
+		return nil, fmt.Errorf("cycle: ensemble has %d members, config says %d", len(ensemble0), c.Enkf.N)
+	}
+	truth := append([]float64(nil), truth0...)
+	ensemble := make([][]float64, len(ensemble0))
+	free := make([][]float64, len(ensemble0))
+	for k := range ensemble0 {
+		ensemble[k] = append([]float64(nil), ensemble0[k]...)
+		free[k] = append([]float64(nil), ensemble0[k]...)
+	}
+
+	var history []Stats
+	for i := 0; i < cycles; i++ {
+		// Forecast: truth, assimilating ensemble, and the free control.
+		var err error
+		truth, err = c.Model.Run(truth, c.StepsPerCycle)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: truth forecast: %w", i, err)
+		}
+		ensemble, err = c.Model.RunEnsemble(ensemble, c.StepsPerCycle)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: ensemble forecast: %w", i, err)
+		}
+		free, err = c.Model.RunEnsemble(free, c.StepsPerCycle)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: control forecast: %w", i, err)
+		}
+		if c.ModelErrorSD > 0 {
+			addModelError(c.Enkf.Mesh, ensemble, c.ModelErrorSD, c.Seed, i, 0)
+			addModelError(c.Enkf.Mesh, free, c.ModelErrorSD, c.Seed, i, 1)
+		}
+
+		// Observe the current truth.
+		seed := c.cycleSeed(i)
+		net, err := obs.StridedNetwork(c.Enkf.Mesh, truth, c.ObsStrideX, c.ObsStrideY, c.ObsVar, seed)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: observations: %w", i, err)
+		}
+
+		// Analysis with cycle-specific perturbation seed.
+		cfg := c.Enkf
+		cfg.Seed = seed
+		st := Stats{
+			Cycle:          i,
+			BackgroundRMSE: enkf.RMSE(enkf.EnsembleMean(ensemble), truth),
+			FreeRMSE:       enkf.RMSE(enkf.EnsembleMean(free), truth),
+		}
+		ensemble, err = analyze(cfg, ensemble, net)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: analysis: %w", i, err)
+		}
+		st.AnalysisRMSE = enkf.RMSE(enkf.EnsembleMean(ensemble), truth)
+		st.Spread = spread(ensemble)
+		history = append(history, st)
+	}
+	return history, nil
+}
+
+// addModelError perturbs every member with a deterministic realization of
+// spatially correlated (smooth) stochastic model error, keyed by
+// (seed, cycle, ensemble id, member). Smoothness matters: only correlated
+// background errors can be corrected at unobserved points.
+func addModelError(m grid.Mesh, fields [][]float64, sd float64, seed uint64, cycleIdx, which int) {
+	for k := range fields {
+		noise := workload.SmoothNoise(m, sd, seed, 0x30DE1, cycleIdx, which, k)
+		for i := range fields[k] {
+			fields[k][i] += noise[i]
+		}
+	}
+}
+
+// SerialAnalyzer runs the serial reference analysis.
+func SerialAnalyzer() Analyzer {
+	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
+		return enkf.SerialReference(cfg, background, net)
+	}
+}
+
+// SEnKFAnalyzer writes each cycle's background ensemble into dir (as an
+// operational system would, between the model run and the assimilation) and
+// runs the real parallel S-EnKF over the files.
+func SEnKFAnalyzer(dir string, dec grid.Decomposition, layers, ncg int) Analyzer {
+	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
+		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
+			return nil, err
+		}
+		return core.RunSEnKF(
+			core.Problem{Cfg: cfg, Dir: dir, Net: net},
+			core.Plan{Dec: dec, L: layers, NCg: ncg},
+		)
+	}
+}
+
+// PEnKFAnalyzer writes each cycle's background ensemble into dir and runs
+// the block-reading baseline over the files.
+func PEnKFAnalyzer(dir string, dec grid.Decomposition) Analyzer {
+	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
+		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
+			return nil, err
+		}
+		return baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net})
+	}
+}

@@ -1,0 +1,623 @@
+// Package enkf implements the ensemble Kalman filter mathematics of the
+// paper's §2: the global perturbed-observation analysis (Eqs. 1–5), the
+// domain-localized per-point analysis (Eq. 6 applied with a local influence
+// box per grid point), and a serial reference implementation that every
+// parallel path (L-EnKF, P-EnKF, S-EnKF) must reproduce exactly.
+//
+// Two local solvers are provided, mirroring the paper's discussion in §2.3:
+//
+//   - SolverEnsembleSpace: the deterministic ensemble-space formulation,
+//     Xa = Xb + U·Vᵀ·(V·Vᵀ/(N−1) + R)⁻¹·(Yˢ − H·Xb)/(N−1) with V = H·U —
+//     the formulation used by L-EnKF implementations.
+//   - SolverModifiedCholesky: the P-EnKF estimator (refs [23, 24]): solve
+//     (B̂⁻¹ + HᵀR⁻¹H)·δX = HᵀR⁻¹(Yˢ − H·Xb) with B̂⁻¹ obtained from the
+//     modified Cholesky decomposition (Eq. 5).
+//
+// Both solvers operate point-by-point on a local box, so the analysis on a
+// sub-domain D only needs data on its expansion D̄ — the property the whole
+// parallel design rests on.
+package enkf
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/grid"
+	"senkf/internal/linalg"
+	"senkf/internal/obs"
+)
+
+// Solver selects the local analysis formulation.
+type Solver int
+
+const (
+	// SolverEnsembleSpace solves in the N-dimensional ensemble space.
+	SolverEnsembleSpace Solver = iota
+	// SolverModifiedCholesky solves Eq. (5) with the modified Cholesky
+	// B̂⁻¹ estimate over the local box.
+	SolverModifiedCholesky
+	// SolverETKF is the deterministic ensemble transform (LETKF family,
+	// ref [25]): no observation perturbations; the analysis ensemble is
+	// the background transformed by the symmetric square root in ensemble
+	// space.
+	SolverETKF
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolverEnsembleSpace:
+		return "ensemble-space"
+	case SolverModifiedCholesky:
+		return "modified-cholesky"
+	case SolverETKF:
+		return "etkf"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// Config carries the assimilation parameters shared by every implementation.
+type Config struct {
+	Mesh   grid.Mesh
+	Radius grid.Radius
+	N      int    // ensemble size (number of background members)
+	Seed   uint64 // seed of the perturbed-observation streams
+	Solver Solver
+	// Band is the regression bandwidth of the modified Cholesky estimator
+	// (ignored by the ensemble-space solver). Zero means diagonal B̂⁻¹.
+	Band int
+	// Ridge regularizes the modified Cholesky regressions.
+	Ridge float64
+	// TaperLength, when positive, applies Gaspari–Cohn observation-space
+	// localization inside the local box: R_ii is inflated by 1/ρ_i with
+	// ρ_i the taper at the normalized obs–point distance. Zero keeps the
+	// paper's pure cut-off local box.
+	TaperLength float64
+	// Inflation, when positive, multiplies the background deviations from
+	// the ensemble mean by this factor before the analysis (multiplicative
+	// covariance inflation, the standard remedy for the spread collapse of
+	// small ensembles in cycled assimilation). Zero disables inflation
+	// (factor 1). Applied per local box, so every parallel layout computes
+	// the identical analysis.
+	Inflation float64
+}
+
+// Validate reports configuration errors early.
+func (c Config) Validate() error {
+	if c.Mesh.NX <= 0 || c.Mesh.NY <= 0 {
+		return fmt.Errorf("enkf: invalid mesh %dx%d", c.Mesh.NX, c.Mesh.NY)
+	}
+	if c.N < 2 {
+		return fmt.Errorf("enkf: ensemble size must be at least 2, got %d", c.N)
+	}
+	if c.Radius.Xi < 0 || c.Radius.Eta < 0 {
+		return fmt.Errorf("enkf: invalid radius %+v", c.Radius)
+	}
+	switch c.Solver {
+	case SolverEnsembleSpace, SolverModifiedCholesky, SolverETKF:
+	default:
+		return fmt.Errorf("enkf: unknown solver %d", c.Solver)
+	}
+	if c.Band < 0 {
+		return fmt.Errorf("enkf: negative band %d", c.Band)
+	}
+	if c.Ridge < 0 {
+		return fmt.Errorf("enkf: negative ridge %g", c.Ridge)
+	}
+	if c.TaperLength < 0 {
+		return fmt.Errorf("enkf: negative taper length %g", c.TaperLength)
+	}
+	if c.Inflation < 0 {
+		return fmt.Errorf("enkf: negative inflation %g", c.Inflation)
+	}
+	return nil
+}
+
+// Block is ensemble data over a box: Data[k] holds member k's values
+// row-major within Box. It is the in-memory form of the
+// X̄ᵇ_{[i,j]} expansions that file reading and communication deliver.
+type Block struct {
+	Box  grid.Box
+	Data [][]float64 // N × Box.Points()
+}
+
+// NewBlock allocates a zeroed block for n members over box b.
+func NewBlock(b grid.Box, n int) *Block {
+	d := make([][]float64, n)
+	for k := range d {
+		d[k] = make([]float64, b.Points())
+	}
+	return &Block{Box: b, Data: d}
+}
+
+// At returns member k's value at global grid point (x, y), which must lie
+// inside the block's box.
+func (b *Block) At(k, x, y int) float64 {
+	return b.Data[k][(y-b.Box.Y0)*b.Box.Width()+(x-b.Box.X0)]
+}
+
+// Set assigns member k's value at global grid point (x, y).
+func (b *Block) Set(k, x, y int, v float64) {
+	b.Data[k][(y-b.Box.Y0)*b.Box.Width()+(x-b.Box.X0)] = v
+}
+
+// Members returns the ensemble size stored in the block.
+func (b *Block) Members() int { return len(b.Data) }
+
+// SubBlock extracts the portion of the block covering box sb (which must be
+// contained in b.Box) into a fresh block.
+func (b *Block) SubBlock(sb grid.Box) (*Block, error) {
+	if sb.Intersect(b.Box) != sb {
+		return nil, fmt.Errorf("enkf: sub-box %v not contained in block box %v", sb, b.Box)
+	}
+	out := NewBlock(sb, len(b.Data))
+	for k := range b.Data {
+		for y := sb.Y0; y < sb.Y1; y++ {
+			srcOff := (y-b.Box.Y0)*b.Box.Width() + (sb.X0 - b.Box.X0)
+			dstOff := (y - sb.Y0) * sb.Width()
+			copy(out.Data[k][dstOff:dstOff+sb.Width()], b.Data[k][srcOff:srcOff+sb.Width()])
+		}
+	}
+	return out, nil
+}
+
+// taper returns the Gaspari–Cohn weight of an observation centred at
+// (ox, oy) for the analysis point (x, y), normalized so the weight reaches
+// zero at the local box edge. With TaperLength == 0 every in-box
+// observation has weight 1 (pure cut-off localization).
+func (c Config) taper(x, y int, ox, oy float64) float64 {
+	if c.TaperLength <= 0 {
+		return 1
+	}
+	dx := (ox - float64(x)) / (float64(c.Radius.Xi) + 1)
+	dy := (oy - float64(y)) / (float64(c.Radius.Eta) + 1)
+	z := 2 * math.Sqrt(dx*dx+dy*dy) / c.TaperLength
+	return linalg.GaspariCohn(z)
+}
+
+// weightedIdx is one support point of an observation expressed in local-box
+// row indices.
+type weightedIdx struct {
+	idx int
+	w   float64
+}
+
+// localProblem gathers the pieces of Eq. (6) for one analysis point: the
+// local ensemble matrix Xl (points × N), the in-box observations (each as a
+// weighted combination of local rows — selection or bilinear H), their
+// effective variances, and the perturbed innovations D = Yˢ − H·Xb.
+type localProblem struct {
+	lb       grid.Box
+	center   int // row index of the analysis point within the local box
+	xl       *linalg.Matrix
+	supports [][]weightedIdx // per observation: local rows and H weights
+	effVar   []float64       // effective R diagonal after tapering
+	values   []float64       // raw observed values y (used by the ETKF)
+	innov    *linalg.Matrix
+	members  int
+}
+
+// hRow evaluates (H·Xl)_{obs i, member k} from the support weights.
+func (p *localProblem) hRow(i, k int) float64 {
+	var v float64
+	for _, s := range p.supports[i] {
+		v += s.w * p.xl.At(s.idx, k)
+	}
+	return v
+}
+
+// buildLocal assembles the local problem for grid point (x, y) using the
+// ensemble data in blk and the observations candidates (already restricted
+// to some superset box, e.g. the expansion).
+func (c Config) buildLocal(blk *Block, candidates []obs.Observation, x, y int) (*localProblem, error) {
+	lb := c.Radius.LocalBox(c.Mesh, x, y)
+	if lb.Intersect(blk.Box) != lb {
+		return nil, fmt.Errorf("enkf: local box %v of point (%d,%d) not contained in block %v", lb, x, y, blk.Box)
+	}
+	n := blk.Members()
+	if n != c.N {
+		return nil, fmt.Errorf("enkf: block has %d members, config says %d", n, c.N)
+	}
+	nb := lb.Points()
+	xl := linalg.NewMatrix(nb, n)
+	for yy := lb.Y0; yy < lb.Y1; yy++ {
+		for xx := lb.X0; xx < lb.X1; xx++ {
+			r := (yy-lb.Y0)*lb.Width() + (xx - lb.X0)
+			row := xl.Row(r)
+			for k := 0; k < n; k++ {
+				row[k] = blk.At(k, xx, yy)
+			}
+		}
+	}
+	if c.Inflation > 0 && c.Inflation != 1 {
+		// Multiplicative inflation: x ← mean + λ(x − mean), row by row.
+		for r := 0; r < nb; r++ {
+			row := xl.Row(r)
+			var mean float64
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float64(n)
+			for k := range row {
+				row[k] = mean + c.Inflation*(row[k]-mean)
+			}
+		}
+	}
+	p := &localProblem{
+		lb:      lb,
+		center:  (y-lb.Y0)*lb.Width() + (x - lb.X0),
+		xl:      xl,
+		members: n,
+	}
+	var used []obs.Observation
+	for _, o := range candidates {
+		if !obs.ObsInBox(o, lb) {
+			continue
+		}
+		w := c.taper(x, y, float64(o.X)+o.OffsetX, float64(o.Y)+o.OffsetY)
+		if w < 1e-10 {
+			continue
+		}
+		var sup []weightedIdx
+		for _, s := range o.Support() {
+			sup = append(sup, weightedIdx{idx: (s.Y-lb.Y0)*lb.Width() + (s.X - lb.X0), w: s.W})
+		}
+		p.supports = append(p.supports, sup)
+		p.effVar = append(p.effVar, o.Variance/w)
+		p.values = append(p.values, o.Value)
+		used = append(used, o)
+	}
+	m := len(p.supports)
+	p.innov = linalg.NewMatrix(m, n)
+	if c.Solver != SolverETKF {
+		// The deterministic transform uses no observation perturbations;
+		// the other solvers need the full Yˢ − H·Xᵇ innovation matrix.
+		for mi, o := range used {
+			row := p.innov.Row(mi)
+			ys := obs.CenteredPerturbations(o, n, c.Seed)
+			for k := 0; k < n; k++ {
+				row[k] = ys[k] - p.hRow(mi, k)
+			}
+		}
+	}
+	return p, nil
+}
+
+// AnalyzePoint computes the analysis ensemble (length N) at grid point
+// (x, y). blk must contain the local box of (x, y); candidates must contain
+// at least every observation inside that local box.
+func (c Config) AnalyzePoint(blk *Block, candidates []obs.Observation, x, y int) ([]float64, error) {
+	p, err := c.buildLocal(blk, candidates, x, y)
+	if err != nil {
+		return nil, err
+	}
+	bg := make([]float64, p.members)
+	copy(bg, p.xl.Row(p.center))
+	if len(p.supports) == 0 {
+		// No observations in reach: the analysis equals the background.
+		return bg, nil
+	}
+	switch c.Solver {
+	case SolverEnsembleSpace:
+		return c.solveEnsembleSpace(p, bg)
+	case SolverModifiedCholesky:
+		return c.solveModifiedCholesky(p, bg)
+	case SolverETKF:
+		return c.solveETKF(p, bg)
+	default:
+		return nil, fmt.Errorf("enkf: unknown solver %d", c.Solver)
+	}
+}
+
+// solveEnsembleSpace computes δxa at the centre point via
+// δXa = U·Vᵀ·(V·Vᵀ/(N−1) + R)⁻¹·D/(N−1).
+func (c Config) solveEnsembleSpace(p *localProblem, bg []float64) ([]float64, error) {
+	n := p.members
+	denom := float64(n - 1)
+	// U = Xl − mean; we only need the centre row of U and V = H·U.
+	u := p.xl.Clone()
+	linalg.CenterRows(u)
+	m := len(p.supports)
+	v := linalg.NewMatrix(m, n)
+	for i, sup := range p.supports {
+		row := v.Row(i)
+		for _, s := range sup {
+			urow := u.Row(s.idx)
+			for k := 0; k < n; k++ {
+				row[k] += s.w * urow[k]
+			}
+		}
+	}
+	// A = V·Vᵀ/(N−1) + R
+	a := linalg.AAT(v).Scale(1 / denom)
+	if err := a.AddDiagonal(p.effVar); err != nil {
+		return nil, err
+	}
+	l, err := linalg.Cholesky(a)
+	if err != nil {
+		return nil, fmt.Errorf("enkf: innovation covariance not SPD: %w", err)
+	}
+	// W = A⁻¹·D (m × N)
+	w, err := linalg.CholSolveMatrix(l, p.innov)
+	if err != nil {
+		return nil, err
+	}
+	// δxa_centre = u_centre · (Vᵀ·W) / (N−1). Compute t = Vᵀ·W once
+	// restricted to what we need: g[k2] = Σ_k u_c[k]·(VᵀW)[k][k2]
+	//  = Σ_i (Σ_k u_c[k]·V[i][k]) · W[i][k2].
+	uc := u.Row(p.center)
+	out := make([]float64, n)
+	copy(out, bg)
+	for i := 0; i < m; i++ {
+		s := linalg.Dot(uc, v.Row(i)) / denom
+		wrow := w.Row(i)
+		for k2 := 0; k2 < n; k2++ {
+			out[k2] += s * wrow[k2]
+		}
+	}
+	return out, nil
+}
+
+// solveModifiedCholesky computes Eq. (5) on the local box:
+// δX = (B̂⁻¹ + HᵀR⁻¹H)⁻¹ · HᵀR⁻¹ · D, taking the centre row.
+func (c Config) solveModifiedCholesky(p *localProblem, bg []float64) ([]float64, error) {
+	n := p.members
+	nb := p.xl.Rows
+	u := p.xl.Clone()
+	linalg.CenterRows(u)
+	band := c.Band
+	if band == 0 {
+		// Default to coupling within one local-box row.
+		band = 2*c.Radius.Xi + 1
+	}
+	if band >= nb {
+		band = nb - 1
+	}
+	ridge := c.Ridge
+	if ridge == 0 {
+		ridge = 1e-6
+	}
+	m2, err := linalg.ModifiedCholeskyPrecision(u, band, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("enkf: modified Cholesky estimate: %w", err)
+	}
+	// M = B̂⁻¹ + HᵀR⁻¹H: each observation contributes its weight outer
+	// product w·wᵀ/R over its support rows.
+	for i, sup := range p.supports {
+		inv := 1 / p.effVar[i]
+		for _, a := range sup {
+			for _, b := range sup {
+				m2.Data[a.idx*nb+b.idx] += a.w * b.w * inv
+			}
+		}
+	}
+	// C = HᵀR⁻¹·D (nb × N).
+	cm := linalg.NewMatrix(nb, n)
+	for i, sup := range p.supports {
+		drow := p.innov.Row(i)
+		inv := 1 / p.effVar[i]
+		for _, a := range sup {
+			crow := cm.Row(a.idx)
+			for k := 0; k < n; k++ {
+				crow[k] += a.w * inv * drow[k]
+			}
+		}
+	}
+	l, err := linalg.Cholesky(m2)
+	if err != nil {
+		return nil, fmt.Errorf("enkf: analysis matrix not SPD: %w", err)
+	}
+	dx, err := linalg.CholSolveMatrix(l, cm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	centre := dx.Row(p.center)
+	for k := 0; k < n; k++ {
+		out[k] = bg[k] + centre[k]
+	}
+	return out, nil
+}
+
+// AnalyzeBox runs the per-point analysis over every point of target, using
+// ensemble data in blk (which must contain the expansion of target) and the
+// given observation candidates. The result is a block over target.
+func (c Config) AnalyzeBox(blk *Block, candidates []obs.Observation, target grid.Box) (*Block, error) {
+	out := NewBlock(target, c.N)
+	for y := target.Y0; y < target.Y1; y++ {
+		for x := target.X0; x < target.X1; x++ {
+			xa, err := c.AnalyzePoint(blk, candidates, x, y)
+			if err != nil {
+				return nil, fmt.Errorf("enkf: point (%d,%d): %w", x, y, err)
+			}
+			for k := 0; k < c.N; k++ {
+				out.Set(k, x, y, xa[k])
+			}
+		}
+	}
+	return out, nil
+}
+
+// SerialReference computes the full-grid analysis point by point: the
+// ground truth every parallel implementation is checked against.
+// background holds N row-major full fields.
+func SerialReference(c Config, background [][]float64, net *obs.Network) ([][]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(background) != c.N {
+		return nil, fmt.Errorf("enkf: %d background members, config says %d", len(background), c.N)
+	}
+	full := grid.Box{X0: 0, X1: c.Mesh.NX, Y0: 0, Y1: c.Mesh.NY}
+	blk := &Block{Box: full, Data: background}
+	for k, f := range background {
+		if len(f) != c.Mesh.Points() {
+			return nil, fmt.Errorf("enkf: member %d has %d points, mesh has %d", k, len(f), c.Mesh.Points())
+		}
+	}
+	out, err := c.AnalyzeBox(blk, net.Obs, full)
+	if err != nil {
+		return nil, err
+	}
+	return out.Data, nil
+}
+
+// GlobalAnalysis computes the unlocalized perturbed-observation analysis
+// (Eq. 3) directly: Xa = Xb + U·Vᵀ·(V·Vᵀ/(N−1) + R)⁻¹·(Yˢ − H·Xb)/(N−1)
+// over the whole mesh at once. Exponential in neither n nor m but dense, so
+// only suitable for small meshes; used to validate the localized path.
+func GlobalAnalysis(c Config, background [][]float64, net *obs.Network) ([][]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.Mesh.Points()
+	nEns := c.N
+	xb := linalg.NewMatrix(n, nEns)
+	for k, f := range background {
+		if len(f) != n {
+			return nil, fmt.Errorf("enkf: member %d has %d points, mesh has %d", k, len(f), n)
+		}
+		for i := 0; i < n; i++ {
+			xb.Set(i, k, f[i])
+		}
+	}
+	u := xb.Clone()
+	linalg.CenterRows(u)
+	m := net.Len()
+	v := linalg.NewMatrix(m, nEns)
+	innov := linalg.NewMatrix(m, nEns)
+	effVar := make([]float64, m)
+	for i, o := range net.Obs {
+		vrow := v.Row(i)
+		effVar[i] = o.Variance
+		row := innov.Row(i)
+		ys := obs.CenteredPerturbations(o, nEns, c.Seed)
+		copy(row, ys)
+		for _, s := range o.Support() {
+			idx := c.Mesh.Index(s.X, s.Y)
+			for k := 0; k < nEns; k++ {
+				vrow[k] += s.W * u.At(idx, k)
+				row[k] -= s.W * xb.At(idx, k)
+			}
+		}
+	}
+	denom := float64(nEns - 1)
+	a := linalg.AAT(v).Scale(1 / denom)
+	if err := a.AddDiagonal(effVar); err != nil {
+		return nil, err
+	}
+	l, err := linalg.Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	w, err := linalg.CholSolveMatrix(l, innov)
+	if err != nil {
+		return nil, err
+	}
+	// δXa = U·(Vᵀ·W)/(N−1)
+	vtw, err := linalg.MatMul(v.T(), w)
+	if err != nil {
+		return nil, err
+	}
+	dxa, err := linalg.MatMul(u, vtw)
+	if err != nil {
+		return nil, err
+	}
+	dxa.Scale(1 / denom)
+	out := make([][]float64, nEns)
+	for k := 0; k < nEns; k++ {
+		out[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[k][i] = xb.At(i, k) + dxa.At(i, k)
+		}
+	}
+	return out, nil
+}
+
+// Assemble merges analysis blocks over disjoint boxes into n full
+// row-major fields over the mesh. Every mesh point must be covered exactly
+// once.
+func Assemble(m grid.Mesh, n int, blocks []*Block) ([][]float64, error) {
+	out := make([][]float64, n)
+	for k := range out {
+		out[k] = make([]float64, m.Points())
+	}
+	covered := make([]bool, m.Points())
+	for _, b := range blocks {
+		if b.Members() != n {
+			return nil, fmt.Errorf("enkf: block over %v has %d members, want %d", b.Box, b.Members(), n)
+		}
+		for y := b.Box.Y0; y < b.Box.Y1; y++ {
+			for x := b.Box.X0; x < b.Box.X1; x++ {
+				idx := m.Index(x, y)
+				if covered[idx] {
+					return nil, fmt.Errorf("enkf: point (%d,%d) covered twice", x, y)
+				}
+				covered[idx] = true
+				for k := 0; k < n; k++ {
+					out[k][idx] = b.At(k, x, y)
+				}
+			}
+		}
+	}
+	for idx, c := range covered {
+		if !c {
+			x, y := m.Coords(idx)
+			return nil, fmt.Errorf("enkf: point (%d,%d) not covered", x, y)
+		}
+	}
+	return out, nil
+}
+
+// EnsembleMean returns the point-wise mean field of an ensemble of
+// row-major fields.
+func EnsembleMean(fields [][]float64) []float64 {
+	if len(fields) == 0 {
+		return nil
+	}
+	out := make([]float64, len(fields[0]))
+	for _, f := range fields {
+		for i, v := range f {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(fields))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// RMSE returns the root-mean-square error between a field and the truth.
+func RMSE(field, truth []float64) float64 {
+	if len(field) != len(truth) || len(field) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range field {
+		d := field[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(field)))
+}
+
+// MaxAbsDiffFields returns the largest |a−b| across two ensembles of
+// fields; used by integration tests comparing implementations.
+func MaxAbsDiffFields(a, b [][]float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			return math.Inf(1)
+		}
+		for i := range a[k] {
+			d := math.Abs(a[k][i] - b[k][i])
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}

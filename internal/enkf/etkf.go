@@ -1,0 +1,116 @@
+package enkf
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/linalg"
+)
+
+// solveETKF computes the deterministic ensemble transform analysis at the
+// centre point — the LETKF family of the paper's ref [25] (Ott et al.), a
+// widely used alternative to the perturbed-observation update:
+//
+//	Ã   = (N−1)·I + Vᵀ·R⁻¹·V            (ensemble-space analysis precision)
+//	w̄   = Ã⁻¹·Vᵀ·R⁻¹·(y − H·x̄ᵇ)          (mean weight vector)
+//	W   = ((N−1)·Ã⁻¹)^{1/2}              (symmetric square root transform)
+//	xᵃ_k = x̄ᵇ + u·w̄ + u·W_{·,k}
+//
+// with V = H·U the observation-space deviations. No observation
+// perturbations are used, so the analysis is deterministic given the
+// background and the observations; the symmetric square root preserves the
+// zero-sum of deviations (1 is an eigenvector of Ã because V·1 = 0).
+func (c Config) solveETKF(p *localProblem, bg []float64) ([]float64, error) {
+	n := p.members
+	denom := float64(n - 1)
+	u := p.xl.Clone()
+	linalg.CenterRows(u)
+	m := len(p.supports)
+
+	// V = H·U and the mean innovation d = y − H·x̄ᵇ, computed from the raw
+	// observed values: the ETKF uses no observation perturbations.
+	v := linalg.NewMatrix(m, n)
+	d := make([]float64, m)
+	for i, sup := range p.supports {
+		row := v.Row(i)
+		for _, s := range sup {
+			urow := u.Row(s.idx)
+			for k := 0; k < n; k++ {
+				row[k] += s.w * urow[k]
+			}
+		}
+		var hxbMean float64
+		for k := 0; k < n; k++ {
+			hxbMean += p.hRow(i, k)
+		}
+		d[i] = p.values[i] - hxbMean/float64(n)
+	}
+
+	// Ã = (N−1)I + Vᵀ R⁻¹ V.
+	at := linalg.NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		at.Set(k, k, denom)
+	}
+	for i := 0; i < m; i++ {
+		inv := 1 / p.effVar[i]
+		row := v.Row(i)
+		for a := 0; a < n; a++ {
+			va := inv * row[a]
+			if va == 0 {
+				continue
+			}
+			arow := at.Row(a)
+			for b := a; b < n; b++ {
+				arow[b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < a; b++ {
+			at.Set(a, b, at.At(b, a))
+		}
+	}
+
+	// rhs = Vᵀ R⁻¹ d; w̄ = Ã⁻¹ rhs (Cholesky — Ã is SPD by construction).
+	rhs := make([]float64, n)
+	for i := 0; i < m; i++ {
+		s := d[i] / p.effVar[i]
+		row := v.Row(i)
+		for k := 0; k < n; k++ {
+			rhs[k] += s * row[k]
+		}
+	}
+	wbar, err := linalg.Solve(at, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("enkf: ETKF ensemble-space system: %w", err)
+	}
+
+	// W = ((N−1)·Ã⁻¹)^{1/2} via the eigendecomposition of Ã.
+	w, err := linalg.SymmetricFunc(at, func(lambda float64) (float64, error) {
+		if lambda <= 0 {
+			return 0, fmt.Errorf("non-positive eigenvalue %g", lambda)
+		}
+		return math.Sqrt(denom / lambda), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("enkf: ETKF transform: %w", err)
+	}
+
+	// xᵃ_k = x̄ᵇ + u_c·w̄ + u_c·W_{·,k} at the centre point.
+	uc := u.Row(p.center)
+	var xbar float64
+	for k := 0; k < n; k++ {
+		xbar += p.xl.At(p.center, k)
+	}
+	xbar /= float64(n)
+	meanInc := linalg.Dot(uc, wbar)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var dev float64
+		for j := 0; j < n; j++ {
+			dev += uc[j] * w.At(j, k)
+		}
+		out[k] = xbar + meanInc + dev
+	}
+	return out, nil
+}

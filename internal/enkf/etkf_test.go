@@ -1,0 +1,206 @@
+package enkf
+
+import (
+	"math"
+	"testing"
+
+	"senkf/internal/grid"
+	"senkf/internal/obs"
+	"senkf/internal/workload"
+)
+
+func TestETKFReducesRMSE(t *testing.T) {
+	cfg, bg, net, truth := smallProblem(t, SolverETKF)
+	xa, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RMSE(EnsembleMean(bg), truth)
+	after := RMSE(EnsembleMean(xa), truth)
+	if !(after < before) {
+		t.Errorf("ETKF did not reduce RMSE: %g -> %g", before, after)
+	}
+	t.Logf("ETKF RMSE %g -> %g", before, after)
+}
+
+func TestETKFMeanMatchesPerturbedObsMean(t *testing.T) {
+	// With centred observation perturbations, the perturbed-observation
+	// analysis mean equals the deterministic (ETKF) analysis mean exactly:
+	// both are x̄ᵇ + K·(y − H·x̄ᵇ) with the same sample-covariance gain.
+	cfg, bg, net, _ := smallProblem(t, SolverEnsembleSpace)
+	perturbed, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Solver = SolverETKF
+	etkf, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := EnsembleMean(perturbed)
+	em := EnsembleMean(etkf)
+	for i := range pm {
+		if math.Abs(pm[i]-em[i]) > 1e-9 {
+			t.Fatalf("means differ at %d: perturbed %g vs ETKF %g", i, pm[i], em[i])
+		}
+	}
+}
+
+func TestETKFDeviationsSumToZero(t *testing.T) {
+	// The symmetric square root transform preserves the zero-sum of
+	// ensemble deviations: the analysis mean is the average of members.
+	cfg, bg, net, _ := smallProblem(t, SolverETKF)
+	full := grid.Box{X0: 0, X1: cfg.Mesh.NX, Y0: 0, Y1: cfg.Mesh.NY}
+	blk := &Block{Box: full, Data: bg}
+	xa, err := cfg.AnalyzePoint(blk, net.Obs, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range xa {
+		mean += v
+	}
+	mean /= float64(len(xa))
+	var devSum float64
+	for _, v := range xa {
+		devSum += v - mean
+	}
+	if math.Abs(devSum) > 1e-9 {
+		t.Errorf("analysis deviations sum to %g", devSum)
+	}
+}
+
+func TestETKFShrinksSpreadAtObservedPoints(t *testing.T) {
+	// Assimilation reduces ensemble variance where observations act.
+	cfg, bg, net, _ := smallProblem(t, SolverETKF)
+	full := grid.Box{X0: 0, X1: cfg.Mesh.NX, Y0: 0, Y1: cfg.Mesh.NY}
+	blk := &Block{Box: full, Data: bg}
+	variance := func(vals []float64) float64 {
+		var m float64
+		for _, v := range vals {
+			m += v
+		}
+		m /= float64(len(vals))
+		var s float64
+		for _, v := range vals {
+			s += (v - m) * (v - m)
+		}
+		return s / float64(len(vals)-1)
+	}
+	o := net.Obs[len(net.Obs)/2]
+	bgVals := make([]float64, cfg.N)
+	for k := 0; k < cfg.N; k++ {
+		bgVals[k] = blk.At(k, o.X, o.Y)
+	}
+	xa, err := cfg.AnalyzePoint(blk, net.Obs, o.X, o.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(variance(xa) < variance(bgVals)) {
+		t.Errorf("ETKF did not shrink variance at observed point: %g -> %g",
+			variance(bgVals), variance(xa))
+	}
+}
+
+func TestETKFDeterministicNoPerturbationSeedDependence(t *testing.T) {
+	// The ETKF uses no observation perturbations, so two different
+	// perturbation seeds give the identical analysis (unlike the
+	// perturbed-observation solvers).
+	cfg, bg, net, _ := smallProblem(t, SolverETKF)
+	a, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = cfg.Seed + 999
+	b, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiffFields(a, b); d != 0 {
+		t.Errorf("ETKF depends on the perturbation seed (diff %g)", d)
+	}
+	// Sanity: the perturbed-observation solver DOES depend on the seed.
+	cfg.Solver = SolverEnsembleSpace
+	c1, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = cfg.Seed + 999
+	c2, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiffFields(c1, c2); d == 0 {
+		t.Error("perturbed-observation analysis unexpectedly seed-independent")
+	}
+}
+
+func TestETKFExpansionEquivalence(t *testing.T) {
+	cfg, bg, net, _ := smallProblem(t, SolverETKF)
+	dec, err := grid.NewDecomposition(cfg.Mesh, 4, 2, cfg.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := grid.Box{X0: 0, X1: cfg.Mesh.NX, Y0: 0, Y1: cfg.Mesh.NY}
+	fullBlk := &Block{Box: full, Data: bg}
+	sd := dec.SubDomain(2, 1)
+	exp := dec.Expansion(2, 1)
+	expBlk, err := fullBlk.SubBlock(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromExp, err := cfg.AnalyzeBox(expBlk, net.InBox(exp), sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFull, err := cfg.AnalyzeBox(fullBlk, net.Obs, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < cfg.N; k++ {
+		for i := range fromExp.Data[k] {
+			if fromExp.Data[k][i] != fromFull.Data[k][i] {
+				t.Fatal("ETKF expansion analysis differs from full-field analysis")
+			}
+		}
+	}
+}
+
+func TestETKFWithOffGridObservations(t *testing.T) {
+	p := workload.TestScale
+	m, _ := grid.NewMesh(p.NX, p.NY)
+	truth := workload.Truth(m, workload.DefaultFieldSpec, p.Seed)
+	bg, err := workload.Ensemble(m, truth, p.Members, p.Spread, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := obs.RandomOffGridNetwork(m, truth, 70, 0.01, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mesh: m, Radius: p.Radius(), N: p.Members, Seed: p.Seed, Solver: SolverETKF}
+	xa, err := SerialReference(cfg, bg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RMSE(EnsembleMean(bg), truth)
+	after := RMSE(EnsembleMean(xa), truth)
+	if !(after < before) {
+		t.Errorf("ETKF with off-grid obs did not reduce RMSE: %g -> %g", before, after)
+	}
+}
+
+func TestETKFNoObservationsKeepsBackground(t *testing.T) {
+	cfg, bg, _, _ := smallProblem(t, SolverETKF)
+	full := grid.Box{X0: 0, X1: cfg.Mesh.NX, Y0: 0, Y1: cfg.Mesh.NY}
+	blk := &Block{Box: full, Data: bg}
+	xa, err := cfg.AnalyzePoint(blk, nil, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range xa {
+		if xa[k] != bg[k][cfg.Mesh.Index(3, 3)] {
+			t.Fatal("ETKF changed the background without observations")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package ensio implements the on-disk format of background ensemble
+// members and the two access patterns the paper contrasts in §4.1:
+//
+//   - block reading (Figure 3): a processor reads its sub-domain rectangle
+//     out of every member file; the rectangle is strided across latitude
+//     rows, so it costs one disk-addressing operation per row — the
+//     O(n_y × n_sdx) addressing blow-up of §4.1.1;
+//   - bar reading (Figure 6): an I/O processor reads a contiguous range of
+//     full latitude rows ("bar") with a single addressing operation.
+//
+// A member file is a small fixed header followed by the n_y × n_x field in
+// row-major float64 little-endian order, exactly the "row priority" layout
+// the paper assumes. Readers count addressing operations (seeks) and bytes
+// so tests and benches can verify the seek asymmetry on real files.
+package ensio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"senkf/internal/grid"
+)
+
+// Magic identifies a member file.
+const Magic = "SENK"
+
+// Version is the current format version.
+const Version = 1
+
+// headerSize is the byte length of the fixed header:
+// magic(4) + version(4) + nx(4) + ny(4) + member(4) + levels(4).
+const headerSize = 24
+
+// Header describes a member file.
+type Header struct {
+	NX, NY int
+	Member int // member index k (0-based)
+	// Levels is the number of vertical levels interleaved per grid point;
+	// 0 is treated as 1 (see LevelCount).
+	Levels int
+}
+
+// IOStats accumulates access accounting for one open file.
+type IOStats struct {
+	Seeks     int   // disk addressing operations (one per contiguous request)
+	BytesRead int64 // payload bytes read
+	Reads     int   // read requests issued
+}
+
+// MemberPath returns the canonical file name of member k inside dir.
+func MemberPath(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("member_%04d.senk", k))
+}
+
+// WriteMember writes one background ensemble member to path.
+func WriteMember(path string, h Header, field []float64) error {
+	if h.NX <= 0 || h.NY <= 0 {
+		return fmt.Errorf("ensio: invalid dimensions %dx%d", h.NX, h.NY)
+	}
+	if len(field) != h.NX*h.NY {
+		return fmt.Errorf("ensio: field has %d points, header says %d", len(field), h.NX*h.NY)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ensio: create: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(h.NX))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(h.NY))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(h.Member))
+	binary.LittleEndian.PutUint32(hdr[20:24], 1)
+	if _, err := f.Write(hdr); err != nil {
+		return fmt.Errorf("ensio: write header: %w", err)
+	}
+	buf := make([]byte, 8*h.NX)
+	for y := 0; y < h.NY; y++ {
+		row := field[y*h.NX : (y+1)*h.NX]
+		for i, v := range row {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := f.Write(buf); err != nil {
+			return fmt.Errorf("ensio: write row %d: %w", y, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("ensio: sync: %w", err)
+	}
+	return nil
+}
+
+// WriteEnsemble writes all members of an ensemble into dir using the
+// canonical member file names and returns the paths.
+func WriteEnsemble(dir string, m grid.Mesh, fields [][]float64) ([]string, error) {
+	paths := make([]string, len(fields))
+	for k, f := range fields {
+		p := MemberPath(dir, k)
+		if err := WriteMember(p, Header{NX: m.NX, NY: m.NY, Member: k}, f); err != nil {
+			return nil, fmt.Errorf("ensio: member %d: %w", k, err)
+		}
+		paths[k] = p
+	}
+	return paths, nil
+}
+
+// MemberFile is an open member file with access accounting.
+type MemberFile struct {
+	Header Header
+	f      *os.File
+	stats  IOStats
+}
+
+// OpenMember opens and validates a member file.
+func OpenMember(path string) (*MemberFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ensio: open: %w", err)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ensio: read header: %w", err)
+	}
+	if string(hdr[0:4]) != Magic {
+		f.Close()
+		return nil, fmt.Errorf("ensio: bad magic %q in %s", hdr[0:4], path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		f.Close()
+		return nil, fmt.Errorf("ensio: unsupported version %d in %s", v, path)
+	}
+	h := Header{
+		NX:     int(binary.LittleEndian.Uint32(hdr[8:12])),
+		NY:     int(binary.LittleEndian.Uint32(hdr[12:16])),
+		Member: int(binary.LittleEndian.Uint32(hdr[16:20])),
+		Levels: int(binary.LittleEndian.Uint32(hdr[20:24])),
+	}
+	if h.NX <= 0 || h.NY <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("ensio: invalid dimensions %dx%d in %s", h.NX, h.NY, path)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ensio: stat: %w", err)
+	}
+	if want := int64(headerSize) + int64(8*h.NX*h.NY*h.LevelCount()); fi.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("ensio: %s has %d bytes, want %d", path, fi.Size(), want)
+	}
+	return &MemberFile{Header: h, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (m *MemberFile) Close() error { return m.f.Close() }
+
+// Stats returns the accumulated access accounting.
+func (m *MemberFile) Stats() IOStats { return m.stats }
+
+// readContiguous reads count float64 values starting at value offset off
+// with a single addressing operation.
+func (m *MemberFile) readContiguous(off, count int, dst []float64) error {
+	buf := make([]byte, 8*count)
+	if _, err := m.f.ReadAt(buf, int64(headerSize)+int64(8*off)); err != nil {
+		return fmt.Errorf("ensio: read at %d: %w", off, err)
+	}
+	for i := 0; i < count; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	m.stats.Seeks++
+	m.stats.Reads++
+	m.stats.BytesRead += int64(8 * count)
+	return nil
+}
+
+// ReadBar reads the contiguous latitude rows [y0, y1) — the bar reading
+// approach: exactly one addressing operation regardless of the bar height.
+func (m *MemberFile) ReadBar(y0, y1 int) ([]float64, error) {
+	if m.Header.LevelCount() != 1 {
+		return nil, fmt.Errorf("ensio: %d-level file needs ReadBarLevels", m.Header.LevelCount())
+	}
+	if y0 < 0 || y1 > m.Header.NY || y0 >= y1 {
+		return nil, fmt.Errorf("ensio: bar rows [%d,%d) out of range [0,%d)", y0, y1, m.Header.NY)
+	}
+	out := make([]float64, (y1-y0)*m.Header.NX)
+	if err := m.readContiguous(y0*m.Header.NX, len(out), out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadBlock reads the rectangle b — the block reading approach: one
+// addressing operation per latitude row of the block, because the rows of a
+// rectangle that is narrower than the mesh are not adjacent on disk.
+func (m *MemberFile) ReadBlock(b grid.Box) ([]float64, error) {
+	if m.Header.LevelCount() != 1 {
+		return nil, fmt.Errorf("ensio: %d-level file needs ReadBlockLevels", m.Header.LevelCount())
+	}
+	mesh := grid.Mesh{NX: m.Header.NX, NY: m.Header.NY}
+	if b.Clamp(mesh) != b || b.Empty() {
+		return nil, fmt.Errorf("ensio: block %v out of range for %dx%d", b, mesh.NX, mesh.NY)
+	}
+	out := make([]float64, b.Points())
+	if b.Width() == mesh.NX {
+		// Full-width blocks are bars: contiguous, single seek.
+		if err := m.readContiguous(b.Y0*mesh.NX, len(out), out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for y := b.Y0; y < b.Y1; y++ {
+		row := out[(y-b.Y0)*b.Width() : (y-b.Y0+1)*b.Width()]
+		if err := m.readContiguous(y*mesh.NX+b.X0, b.Width(), row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadAll reads the entire field with one addressing operation.
+func (m *MemberFile) ReadAll() ([]float64, error) {
+	return m.ReadBar(0, m.Header.NY)
+}

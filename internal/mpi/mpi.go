@@ -1,0 +1,449 @@
+// Package mpi is a message-passing runtime built on goroutines and
+// channels-free mailbox matching, standing in for the MPI library the paper
+// runs on (MPICH 3.1 over TH Express-2). It provides exactly the semantics
+// the EnKF implementations need: a world of ranks executing the same
+// function, matched point-to-point Send/Recv with source and tag selection
+// (including wildcards), the collectives used by L-EnKF (Bcast, Scatter,
+// Gather, Barrier, Allreduce), and communicator splitting.
+//
+// The runtime is a real concurrent substrate, not a simulation: sends and
+// receives block and interleave exactly as goroutine scheduling dictates, so
+// the overlap behaviour of S-EnKF's helper thread is exercised for real.
+// (Large-scale *timing* is the job of internal/sim; this package is about
+// correct parallel execution.)
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any (non-internal) tag in Recv.
+const AnyTag = -1
+
+// Message is a received message. Meta carries small integer metadata
+// (box coordinates, member indices, stage numbers); Data carries the
+// payload.
+type Message struct {
+	Src  int
+	Tag  int
+	Meta []int
+	Data []float64
+}
+
+type envelope struct {
+	context int
+	Message
+}
+
+// ErrAborted is returned by blocked receives when another rank of the
+// world failed: the runtime poisons all pending operations so a single
+// failure cannot deadlock the whole world (MPI_Abort semantics).
+var ErrAborted = errors.New("mpi: world aborted because another rank failed")
+
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	msgs    []envelope
+	aborted bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(e envelope) {
+	ib.mu.Lock()
+	ib.msgs = append(ib.msgs, e)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) abort() {
+	ib.mu.Lock()
+	ib.aborted = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (context, src, tag),
+// blocking until one arrives or the world aborts.
+func (ib *inbox) take(context, src, tag int) (Message, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i, e := range ib.msgs {
+			if e.context != context {
+				continue
+			}
+			if src != AnySource && e.Src != src {
+				continue
+			}
+			if tag != AnyTag && e.Tag != tag {
+				continue
+			}
+			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+			return e.Message, nil
+		}
+		if ib.aborted {
+			return Message{}, ErrAborted
+		}
+		ib.cond.Wait()
+	}
+}
+
+// World is a set of ranks that can exchange messages.
+type World struct {
+	size    int
+	inboxes []*inbox
+
+	mu          sync.Mutex
+	nextContext int
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	w := &World{size: n, inboxes: make([]*inbox, n), nextContext: 1}
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// allocContext hands out a fresh context id. Contexts separate the message
+// namespaces of communicators; Split relies on every member calling it in
+// the same collective order, as MPI does.
+func (w *World) allocContext() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.nextContext
+	w.nextContext++
+	return c
+}
+
+// abortAll poisons every inbox so blocked receives fail fast instead of
+// deadlocking after a rank error.
+func (w *World) abortAll() {
+	for _, ib := range w.inboxes {
+		ib.abort()
+	}
+}
+
+// Run executes fn on every rank concurrently and waits for all of them.
+// Each rank receives a Comm bound to the world communicator. The returned
+// error joins the per-rank errors (nil when every rank succeeded).
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.abortAll()
+				}
+			}()
+			c := &Comm{world: w, context: 0, rank: rank, group: identityGroup(w.size)}
+			errs[rank] = fn(c)
+			if errs[rank] != nil {
+				w.abortAll()
+			}
+		}(r)
+	}
+	wg.Wait()
+	var nonNil []error
+	for r, e := range errs {
+		if e != nil {
+			nonNil = append(nonNil, fmt.Errorf("rank %d: %w", r, e))
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// Comm is a communicator: a rank's endpoint within a group of ranks
+// sharing a message context.
+type Comm struct {
+	world   *World
+	context int
+	rank    int   // rank within this communicator
+	group   []int // communicator rank -> world rank
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Send delivers a message to rank dst of this communicator. Meta and Data
+// are copied, so the caller may immediately reuse its buffers. Tags must be
+// non-negative.
+func (c *Comm) Send(dst, tag int, meta []int, data []float64) error {
+	if dst < 0 || dst >= len(c.group) {
+		return fmt.Errorf("mpi: send to rank %d out of range [0,%d)", dst, len(c.group))
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	c.send(dst, tag, meta, data)
+	return nil
+}
+
+func (c *Comm) send(dst, tag int, meta []int, data []float64) {
+	e := envelope{
+		context: c.context,
+		Message: Message{Src: c.rank, Tag: tag},
+	}
+	if meta != nil {
+		e.Meta = append([]int(nil), meta...)
+	}
+	if data != nil {
+		e.Data = append([]float64(nil), data...)
+	}
+	c.world.inboxes[c.group[dst]].put(e)
+}
+
+// Recv blocks until a message matching (src, tag) arrives. src may be
+// AnySource and tag may be AnyTag.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		return Message{}, fmt.Errorf("mpi: recv from rank %d out of range [0,%d)", src, len(c.group))
+	}
+	if tag != AnyTag && tag < 0 {
+		return Message{}, fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	return c.world.inboxes[c.group[c.rank]].take(c.context, src, tag)
+}
+
+// Collectives use a private tag space carved out of the negative integers so
+// concurrent user traffic (tags ≥ 0) cannot interfere. Like MPI, all ranks
+// of a communicator must call collectives in the same order; messages
+// between a fixed (sender, receiver, tag) pair are delivered FIFO, which
+// makes fixed per-kind tags safe for the tree and star patterns below.
+const (
+	collBcast     = -2
+	collGather    = -3
+	collScatter   = -4
+	collBarrierUp = -5
+	collBarrierDn = -6
+	collReduce    = -7
+)
+
+// Bcast broadcasts data from root to every rank; every rank returns its own
+// copy of the broadcast slice. Implemented as a binary tree rooted at root,
+// matching the log(p) shape of the cost models in §4.3.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= len(c.group) {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	n := len(c.group)
+	vr := (c.rank - root + n) % n // rotate so the root is virtual rank 0
+	if vr != 0 {
+		parentVirtual := (vr - 1) / 2
+		parent := (parentVirtual + root) % n
+		m, err := c.world.inboxes[c.group[c.rank]].take(c.context, parent, collBcast)
+		if err != nil {
+			return nil, err
+		}
+		data = m.Data
+	}
+	for _, childVirtual := range []int{2*vr + 1, 2*vr + 2} {
+		if childVirtual < n {
+			c.send((childVirtual+root)%n, collBcast, nil, data)
+		}
+	}
+	return data, nil
+}
+
+// Gather collects each rank's data at root. Root receives a slice indexed
+// by rank; other ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
+	if root < 0 || root >= len(c.group) {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if c.rank != root {
+		c.send(root, collGather, nil, data)
+		return nil, nil
+	}
+	out := make([][]float64, len(c.group))
+	out[root] = append([]float64(nil), data...)
+	for i := 0; i < len(c.group); i++ {
+		if i == root {
+			continue
+		}
+		m, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.Data
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] from root to rank i; every rank returns its
+// part. Only root may pass a non-nil parts slice, which must have exactly
+// one entry per rank.
+func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
+	if root < 0 || root >= len(c.group) {
+		return nil, fmt.Errorf("mpi: scatter root %d out of range", root)
+	}
+	if c.rank == root {
+		if len(parts) != len(c.group) {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", len(c.group), len(parts))
+		}
+		for i, p := range parts {
+			if i == root {
+				continue
+			}
+			c.send(i, collScatter, nil, p)
+		}
+		return append([]float64(nil), parts[root]...), nil
+	}
+	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, root, collScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() error {
+	if c.rank != 0 {
+		c.send(0, collBarrierUp, nil, nil)
+		_, err := c.world.inboxes[c.group[c.rank]].take(c.context, 0, collBarrierDn)
+		return err
+	}
+	for i := 1; i < len(c.group); i++ {
+		if _, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collBarrierUp); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < len(c.group); i++ {
+		c.send(i, collBarrierDn, nil, nil)
+	}
+	return nil
+}
+
+// AllreduceSum sums element-wise across ranks; every rank returns the total.
+// The input slices must share a length.
+func (c *Comm) AllreduceSum(data []float64) ([]float64, error) {
+	if c.rank != 0 {
+		c.send(0, collReduce, nil, data)
+	} else {
+		sum := append([]float64(nil), data...)
+		for i := 1; i < len(c.group); i++ {
+			m, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collReduce)
+			if err != nil {
+				return nil, err
+			}
+			if len(m.Data) != len(sum) {
+				return nil, fmt.Errorf("mpi: allreduce length mismatch: rank %d sent %d, want %d", i, len(m.Data), len(sum))
+			}
+			for j, v := range m.Data {
+				sum[j] += v
+			}
+		}
+		data = sum
+	}
+	return c.Bcast(0, data)
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank), and returns the caller's new
+// communicator — MPI_Comm_split semantics. A negative color returns nil
+// (the rank opts out) but the rank must still call Split.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Gather (color, key) pairs at rank 0 of this communicator.
+	pair := []float64{float64(color), float64(key)}
+	all, err := c.Gather(0, pair)
+	if err != nil {
+		return nil, err
+	}
+	// Rank 0 assigns one fresh context per distinct non-negative color and
+	// broadcasts the (context, color sorted membership) table.
+	var table []float64 // triples: worldRankIdx, color, context
+	if c.rank == 0 {
+		contexts := map[int]int{}
+		colors := make([]int, 0, len(all))
+		for _, p := range all {
+			col := int(p[0])
+			if col >= 0 {
+				if _, ok := contexts[col]; !ok {
+					colors = append(colors, col)
+				}
+				contexts[col] = 0
+			}
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			contexts[col] = c.world.allocContext()
+		}
+		for r, p := range all {
+			col := int(p[0])
+			ctx := -1
+			if col >= 0 {
+				ctx = contexts[col]
+			}
+			table = append(table, float64(r), p[0], p[1], float64(ctx))
+		}
+	}
+	table, err = c.Bcast(0, table)
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	// Build the member list of my color ordered by (key, old rank).
+	type member struct{ oldRank, key int }
+	var members []member
+	myContext := -1
+	for i := 0; i+3 < len(table); i += 4 {
+		r, col, k, ctx := int(table[i]), int(table[i+1]), int(table[i+2]), int(table[i+3])
+		if col == color {
+			members = append(members, member{oldRank: r, key: k})
+			myContext = ctx
+		}
+	}
+	sort.Slice(members, func(a, b int) bool {
+		if members[a].key != members[b].key {
+			return members[a].key < members[b].key
+		}
+		return members[a].oldRank < members[b].oldRank
+	})
+	group := make([]int, len(members))
+	newRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.oldRank]
+		if m.oldRank == c.rank {
+			newRank = i
+		}
+	}
+	if newRank < 0 || myContext < 0 {
+		return nil, fmt.Errorf("mpi: split bookkeeping failed for rank %d color %d", c.rank, color)
+	}
+	return &Comm{world: c.world, context: myContext, rank: newRank, group: group}, nil
+}

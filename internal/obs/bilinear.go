@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/grid"
+	"senkf/internal/linalg"
+)
+
+// Support is one grid point contributing to an observation with the given
+// interpolation weight. A selection observation (the paper's default) has a
+// single support point of weight 1; an off-grid observation has up to four
+// (bilinear interpolation), realising a non-trivial linear observation
+// operator H "constructed from limited observational data" (§4.1).
+type Support struct {
+	X, Y int
+	W    float64
+}
+
+// Support returns the observation's support points and weights. For an
+// observation at fractional position (X+OffsetX, Y+OffsetY) the weights are
+// the bilinear coefficients of the four surrounding grid points; corners
+// with zero weight are omitted, so an on-grid observation yields exactly
+// one point of weight 1.
+func (o Observation) Support() []Support {
+	fx, fy := o.OffsetX, o.OffsetY
+	type corner struct {
+		dx, dy int
+		w      float64
+	}
+	corners := []corner{
+		{0, 0, (1 - fx) * (1 - fy)},
+		{1, 0, fx * (1 - fy)},
+		{0, 1, (1 - fx) * fy},
+		{1, 1, fx * fy},
+	}
+	var out []Support
+	for _, c := range corners {
+		if c.w > 0 {
+			out = append(out, Support{X: o.X + c.dx, Y: o.Y + c.dy, W: c.w})
+		}
+	}
+	return out
+}
+
+// InterpolateField evaluates the observation operator on a full row-major
+// field: the bilinear interpolation at the observation's position.
+func (o Observation) InterpolateField(m grid.Mesh, field []float64) float64 {
+	var v float64
+	for _, s := range o.Support() {
+		v += s.W * field[m.Index(s.X, s.Y)]
+	}
+	return v
+}
+
+// perturbKeys derives the integer key tuple identifying this observation's
+// random streams. Fractional offsets are quantized to 2^-20 grid cells so
+// distinct off-grid observations in the same cell get independent streams.
+func (o Observation) perturbKeys(member int) []int {
+	const q = 1 << 20
+	return []int{0x5EED, o.X, o.Y, int(math.Round(o.OffsetX * q)), int(math.Round(o.OffsetY * q)), member}
+}
+
+// RandomOffGridNetwork places count observations at random fractional
+// positions, each measuring the bilinear interpolation of the truth plus
+// noise of the given variance.
+func RandomOffGridNetwork(m grid.Mesh, truth []float64, count int, variance float64, seed uint64) (*Network, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("obs: negative count %d", count)
+	}
+	if len(truth) != m.Points() {
+		return nil, fmt.Errorf("obs: truth field has %d points, mesh has %d", len(truth), m.Points())
+	}
+	if variance <= 0 {
+		return nil, fmt.Errorf("obs: variance must be positive, got %g", variance)
+	}
+	if m.NX < 2 || m.NY < 2 {
+		return nil, fmt.Errorf("obs: off-grid observations need at least a 2x2 mesh")
+	}
+	s := linalg.KeyedStream(seed, 0x0B7)
+	obsList := make([]Observation, 0, count)
+	for i := 0; i < count; i++ {
+		o := Observation{
+			X:       s.Intn(m.NX - 1),
+			Y:       s.Intn(m.NY - 1),
+			OffsetX: s.Float64(),
+			OffsetY: s.Float64(),
+		}
+		o.Variance = variance
+		ns := linalg.KeyedStream(seed, o.perturbKeys(-1)...)
+		o.Value = o.InterpolateField(m, truth) + ns.Norm()*sqrt(variance)
+		obsList = append(obsList, o)
+	}
+	return NewNetwork(m, obsList)
+}

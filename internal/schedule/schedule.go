@@ -1,0 +1,447 @@
+// Package schedule executes the parallel schedules of P-EnKF, L-EnKF and
+// S-EnKF on the discrete-event machine (internal/sim + internal/parfs) at
+// the paper's scale — thousands of simulated processors over the 0.1°
+// problem geometry — to regenerate the evaluation figures. The *numerical*
+// assimilation is not performed here (that is the job of the real
+// executions in internal/core and internal/baseline); what is simulated is
+// the exact event structure of each algorithm: who reads what with how many
+// disk-addressing operations, who waits for whom, and what overlaps with
+// what.
+//
+// Schedules implemented:
+//
+//   - P-EnKF (§2.3, Figure 3): every processor block-reads its expansion
+//     from every member file, one file after another, paying one addressing
+//     operation per latitude row; local analysis only starts when all
+//     members have arrived. No communication, no overlap.
+//   - L-EnKF (§3.1): a single reader processor reads each member file in
+//     full and distributes expansion blocks serially.
+//   - S-EnKF (§4): n_cg concurrent groups of n_sdy I/O processors bar-read
+//     the n_sdy·L overlapped small bars of their N/n_cg files (one
+//     addressing operation each) and feed n_sdx compute processors
+//     per stage; compute processors overlap stage-l analysis with stage-
+//     (l+1) reading and communication, helper-thread style (Figure 8).
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/metrics"
+	"senkf/internal/parfs"
+	"senkf/internal/sim"
+)
+
+// Config couples the problem/cost parameters with the file system model.
+type Config struct {
+	P  costmodel.Params
+	FS parfs.Config
+}
+
+// Validate checks both halves and their consistency.
+func (c Config) Validate() error {
+	if err := c.P.Validate(); err != nil {
+		return err
+	}
+	if err := c.FS.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DefaultConfig is the paper-scale machine: the 0.1° problem of §5.1
+// (3600×1800 grid, 30 levels ⇒ h = 240 B, N = 120 members) on a parallel
+// file system with 8 OSTs and a 6-stream backbone, 5 GB/s network links
+// with 2 µs startup, and a per-point local-analysis cost calibrated so the
+// computation-to-I/O balance matches Figure 1's trajectory.
+func DefaultConfig() Config {
+	return Config{
+		P: costmodel.Params{
+			N: 120, NX: 3600, NY: 1800,
+			A: 2e-6, B: 2e-10, C: 0.12,
+			Theta: 0.5e-9, Xi: 16, Eta: 8, H: 240,
+		},
+		FS: parfs.DefaultConfig,
+	}
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Algorithm string
+	NP        int     // total processors used
+	Runtime   float64 // virtual seconds
+
+	// IO is the mean phase breakdown of the I/O processors (S-EnKF and the
+	// L-EnKF reader); zero for P-EnKF, which has no dedicated I/O ranks.
+	IO metrics.Breakdown
+	// Compute is the mean phase breakdown of the compute processors. For
+	// P-EnKF it contains both the read and the compute share, as in Fig. 9.
+	Compute metrics.Breakdown
+
+	// OverlapFraction is the share of I/O activity (file reading and
+	// communication) that proceeded concurrently with local analysis — how
+	// well data obtaining is hidden (Figure 11). Zero for the baselines.
+	OverlapFraction float64
+	// OverlapRuntimeFraction is the overlapped time as a share of total
+	// runtime.
+	OverlapRuntimeFraction float64
+	// FirstStage is the non-overlappable initial acquisition time of
+	// S-EnKF (the "<8%" of §5.4).
+	FirstStage float64
+
+	FSStats parfs.Stats
+}
+
+// IOPercent returns the share of I/O (read) time in read+compute across
+// compute processors — the quantity of Figure 1.
+func (r Result) IOPercent() float64 {
+	t := r.Compute.Read + r.Compute.Compute
+	if t == 0 {
+		return 0
+	}
+	return 100 * r.Compute.Read / t
+}
+
+// ChooseDecomposition picks (n_sdx, n_sdy) with n_sdx·n_sdy = np dividing
+// the mesh while minimizing the expansion (halo) area — the natural choice
+// an implementer makes for P-EnKF at a given processor count.
+func ChooseDecomposition(p costmodel.Params, np int) (nsdx, nsdy int, err error) {
+	best := math.Inf(1)
+	found := false
+	for j := 1; j <= np; j++ {
+		if np%j != 0 || p.NY%j != 0 {
+			continue
+		}
+		i := np / j
+		if p.NX%i != 0 {
+			continue
+		}
+		expArea := (float64(p.NX)/float64(i) + 2*float64(p.Xi)) * (float64(p.NY)/float64(j) + 2*float64(p.Eta))
+		if expArea < best {
+			best = expArea
+			nsdx, nsdy = i, j
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("schedule: no decomposition of %dx%d into %d sub-domains", p.NX, p.NY, np)
+	}
+	return nsdx, nsdy, nil
+}
+
+// expansionGeometry returns the nominal expansion rows, cols, and per-file
+// block bytes for a (nsdx, nsdy) decomposition.
+func expansionGeometry(p costmodel.Params, nsdx, nsdy int) (rows, cols int, bytes float64) {
+	rows = p.NY/nsdy + 2*p.Eta
+	cols = p.NX/nsdx + 2*p.Xi
+	return rows, cols, float64(rows) * float64(cols) * float64(p.H)
+}
+
+// SimulatePEnKF runs the block-reading baseline on nsdx × nsdy processors.
+func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.P.NX%nsdx != 0 || cfg.P.NY%nsdy != 0 {
+		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
+	}
+	np := nsdx * nsdy
+	env := sim.NewEnv()
+	fs, err := parfs.New(env, cfg.FS)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := metrics.NewRecorder()
+	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
+	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
+
+	for r := 0; r < np; r++ {
+		name := fmt.Sprintf("cp%06d", r)
+		env.Go(name, func(p *sim.Proc) {
+			// Phase 1: block-read every member file, one after another,
+			// paying one addressing operation per expansion row (§4.1.1).
+			for k := 0; k < cfg.P.N; k++ {
+				t0 := p.Now()
+				fs.Read(p, k, rows, blockBytes)
+				rec.Record(name, metrics.PhaseRead, t0, p.Now())
+			}
+			// Phase 2: local analysis on the sub-domain.
+			t0 := p.Now()
+			p.Sleep(cfg.P.C * pointsPerProc)
+			rec.Record(name, metrics.PhaseCompute, t0, p.Now())
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Algorithm: "P-EnKF",
+		NP:        np,
+		Runtime:   end,
+		Compute:   rec.MeanBreakdown("cp"),
+		FSStats:   fs.Stats(),
+	}, nil
+}
+
+// SimulateLEnKF runs the single-reader baseline: one reader processor reads
+// every member file in full and serially distributes expansion blocks to
+// nsdx × nsdy compute processors.
+func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.P.NX%nsdx != 0 || cfg.P.NY%nsdy != 0 {
+		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
+	}
+	np := nsdx * nsdy
+	env := sim.NewEnv()
+	fs, err := parfs.New(env, cfg.FS)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := metrics.NewRecorder()
+	_, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
+	fileBytes := float64(cfg.P.NX) * float64(cfg.P.NY) * float64(cfg.P.H)
+	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
+
+	boxes := make([]*sim.Mailbox, np)
+	for r := range boxes {
+		boxes[r] = sim.NewMailbox(env, fmt.Sprintf("mb%d", r))
+	}
+	env.Go("io0", func(p *sim.Proc) {
+		for k := 0; k < cfg.P.N; k++ {
+			t0 := p.Now()
+			fs.Read(p, k, 1, fileBytes)
+			rec.Record("io0", metrics.PhaseRead, t0, p.Now())
+			// Serial distribution: the reader pays startup + transfer for
+			// every destination, one destination after another.
+			t0 = p.Now()
+			p.Sleep(float64(np) * (cfg.P.A + cfg.P.B*blockBytes))
+			rec.Record("io0", metrics.PhaseComm, t0, p.Now())
+			for r := 0; r < np; r++ {
+				boxes[r].Send(k)
+			}
+		}
+	})
+	for r := 0; r < np; r++ {
+		name := fmt.Sprintf("cp%06d", r)
+		mb := boxes[r]
+		env.Go(name, func(p *sim.Proc) {
+			t0 := p.Now()
+			for k := 0; k < cfg.P.N; k++ {
+				mb.Recv(p)
+			}
+			rec.Record(name, metrics.PhaseWait, t0, p.Now())
+			t0 = p.Now()
+			p.Sleep(cfg.P.C * pointsPerProc)
+			rec.Record(name, metrics.PhaseCompute, t0, p.Now())
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Algorithm: "L-EnKF",
+		NP:        np + 1,
+		Runtime:   end,
+		IO:        rec.MeanBreakdown("io"),
+		Compute:   rec.MeanBreakdown("cp"),
+		FSStats:   fs.Stats(),
+	}, nil
+}
+
+// stageMsg is the aggregated "your stage-l blocks from group g have
+// arrived" notification an I/O processor sends a compute processor.
+type stageMsg struct{ stage int }
+
+// SimulateSEnKF runs the multi-stage overlapped schedule with the given
+// parameter choice (n_sdx, n_sdy, L, n_cg).
+func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !cfg.P.Feasible(ch) {
+		return Result{}, fmt.Errorf("schedule: choice %v infeasible for the problem", ch)
+	}
+	env := sim.NewEnv()
+	fs, err := parfs.New(env, cfg.FS)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := metrics.NewRecorder()
+	p := cfg.P
+	nsdx, nsdy, L, ncg := ch.NSdx, ch.NSdy, ch.L, ch.NCg
+
+	// Geometry of one stage (§4.3): small bars of n_y/(n_sdy·L)+2η rows,
+	// full width for reading; blocks of n_x/n_sdx+2ξ columns for sending.
+	barRows := float64(p.NY)/(float64(nsdy)*float64(L)) + 2*float64(p.Eta)
+	barBytes := barRows * float64(p.NX) * float64(p.H)
+	blockCols := float64(p.NX)/float64(nsdx) + 2*float64(p.Xi)
+	filesPerGroup := p.N / ncg
+	blockBytes := barRows * blockCols * float64(filesPerGroup) * float64(p.H)
+	layerPoints := float64(p.NY) / (float64(nsdy) * float64(L)) * float64(p.NX) / float64(nsdx)
+
+	// One mailbox per compute processor.
+	boxes := make([][]*sim.Mailbox, nsdy)
+	for j := range boxes {
+		boxes[j] = make([]*sim.Mailbox, nsdx)
+		for i := range boxes[j] {
+			boxes[j][i] = sim.NewMailbox(env, fmt.Sprintf("mb%d.%d", j, i))
+		}
+	}
+
+	// I/O processors: group g ∈ [0,ncg), bar row j ∈ [0,nsdy). The members
+	// of a group read the same file at once (§4.1.3) — a cyclic barrier
+	// keeps them on the same file.
+	groupBarriers := make([]*sim.Barrier, ncg)
+	for g := range groupBarriers {
+		groupBarriers[g] = sim.NewBarrier(env, fmt.Sprintf("grp%d", g), nsdy)
+	}
+	for g := 0; g < ncg; g++ {
+		for j := 0; j < nsdy; j++ {
+			g, j := g, j
+			name := fmt.Sprintf("io%03d.%03d", g, j)
+			env.Go(name, func(proc *sim.Proc) {
+				for l := 0; l < L; l++ {
+					// Read this stage's small bar from each file of the
+					// group: contiguous, one addressing operation each.
+					t0 := proc.Now()
+					for f := 0; f < filesPerGroup; f++ {
+						file := g + f*ncg
+						fs.Read(proc, file, 1, barBytes)
+						groupBarriers[g].Wait(proc)
+					}
+					rec.Record(name, metrics.PhaseRead, t0, proc.Now())
+					// Send each compute processor of row j its aggregated
+					// stage blocks (serialized at the sender's link).
+					t0 = proc.Now()
+					proc.Sleep(float64(nsdx) * (p.A + p.B*blockBytes))
+					rec.Record(name, metrics.PhaseComm, t0, proc.Now())
+					for i := 0; i < nsdx; i++ {
+						boxes[j][i].Send(stageMsg{stage: l})
+					}
+				}
+			})
+		}
+	}
+
+	// Compute processors: the helper thread is implicit — arrival counting
+	// happens while the main loop computes, so stage l+1 data accumulates
+	// in the mailbox during stage l's analysis, exactly the overlap of
+	// Figure 8.
+	firstStage := sim.NewMailbox(env, "first-stage")
+	for j := 0; j < nsdy; j++ {
+		for i := 0; i < nsdx; i++ {
+			i, j := i, j
+			name := fmt.Sprintf("cp%03d.%03d", j, i)
+			mb := boxes[j][i]
+			env.Go(name, func(proc *sim.Proc) {
+				counts := make([]int, L)
+				for l := 0; l < L; l++ {
+					// Wait for the ncg group notifications of stage l.
+					t0 := proc.Now()
+					for counts[l] < ncg {
+						m := mb.Recv(proc).(stageMsg)
+						counts[m.stage]++
+					}
+					if t0 != proc.Now() {
+						rec.Record(name, metrics.PhaseWait, t0, proc.Now())
+					}
+					if l == 0 && i == 0 && j == 0 {
+						firstStage.Send(proc.Now())
+					}
+					t0 = proc.Now()
+					proc.Sleep(p.C * layerPoints)
+					rec.Record(name, metrics.PhaseCompute, t0, proc.Now())
+				}
+			})
+		}
+	}
+
+	end, err := env.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	ioSpans := rec.Spans("io", metrics.PhaseRead, metrics.PhaseComm)
+	cpSpans := rec.Spans("cp", metrics.PhaseCompute)
+	overlap := metrics.OverlapDuration(ioSpans, cpSpans)
+	ioBusy := metrics.SpanTotal(ioSpans)
+	var first float64
+	if v, ok := firstStage.TryRecv(); ok {
+		first = v.(float64)
+	}
+	res := Result{
+		Algorithm:              "S-EnKF",
+		NP:                     ch.C1() + ch.C2(),
+		Runtime:                end,
+		IO:                     rec.MeanBreakdown("io"),
+		Compute:                rec.MeanBreakdown("cp"),
+		OverlapRuntimeFraction: overlap / end,
+		FirstStage:             first,
+		FSStats:                fs.Stats(),
+	}
+	if ioBusy > 0 {
+		res.OverlapFraction = overlap / ioBusy
+	}
+	return res, nil
+}
+
+// ReadOnlyBlock simulates just the block-reading phase (no compute) of
+// P-EnKF over nFiles member files — the measurement behind Figure 5.
+func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	env := sim.NewEnv()
+	fs, err := parfs.New(env, cfg.FS)
+	if err != nil {
+		return 0, err
+	}
+	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
+	np := nsdx * nsdy
+	for r := 0; r < np; r++ {
+		env.Go("cp", func(p *sim.Proc) {
+			for k := 0; k < nFiles; k++ {
+				fs.Read(p, k, rows, blockBytes)
+			}
+		})
+	}
+	return env.Run()
+}
+
+// ReadOnlyConcurrent simulates just the concurrent-access reading of
+// nFiles member files with the bar approach in ncg groups of nsdy readers
+// each — the measurement behind Figure 10.
+func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if nFiles%ncg != 0 {
+		return 0, fmt.Errorf("schedule: %d files do not divide into %d groups", nFiles, ncg)
+	}
+	env := sim.NewEnv()
+	fs, err := parfs.New(env, cfg.FS)
+	if err != nil {
+		return 0, err
+	}
+	barBytes := (float64(cfg.P.NY)/float64(nsdy) + 2*float64(cfg.P.Eta)) * float64(cfg.P.NX) * float64(cfg.P.H)
+	barriers := make([]*sim.Barrier, ncg)
+	for g := range barriers {
+		barriers[g] = sim.NewBarrier(env, fmt.Sprintf("grp%d", g), nsdy)
+	}
+	for g := 0; g < ncg; g++ {
+		for j := 0; j < nsdy; j++ {
+			g := g
+			env.Go("io", func(p *sim.Proc) {
+				for f := 0; f < nFiles/ncg; f++ {
+					fs.Read(p, g+f*ncg, 1, barBytes)
+					barriers[g].Wait(p)
+				}
+			})
+		}
+	}
+	return env.Run()
+}

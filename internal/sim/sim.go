@@ -1,0 +1,329 @@
+// Package sim is a deterministic discrete-event simulation engine in the
+// style of SimPy: simulated processes are goroutines that explicitly yield
+// to a central scheduler whenever they wait on virtual time, a capacity-
+// limited resource, or a mailbox. Exactly one goroutine (a process or the
+// scheduler) runs at any instant, so simulations are fully deterministic
+// and need no locking.
+//
+// The engine is the substrate on which the paper's 12,000-processor
+// experiments run: each simulated MPI rank is a process, disks are
+// capacity-limited resources (see internal/parfs), and messages travel
+// through mailboxes with Hockney-model latencies. The schedules of P-EnKF,
+// L-EnKF and S-EnKF are executed on this virtual machine to regenerate the
+// paper's scaling figures with the exact event structure — queueing at
+// disks, waiting for messages, overlap of phases — that produces them.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled process wake-up.
+type event struct {
+	at   float64
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Env is a simulation environment: a virtual clock and an event queue.
+type Env struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yieldCh chan struct{}
+
+	live    int              // processes started and not finished
+	blocked map[*Proc]string // parked with no scheduled wake-up: what they wait on
+}
+
+// NewEnv creates an empty simulation environment at time 0.
+func NewEnv() *Env {
+	return &Env{
+		yieldCh: make(chan struct{}),
+		blocked: map[*Proc]string{},
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own function.
+type Proc struct {
+	Name    string
+	env     *Env
+	resume  chan struct{}
+	handoff any // value delivered by a mailbox or resource wake-up
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Go starts a new process. May be called before Run or from inside a
+// running process; in the latter case the new process starts at the current
+// virtual time once the caller yields.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{Name: name, env: e, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		e.live--
+		e.yieldCh <- struct{}{}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time t.
+func (e *Env) schedule(t float64, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, proc: p})
+}
+
+// park transfers control from the calling process back to the scheduler and
+// blocks until the scheduler resumes the process.
+func (p *Proc) park() {
+	p.env.yieldCh <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process by d seconds of virtual time. Negative or NaN
+// durations panic — they indicate a broken cost model.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: %s slept for invalid duration %g", p.Name, d))
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.park()
+}
+
+// DeadlockError reports a simulation that stalled with parked processes.
+type DeadlockError struct {
+	Time    float64
+	Waiting []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked processes (e.g. %v)", d.Time, len(d.Waiting), d.Waiting)
+}
+
+// Run drives the simulation until no events remain. It returns the final
+// virtual time, or a DeadlockError if processes remain blocked on resources
+// or mailboxes with an empty event queue.
+func (e *Env) Run() (float64, error) {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: time went backwards: %g -> %g", e.now, ev.at)
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		<-e.yieldCh
+	}
+	if e.live > 0 {
+		d := &DeadlockError{Time: e.now}
+		for p, what := range e.blocked {
+			d.Waiting = append(d.Waiting, fmt.Sprintf("%s(%s)", p.Name, what))
+		}
+		sort.Strings(d.Waiting)
+		if len(d.Waiting) > 8 {
+			d.Waiting = d.Waiting[:8]
+		}
+		return e.now, d
+	}
+	return e.now, nil
+}
+
+// Resource is a FIFO capacity-limited resource (a disk with a bounded
+// number of concurrent readers, a network injection port, ...).
+type Resource struct {
+	Name     string
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given concurrency capacity.
+func NewResource(e *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %s with non-positive capacity %d", name, capacity))
+	}
+	return &Resource{Name: name, env: e, capacity: capacity}
+}
+
+// Acquire takes one unit of capacity, blocking in FIFO order while the
+// resource is saturated.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	r.env.blocked[p] = "resource:" + r.Name
+	p.park()
+	delete(r.env.blocked, p)
+	// Capacity was transferred to us by Release.
+}
+
+// Release returns one unit of capacity, waking the first waiter (at the
+// current virtual time) if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %s", r.Name))
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Capacity passes directly to the waiter; inUse stays constant.
+		r.env.schedule(r.env.now, w)
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the currently used capacity.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Mailbox is an unbounded FIFO message queue between processes. Sends never
+// block; receives block until a message is available.
+type Mailbox struct {
+	Name  string
+	env   *Env
+	queue []any
+	recvq []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(e *Env, name string) *Mailbox {
+	return &Mailbox{Name: name, env: e}
+}
+
+// Send enqueues a value, waking the oldest waiting receiver if any.
+// It never blocks, so it may be called from any process.
+func (m *Mailbox) Send(v any) {
+	if len(m.recvq) > 0 {
+		w := m.recvq[0]
+		m.recvq = m.recvq[1:]
+		w.handoff = v
+		m.env.schedule(m.env.now, w)
+		return
+	}
+	m.queue = append(m.queue, v)
+}
+
+// Recv dequeues the oldest value, blocking until one is available.
+func (m *Mailbox) Recv(p *Proc) any {
+	if len(m.queue) > 0 {
+		v := m.queue[0]
+		m.queue = m.queue[1:]
+		return v
+	}
+	m.recvq = append(m.recvq, p)
+	m.env.blocked[p] = "mailbox:" + m.Name
+	p.park()
+	delete(m.env.blocked, p)
+	v := p.handoff
+	p.handoff = nil
+	return v
+}
+
+// TryRecv dequeues a value if one is immediately available.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.queue) > 0 {
+		v := m.queue[0]
+		m.queue = m.queue[1:]
+		return v, true
+	}
+	return nil, false
+}
+
+// Len returns the number of queued (unreceived) values.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Barrier synchronizes a fixed set of n processes: every participant blocks
+// in Wait until all n have arrived, then all are released and the barrier
+// resets for the next round (a cyclic barrier).
+type Barrier struct {
+	Name    string
+	env     *Env
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier creates a cyclic barrier for n participants.
+func NewBarrier(e *Env, name string, n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: barrier %s with non-positive parties %d", name, n))
+	}
+	return &Barrier{Name: name, env: e, n: n}
+}
+
+// Wait blocks p until all participants of the current round have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		for _, w := range b.waiters {
+			b.env.schedule(b.env.now, w)
+		}
+		b.waiters = b.waiters[:0]
+		b.arrived = 0
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	b.env.blocked[p] = "barrier:" + b.Name
+	p.park()
+	delete(b.env.blocked, p)
+}
+
+// WaitGroup lets one process wait for n completions signalled by others.
+type WaitGroup struct {
+	mb      *Mailbox
+	pending int
+}
+
+// NewWaitGroup creates a wait group expecting n Done calls.
+func NewWaitGroup(e *Env, name string, n int) *WaitGroup {
+	return &WaitGroup{mb: NewMailbox(e, name), pending: n}
+}
+
+// Done signals one completion.
+func (w *WaitGroup) Done() { w.mb.Send(struct{}{}) }
+
+// Wait blocks p until all expected completions have been signalled.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.pending > 0 {
+		w.mb.Recv(p)
+		w.pending--
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"senkf/internal/grid"
+)
+
+func testMesh(t *testing.T) grid.Mesh {
+	t.Helper()
+	m, err := grid.NewMesh(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTruthDeterministic(t *testing.T) {
+	m := testMesh(t)
+	a := Truth(m, DefaultFieldSpec, 5)
+	b := Truth(m, DefaultFieldSpec, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("truth not deterministic at %d", i)
+		}
+	}
+	c := Truth(m, DefaultFieldSpec, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical truth")
+	}
+}
+
+func TestTruthHasSpatialStructure(t *testing.T) {
+	// Smooth fields: adjacent points are far more correlated than distant
+	// ones. Compare mean |∇f| against the field's overall spread.
+	m := testMesh(t)
+	spec := DefaultFieldSpec
+	spec.Noise = 0 // pure smooth modes
+	f := Truth(m, spec, 7)
+	var gradSum float64
+	var count int
+	for y := 0; y < m.NY; y++ {
+		for x := 0; x+1 < m.NX; x++ {
+			gradSum += math.Abs(f[m.Index(x+1, y)] - f[m.Index(x, y)])
+			count++
+		}
+	}
+	meanGrad := gradSum / float64(count)
+	var mn, mx float64 = math.Inf(1), math.Inf(-1)
+	for _, v := range f {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	if spread := mx - mn; meanGrad > spread/4 {
+		t.Errorf("field not smooth: mean gradient %g vs spread %g", meanGrad, spread)
+	}
+	if mx == mn {
+		t.Error("field is constant")
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	m := testMesh(t)
+	truth := Truth(m, DefaultFieldSpec, 1)
+	if _, err := Ensemble(m, truth[:5], 4, 1, 1); err == nil {
+		t.Error("expected truth-length error")
+	}
+	if _, err := Ensemble(m, truth, 1, 1, 1); err == nil {
+		t.Error("expected ensemble-size error")
+	}
+	if _, err := Ensemble(m, truth, 4, 0, 1); err == nil {
+		t.Error("expected spread error")
+	}
+}
+
+func TestEnsembleStatistics(t *testing.T) {
+	m := testMesh(t)
+	truth := Truth(m, DefaultFieldSpec, 2)
+	const n = 24
+	const spread = 1.5
+	fields, err := Ensemble(m, truth, n, spread, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != n {
+		t.Fatalf("got %d members", len(fields))
+	}
+	// Members deviate from the truth on the order of the spread, and
+	// distinct members differ from each other.
+	var devSum float64
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := range truth {
+			d := fields[k][i] - truth[i]
+			s += d * d
+		}
+		rmse := math.Sqrt(s / float64(len(truth)))
+		if rmse == 0 {
+			t.Fatalf("member %d equals the truth", k)
+		}
+		if rmse > 3*spread {
+			t.Fatalf("member %d deviates too much: %g", k, rmse)
+		}
+		devSum += rmse
+	}
+	if mean := devSum / n; mean < spread/10 {
+		t.Errorf("ensemble too tight: mean member RMSE %g for spread %g", mean, spread)
+	}
+	diff := false
+	for i := range fields[0] {
+		if fields[0][i] != fields[1][i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("members 0 and 1 identical")
+	}
+}
+
+func TestEnsembleDeterministicPerMember(t *testing.T) {
+	m := testMesh(t)
+	truth := Truth(m, DefaultFieldSpec, 3)
+	a, err := Ensemble(m, truth, 6, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ensemble(m, truth, 6, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				t.Fatalf("member %d not deterministic", k)
+			}
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range []Preset{PaperScale, LaptopScale, TestScale} {
+		m, err := p.Mesh()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if m.NX != p.NX || m.NY != p.NY {
+			t.Errorf("%s: mesh mismatch", p.Name)
+		}
+		r := p.Radius()
+		if r.Xi != p.Xi || r.Eta != p.Eta {
+			t.Errorf("%s: radius mismatch", p.Name)
+		}
+		if p.Members < 2 {
+			t.Errorf("%s: too few members", p.Name)
+		}
+		if p.BytesPerPoint() != 8*p.Levels {
+			t.Errorf("%s: h = %d", p.Name, p.BytesPerPoint())
+		}
+	}
+	// Paper geometry exactly as §5.1.
+	if PaperScale.NX != 3600 || PaperScale.NY != 1800 || PaperScale.Members != 120 || PaperScale.Levels != 30 {
+		t.Errorf("paper preset drifted: %+v", PaperScale)
+	}
+}

@@ -1,0 +1,39 @@
+package senkf
+
+import (
+	"senkf/internal/core"
+	"senkf/internal/ensio"
+	"senkf/internal/workload"
+)
+
+// MultiLevelProblem is the 3-D assimilation problem: member files carry
+// several vertical levels interleaved per grid point (the paper's h =
+// levels × 8 bytes), each level with its own observation network.
+type MultiLevelProblem = core.MultiLevelProblem
+
+// GenerateTruthLevels produces one deterministic truth field per vertical
+// level.
+func GenerateTruthLevels(m Mesh, spec FieldSpec, levels int, seed uint64) ([][]float64, error) {
+	return workload.TruthLevels(m, spec, levels, seed)
+}
+
+// GenerateEnsembleLevels produces n members of a multi-level state:
+// result[k][l] is member k's field at level l.
+func GenerateEnsembleLevels(m Mesh, truths [][]float64, n int, spread float64, seed uint64) ([][][]float64, error) {
+	return workload.EnsembleLevels(m, truths, n, spread, seed)
+}
+
+// WriteEnsembleLevels stores a multi-level ensemble as member files with
+// level-interleaved layout: a latitude bar carries all levels contiguously,
+// so one addressing operation still fetches a complete 3-D bar.
+func WriteEnsembleLevels(dir string, m Mesh, members [][][]float64) ([]string, error) {
+	return ensio.WriteEnsembleLevels(dir, m, members)
+}
+
+// RunSEnKFMultiLevel executes S-EnKF over a multi-level ensemble: the I/O
+// ranks read each stage's bar once for all levels (shared addressing), the
+// compute ranks assimilate level by level with 2-D localization. Returns
+// the analysis as [level][member][]field.
+func RunSEnKFMultiLevel(p MultiLevelProblem, plan Plan) ([][][]float64, error) {
+	return core.RunSEnKFMultiLevel(p, plan)
+}

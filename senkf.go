@@ -1,0 +1,295 @@
+// Package senkf is a Go reproduction of "S-EnKF: Co-designing for Scalable
+// Ensemble Kalman Filter" (Xiao, Wang, Wan, Hong, Tan — PPoPP 2019): a
+// scalable, distributed ensemble Kalman filter built around three
+// co-designs — concurrent-group bar reading of background ensemble members,
+// multi-stage computation that overlaps file reading and communication with
+// local analysis via helper threads, and cost-model-driven auto-tuning of
+// the processor layout (n_sdx, n_sdy, L, n_cg).
+//
+// The package exposes two complementary execution paths:
+//
+//   - Real executions (RunSEnKF, RunPEnKF, RunLEnKF): numerically exact
+//     assimilation over real member files, parallelised across goroutine
+//     ranks with a message-passing runtime. All three reproduce the serial
+//     reference (SerialReference) bit for bit.
+//   - Simulated executions (SimulateSEnKF, SimulatePEnKF, SimulateLEnKF):
+//     the same schedules executed on a discrete-event machine with a
+//     parallel-file-system model at the paper's scale (12,000 processors,
+//     0.1° data), regenerating the evaluation figures (PaperFigures).
+//
+// Quick start:
+//
+//	mesh, _ := senkf.NewMesh(96, 48)
+//	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, 7)
+//	members, _ := senkf.GenerateEnsemble(mesh, truth, 16, 1.5, 7)
+//	dir, _ := os.MkdirTemp("", "ens")
+//	senkf.WriteEnsemble(dir, mesh, members)
+//	net, _ := senkf.NewStridedNetwork(mesh, truth, 3, 3, 0.01, 7)
+//	cfg := senkf.Config{Mesh: mesh, Radius: senkf.Radius{Xi: 4, Eta: 2}, N: 16, Seed: 7}
+//	dec, _ := senkf.NewDecomposition(mesh, 4, 2, cfg.Radius)
+//	analysis, _ := senkf.RunSEnKF(senkf.Problem{Cfg: cfg, Dir: dir, Net: net},
+//		senkf.Plan{Dec: dec, L: 4, NCg: 2})
+package senkf
+
+import (
+	"io"
+
+	"senkf/internal/baseline"
+	"senkf/internal/core"
+	"senkf/internal/costmodel"
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/figures"
+	"senkf/internal/grid"
+	"senkf/internal/metrics"
+	"senkf/internal/obs"
+	"senkf/internal/schedule"
+	"senkf/internal/workload"
+)
+
+// Geometry types.
+type (
+	// Mesh is the global latitude–longitude mesh (n_x × n_y grid points).
+	Mesh = grid.Mesh
+	// Box is a half-open rectangle of grid points.
+	Box = grid.Box
+	// Radius is the domain-localization influence scope (ξ, η).
+	Radius = grid.Radius
+	// Decomposition splits the mesh into n_sdx × n_sdy sub-domains.
+	Decomposition = grid.Decomposition
+)
+
+// Assimilation types.
+type (
+	// Config carries the assimilation parameters (mesh, radius, ensemble
+	// size, solver, observation-perturbation seed).
+	Config = enkf.Config
+	// Solver selects the local analysis formulation.
+	Solver = enkf.Solver
+	// Block is ensemble data over a box.
+	Block = enkf.Block
+	// Network is an observation network over the mesh.
+	Network = obs.Network
+	// Observation is one observed component.
+	Observation = obs.Observation
+	// FieldSpec controls synthetic truth-field generation.
+	FieldSpec = workload.FieldSpec
+	// ExperimentPreset bundles a full experiment geometry.
+	ExperimentPreset = workload.Preset
+)
+
+// Parallel execution types.
+type (
+	// Plan is the S-EnKF processor layout: decomposition + L + n_cg.
+	Plan = core.Plan
+	// Recorder collects wall-clock phase intervals from real executions.
+	Recorder = metrics.Recorder
+	// PhaseBreakdown sums recorded time per phase.
+	PhaseBreakdown = metrics.Breakdown
+)
+
+// Modelling and simulation types.
+type (
+	// ModelParams are the Table-1 cost-model parameters.
+	ModelParams = costmodel.Params
+	// Choice is a (n_sdx, n_sdy, L, n_cg) parameter assignment.
+	Choice = costmodel.Choice
+	// Tuned is the auto-tuner's selected configuration.
+	Tuned = costmodel.Tuned
+	// TuneConstraints optionally bounds the auto-tuner's search.
+	TuneConstraints = costmodel.TuneConstraints
+	// Machine couples problem parameters with the file-system model for
+	// simulated executions.
+	Machine = schedule.Config
+	// SimResult is the outcome of a simulated run.
+	SimResult = schedule.Result
+	// Figure is a regenerated evaluation figure.
+	Figure = figures.Figure
+	// FigureOptions configures the figure suite.
+	FigureOptions = figures.Options
+	// FigureSuite runs and caches the figure experiments.
+	FigureSuite = figures.Suite
+)
+
+// Solver choices (§2.3).
+const (
+	// SolverEnsembleSpace solves the analysis in ensemble space (L-EnKF
+	// style).
+	SolverEnsembleSpace = enkf.SolverEnsembleSpace
+	// SolverModifiedCholesky uses the modified-Cholesky inverse-covariance
+	// estimate (P-EnKF style, refs [23, 24]).
+	SolverModifiedCholesky = enkf.SolverModifiedCholesky
+	// SolverETKF is the deterministic ensemble transform (LETKF family,
+	// ref [25]); no observation perturbations.
+	SolverETKF = enkf.SolverETKF
+)
+
+// Experiment presets.
+var (
+	// PaperScale is the §5.1 configuration: 0.1° data, 3600×1800 grid,
+	// 30 levels, 120 members. Simulation-only (the state is ~186 GB).
+	PaperScale = workload.PaperScale
+	// LaptopScale is a small geometry for real end-to-end runs.
+	LaptopScale = workload.LaptopScale
+	// TestScale is tiny, for tests and demos.
+	TestScale = workload.TestScale
+	// DefaultFieldSpec is a reasonable ocean-like truth texture.
+	DefaultFieldSpec = workload.DefaultFieldSpec
+)
+
+// NewMesh validates and returns an n_x × n_y mesh.
+func NewMesh(nx, ny int) (Mesh, error) { return grid.NewMesh(nx, ny) }
+
+// NewRadius validates a localization radius.
+func NewRadius(xi, eta int) (Radius, error) { return grid.NewRadius(xi, eta) }
+
+// NewDecomposition validates and returns a domain decomposition.
+func NewDecomposition(m Mesh, nsdx, nsdy int, r Radius) (Decomposition, error) {
+	return grid.NewDecomposition(m, nsdx, nsdy, r)
+}
+
+// GenerateTruth produces a deterministic synthetic truth field.
+func GenerateTruth(m Mesh, spec FieldSpec, seed uint64) []float64 {
+	return workload.Truth(m, spec, seed)
+}
+
+// GenerateEnsemble produces n background members around the truth, standing
+// in for the long-time model integration of §5.1.
+func GenerateEnsemble(m Mesh, truth []float64, n int, spread float64, seed uint64) ([][]float64, error) {
+	return workload.Ensemble(m, truth, n, spread, seed)
+}
+
+// WriteEnsemble stores members as the on-disk background ensemble files
+// read by the parallel implementations. It returns the file paths.
+func WriteEnsemble(dir string, m Mesh, members [][]float64) ([]string, error) {
+	return ensio.WriteEnsemble(dir, m, members)
+}
+
+// MemberPath returns the canonical file name of member k inside dir.
+func MemberPath(dir string, k int) string { return ensio.MemberPath(dir, k) }
+
+// NewStridedNetwork builds a regular observation network measuring the
+// truth with noise of the given variance.
+func NewStridedNetwork(m Mesh, truth []float64, strideX, strideY int, variance float64, seed uint64) (*Network, error) {
+	return obs.StridedNetwork(m, truth, strideX, strideY, variance, seed)
+}
+
+// NewRandomNetwork places count observations at distinct random points.
+func NewRandomNetwork(m Mesh, truth []float64, count int, variance float64, seed uint64) (*Network, error) {
+	return obs.RandomNetwork(m, truth, count, variance, seed)
+}
+
+// NewOffGridNetwork places count observations at random fractional
+// positions; each measures the bilinear interpolation of the truth — the
+// non-trivial observation operator H of real observational data.
+func NewOffGridNetwork(m Mesh, truth []float64, count int, variance float64, seed uint64) (*Network, error) {
+	return obs.RandomOffGridNetwork(m, truth, count, variance, seed)
+}
+
+// SerialReference computes the full-grid localized analysis point by point
+// — the ground truth all parallel paths must match.
+func SerialReference(c Config, background [][]float64, net *Network) ([][]float64, error) {
+	return enkf.SerialReference(c, background, net)
+}
+
+// EnsembleMean returns the point-wise ensemble mean field.
+func EnsembleMean(fields [][]float64) []float64 { return enkf.EnsembleMean(fields) }
+
+// RMSE returns the root-mean-square error between a field and the truth.
+func RMSE(field, truth []float64) float64 { return enkf.RMSE(field, truth) }
+
+// NewRecorder returns an empty phase recorder for real executions.
+func NewRecorder() *Recorder { return metrics.NewRecorder() }
+
+// Problem bundles what a real parallel run needs: the assimilation
+// configuration, the member-file directory, the observation network, and an
+// optional phase recorder.
+type Problem struct {
+	Cfg Config
+	Dir string
+	Net *Network
+	Rec *Recorder
+}
+
+// RunSEnKF executes the paper's S-EnKF for real: C1 = n_cg·n_sdy I/O ranks
+// bar-read the member files in concurrent groups and stream stage blocks to
+// C2 = n_sdx·n_sdy compute ranks, whose helper threads overlap data
+// arrival with the multi-stage local analysis. Returns the analysis
+// ensemble as full fields.
+func RunSEnKF(p Problem, plan Plan) ([][]float64, error) {
+	return core.RunSEnKF(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec}, plan)
+}
+
+// RunPEnKF executes the block-reading state-of-the-art baseline (refs
+// [23, 24]) on Dec.NSdx × Dec.NSdy ranks.
+func RunPEnKF(p Problem, dec Decomposition) ([][]float64, error) {
+	return baseline.RunPEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec})
+}
+
+// RunLEnKF executes the single-reader baseline (refs [13, 33]).
+func RunLEnKF(p Problem, dec Decomposition) ([][]float64, error) {
+	return baseline.RunLEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec})
+}
+
+// AutoTune runs Algorithm 2 (restructured for large processor counts):
+// given the model parameters, a processor budget and the earnings-rate
+// threshold ε of Eq. (14), it returns the economic configuration.
+func AutoTune(p ModelParams, np int, eps float64) (Tuned, bool) {
+	return p.AutoTuneFast(np, eps)
+}
+
+// AutoTuneConstrained is AutoTune restricted by tc.
+func AutoTuneConstrained(p ModelParams, np int, eps float64, tc TuneConstraints) (Tuned, bool) {
+	return p.AutoTuneConstrained(np, eps, tc)
+}
+
+// DefaultMachine is the calibrated paper-scale machine model: the §5.1
+// problem on a Lustre-like file system with a Hockney-model network.
+func DefaultMachine() Machine { return schedule.DefaultConfig() }
+
+// SimulateSEnKF runs the S-EnKF schedule on the discrete-event machine with
+// the given parameter choice.
+func SimulateSEnKF(m Machine, ch Choice) (SimResult, error) {
+	return schedule.SimulateSEnKF(m, ch)
+}
+
+// SimulatePEnKF runs the block-reading baseline schedule on nsdx × nsdy
+// simulated processors.
+func SimulatePEnKF(m Machine, nsdx, nsdy int) (SimResult, error) {
+	return schedule.SimulatePEnKF(m, nsdx, nsdy)
+}
+
+// SimulateLEnKF runs the single-reader baseline schedule.
+func SimulateLEnKF(m Machine, nsdx, nsdy int) (SimResult, error) {
+	return schedule.SimulateLEnKF(m, nsdx, nsdy)
+}
+
+// ChooseDecomposition picks the halo-minimizing (n_sdx, n_sdy) for np
+// processors.
+func ChooseDecomposition(p ModelParams, np int) (nsdx, nsdy int, err error) {
+	return schedule.ChooseDecomposition(p, np)
+}
+
+// PaperFigures returns a figure suite at the paper's scale (Figures 1, 5,
+// 9, 10, 11, 12, 13 of the evaluation).
+func PaperFigures() *FigureSuite { return figures.NewSuite(figures.PaperOptions()) }
+
+// QuickFigures returns a reduced-scale figure suite that runs in seconds.
+func QuickFigures() *FigureSuite { return figures.NewSuite(figures.QuickOptions()) }
+
+// NewFigureSuite builds a suite over custom options.
+func NewFigureSuite(o FigureOptions) *FigureSuite { return figures.NewSuite(o) }
+
+// PaperFigureOptions returns the paper-scale experiment options.
+func PaperFigureOptions() FigureOptions { return figures.PaperOptions() }
+
+// QuickFigureOptions returns the reduced-scale experiment options.
+func QuickFigureOptions() FigureOptions { return figures.QuickOptions() }
+
+// AblationResult is one rung of the co-design ablation ladder.
+type AblationResult = figures.Ablation
+
+// WriteAblations renders an ablation ladder as a text table.
+func WriteAblations(w io.Writer, np int, abs []AblationResult) error {
+	return figures.WriteAblations(w, np, abs)
+}
