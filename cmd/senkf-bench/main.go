@@ -29,12 +29,20 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the co-design ablation ladder instead of the figures")
 		epsSweep  = flag.Bool("eps-sweep", false, "run the auto-tuner ε-sensitivity sweep instead of the figures")
 		csvDir    = flag.String("csv", "", "also write each figure as CSV into this directory")
+		traceOut  = flag.String("trace", "", "trace one simulated S-EnKF run into this Chrome trace JSON file (open in Perfetto) instead of the figures")
+		traceNP   = flag.Int("trace-np", 0, "processor budget for the traced run (default: largest configured count)")
+		detail    = flag.Bool("trace-detail", false, "include high-volume detail events (park/wake, queue depths) in the trace")
+		counters  = flag.Bool("counters", false, "run one simulated S-EnKF run and print its counters/gauges/histograms")
 	)
 	flag.Parse()
 
 	suite := senkf.PaperFigures()
 	if *quick {
 		suite = senkf.QuickFigures()
+	}
+	if *traceOut != "" || *counters {
+		tracedRun(suite, *traceOut, *traceNP, *detail, *counters)
+		return
 	}
 	if *epsSweep {
 		np := suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
@@ -100,5 +108,57 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("unknown figure %d (have 1, 5, 9, 10, 11, 12, 13)", *figure)
+	}
+}
+
+// tracedRun auto-tunes and simulates one S-EnKF run at np processors with
+// tracing attached, writes the Chrome trace JSON, and/or prints the
+// simulation counters. The trace is stamped with the simulation's virtual
+// clock, so track timelines line up with the reported runtime.
+func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool) {
+	if np == 0 {
+		np = suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
+	}
+	var buf *senkf.TraceBuffer
+	var sinks []senkf.TraceSink
+	if traceOut != "" {
+		buf = senkf.NewTraceBuffer()
+		sinks = append(sinks, buf)
+	}
+	// The simulated schedules stamp every event with explicit virtual
+	// timestamps; the tracer's own clock is never consulted.
+	tr := senkf.NewWallTracer(sinks...)
+	tr.SetDetail(detail)
+	reg := senkf.NewCounterRegistry()
+	tr.SetCounters(reg)
+	suite.O.Cfg.Tracer = tr
+
+	res, tuned, err := suite.SEnKFAt(np)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S-EnKF at %d processors: nsdx=%d nsdy=%d L=%d ncg=%d\n",
+		np, tuned.Choice.NSdx, tuned.Choice.NSdy, tuned.Choice.L, tuned.Choice.NCg)
+	fmt.Printf("runtime %.3fs, first stage %.3fs, overlapped share of I/O+comm %.1f%%\n",
+		res.Runtime, res.FirstStage, 100*res.OverlapFraction)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buf.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", buf.Len(), traceOut)
+	}
+	if counters {
+		fmt.Println("\nsimulation counters:")
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

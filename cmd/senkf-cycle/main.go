@@ -43,6 +43,8 @@ func main() {
 		layers   = flag.Int("layers", 3, "S-EnKF stages L")
 		ncg      = flag.Int("ncg", 2, "S-EnKF concurrent groups")
 		seed     = flag.Uint64("seed", 2019, "experiment seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the parallel analyses (senkf/penkf analyzers)")
+		counters = flag.Bool("counters", false, "print runtime counters after the experiment (senkf/penkf analyzers)")
 	)
 	flag.Parse()
 
@@ -64,9 +66,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var buf *senkf.TraceBuffer
+	var sinks []senkf.TraceSink
+	if *traceOut != "" {
+		buf = senkf.NewTraceBuffer()
+		sinks = append(sinks, buf)
+	}
+	var tr *senkf.Tracer
+	reg := senkf.NewCounterRegistry()
+	if *traceOut != "" || *counters {
+		tr = senkf.NewWallTracer(sinks...)
+		tr.SetCounters(reg)
+	}
+
 	var an senkf.Analyzer
 	switch *analyzer {
 	case "serial":
+		if *traceOut != "" || *counters {
+			log.Fatal("-trace/-counters need a parallel analyzer (senkf or penkf)")
+		}
 		an = senkf.SerialAnalyzer()
 	case "senkf", "penkf":
 		dec, err := senkf.NewDecomposition(mesh, *nsdx, *nsdy, radius)
@@ -79,9 +97,9 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		if *analyzer == "senkf" {
-			an = senkf.SEnKFAnalyzer(dir, dec, *layers, *ncg)
+			an = senkf.SEnKFAnalyzerObserved(dir, dec, *layers, *ncg, nil, tr)
 		} else {
-			an = senkf.PEnKFAnalyzer(dir, dec)
+			an = senkf.PEnKFAnalyzerObserved(dir, dec, nil, tr)
 		}
 	default:
 		log.Fatalf("unknown analyzer %q", *analyzer)
@@ -108,4 +126,25 @@ func main() {
 	last := history[len(history)-1]
 	fmt.Printf("\nassimilation %.4f vs free run %.4f after %d cycles (%.1fx better)\n",
 		last.AnalysisRMSE, last.FreeRMSE, *cycles, last.FreeRMSE/last.AnalysisRMSE)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := buf.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", buf.Len(), *traceOut)
+	}
+	if *counters {
+		fmt.Println("\nruntime counters:")
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -48,9 +48,20 @@ func SEnKFAnalyzer(dir string, dec Decomposition, layers, ncg int) Analyzer {
 	return cycle.SEnKFAnalyzer(dir, dec, layers, ncg)
 }
 
+// SEnKFAnalyzerObserved is SEnKFAnalyzer with observability attached: every
+// cycle's run records into rec and traces through tr (either may be nil).
+func SEnKFAnalyzerObserved(dir string, dec Decomposition, layers, ncg int, rec *Recorder, tr *Tracer) Analyzer {
+	return cycle.SEnKFAnalyzerObserved(dir, dec, layers, ncg, rec, tr)
+}
+
 // PEnKFAnalyzer analyses each cycle with the block-reading baseline.
 func PEnKFAnalyzer(dir string, dec Decomposition) Analyzer {
 	return cycle.PEnKFAnalyzer(dir, dec)
+}
+
+// PEnKFAnalyzerObserved is PEnKFAnalyzer with observability attached.
+func PEnKFAnalyzerObserved(dir string, dec Decomposition, rec *Recorder, tr *Tracer) Analyzer {
+	return cycle.PEnKFAnalyzerObserved(dir, dec, rec, tr)
 }
 
 // GenerateSmoothNoise returns a deterministic smooth random field with

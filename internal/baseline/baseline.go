@@ -25,6 +25,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
 	"senkf/internal/obs"
+	"senkf/internal/trace"
 )
 
 // Problem bundles everything a parallel run needs.
@@ -35,6 +36,8 @@ type Problem struct {
 	Net *obs.Network // full observation network (small; read by everyone)
 	// Rec, when non-nil, receives wall-clock phase intervals.
 	Rec *metrics.Recorder
+	// Tr, when non-nil and enabled, receives phase spans per rank.
+	Tr *trace.Tracer
 }
 
 // Validate checks the problem's internal consistency.
@@ -59,12 +62,26 @@ const (
 	resultTag = 1 << 20
 )
 
-// record logs a wall-clock interval relative to t0 if a recorder is set.
-func record(rec *metrics.Recorder, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	if rec == nil {
-		return
+// obs logs a wall-clock interval relative to t0 in the recorder (if set)
+// and as a trace span (if tracing), keeping both derivations comparable.
+func (p Problem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
+	if p.Rec != nil {
+		p.Rec.Record(proc, ph, f, t)
 	}
-	rec.Record(proc, ph, from.Sub(t0).Seconds(), to.Sub(t0).Seconds())
+	if p.Tr.Enabled() {
+		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
+	}
+}
+
+// addIOStats feeds one member file's addressing counters into the tracer's
+// registry, mirroring the S-EnKF I/O ranks' accounting.
+func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
+	if reg := tr.Counters(); reg != nil {
+		reg.Add("ensio.seeks", float64(st.Seeks))
+		reg.Add("ensio.bytes", float64(st.BytesRead))
+		reg.Add("ensio.reads", float64(st.Reads))
+	}
 }
 
 // flattenBlock serializes a block's members into one slice.
@@ -124,11 +141,12 @@ func RunPEnKF(p Problem) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetTracer(p.Tr)
 	var fields [][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
 		i, j := p.Dec.CoordsOf(c.Rank())
-		name := fmt.Sprintf("cp%04d", c.Rank())
+		name := metrics.ComputeName(i, j)
 		exp := p.Dec.Expansion(i, j)
 		blk := enkf.NewBlock(exp, p.Cfg.N)
 
@@ -140,13 +158,14 @@ func RunPEnKF(p Problem) ([][]float64, error) {
 				return err
 			}
 			data, err := mf.ReadBlock(exp)
+			addIOStats(p.Tr, mf.Stats())
 			mf.Close()
 			if err != nil {
 				return err
 			}
 			blk.Data[k] = data
 		}
-		record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+		p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
 
 		// Phase 2: local analysis on the sub-domain.
 		compStart := time.Now()
@@ -154,7 +173,7 @@ func RunPEnKF(p Problem) ([][]float64, error) {
 		if err != nil {
 			return err
 		}
-		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
 
 		f, err := gatherResults(c, p, out, np)
 		if err != nil {
@@ -183,11 +202,15 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetTracer(p.Tr)
 	var fields [][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
 		i, j := p.Dec.CoordsOf(c.Rank())
-		name := fmt.Sprintf("cp%04d", c.Rank())
+		name := metrics.ComputeName(i, j)
+		// Rank 0 plays the reader role: its reading and distribution are
+		// recorded under the I/O name so phase breakdowns group by class.
+		reader := metrics.IOName(0, 0)
 		exp := p.Dec.Expansion(i, j)
 		blk := enkf.NewBlock(exp, p.Cfg.N)
 
@@ -201,11 +224,12 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 					return err
 				}
 				field, err := mf.ReadAll()
+				addIOStats(p.Tr, mf.Stats())
 				mf.Close()
 				if err != nil {
 					return err
 				}
-				record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+				p.obs(reader, metrics.PhaseRead, t0, readStart, time.Now())
 				commStart := time.Now()
 				full := &enkf.Block{
 					Box:  grid.Box{X0: 0, X1: p.Cfg.Mesh.NX, Y0: 0, Y1: p.Cfg.Mesh.NY},
@@ -226,7 +250,7 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 						return err
 					}
 				}
-				record(p.Rec, name, metrics.PhaseComm, t0, commStart, time.Now())
+				p.obs(reader, metrics.PhaseComm, t0, commStart, time.Now())
 			}
 		} else {
 			waitStart := time.Now()
@@ -240,7 +264,7 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 				}
 				blk.Data[k] = m.Data
 			}
-			record(p.Rec, name, metrics.PhaseWait, t0, waitStart, time.Now())
+			p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
 		}
 
 		compStart := time.Now()
@@ -248,7 +272,7 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 		if err != nil {
 			return err
 		}
-		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
 
 		f, err := gatherResults(c, p, out, np)
 		if err != nil {

@@ -88,14 +88,14 @@ func TestPEnKFRecordsReadAndCompute(t *testing.T) {
 	if _, err := RunPEnKF(p); err != nil {
 		t.Fatal(err)
 	}
-	b := rec.Breakdown("cp")
+	b := rec.Breakdown(metrics.ComputePrefix)
 	if b.Read <= 0 || b.Compute <= 0 {
 		t.Errorf("breakdown %+v", b)
 	}
 	if b.Comm != 0 {
 		t.Error("P-EnKF should not communicate during acquisition")
 	}
-	if got := len(rec.Procs("cp")); got != p.Dec.SubDomains() {
+	if got := len(rec.Procs(metrics.ComputePrefix)); got != p.Dec.SubDomains() {
 		t.Errorf("recorded %d procs, want %d", got, p.Dec.SubDomains())
 	}
 }
@@ -107,12 +107,12 @@ func TestLEnKFRecordsReaderPhases(t *testing.T) {
 	if _, err := RunLEnKF(p); err != nil {
 		t.Fatal(err)
 	}
-	reader := rec.Breakdown("cp0000")
+	reader := rec.Breakdown(metrics.IOName(0, 0))
 	if reader.Read <= 0 || reader.Comm <= 0 {
 		t.Errorf("reader breakdown %+v", reader)
 	}
 	// Non-reader ranks wait, never read.
-	other := rec.Breakdown("cp0001")
+	other := rec.Breakdown(metrics.ComputeName(1, 0))
 	if other.Read != 0 || other.Wait <= 0 {
 		t.Errorf("non-reader breakdown %+v", other)
 	}

@@ -10,6 +10,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
 	"senkf/internal/obs"
+	"senkf/internal/trace"
 )
 
 // MultiLevelProblem mirrors core.MultiLevelProblem for the baseline side
@@ -19,6 +20,18 @@ type MultiLevelProblem struct {
 	Dir  string
 	Nets []*obs.Network
 	Rec  *metrics.Recorder
+	Tr   *trace.Tracer
+}
+
+// obs mirrors Problem.obs for the multi-level variant.
+func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
+	if p.Rec != nil {
+		p.Rec.Record(proc, ph, f, t)
+	}
+	if p.Tr.Enabled() {
+		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
+	}
 }
 
 // Validate checks the problem.
@@ -58,11 +71,12 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 	if err != nil {
 		return nil, err
 	}
+	w.SetTracer(p.Tr)
 	var fields [][][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
 		i, j := dec.CoordsOf(c.Rank())
-		name := fmt.Sprintf("cp%04d", c.Rank())
+		name := metrics.ComputeName(i, j)
 		exp := dec.Expansion(i, j)
 		blks := make([]*enkf.Block, levels)
 		for lvl := range blks {
@@ -80,6 +94,7 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 				return fmt.Errorf("baseline: member %d has %d levels, problem has %d", k, mf.Header.LevelCount(), levels)
 			}
 			data, err := mf.ReadBlockLevels(exp)
+			addIOStats(p.Tr, mf.Stats())
 			mf.Close()
 			if err != nil {
 				return err
@@ -88,7 +103,7 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 				blks[lvl].Data[k] = data[lvl]
 			}
 		}
-		record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+		p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
 
 		compStart := time.Now()
 		results := make([]*enkf.Block, levels)
@@ -99,7 +114,7 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 			}
 			results[lvl] = out
 		}
-		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
 
 		// Gather per level at rank 0.
 		if c.Rank() != 0 {

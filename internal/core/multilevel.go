@@ -10,6 +10,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
 	"senkf/internal/obs"
+	"senkf/internal/trace"
 )
 
 // MultiLevelProblem is the 3-D variant of Problem: member files carry
@@ -24,6 +25,18 @@ type MultiLevelProblem struct {
 	Dir  string
 	Nets []*obs.Network // one network per vertical level
 	Rec  *metrics.Recorder
+	Tr   *trace.Tracer // optional observability; nil disables tracing
+}
+
+// obs mirrors Problem.obs for the multi-level variant.
+func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
+	if p.Rec != nil {
+		p.Rec.Record(proc, ph, f, t)
+	}
+	if p.Tr.Enabled() {
+		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
+	}
 }
 
 // Validate checks the problem.
@@ -70,6 +83,7 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetTracer(p.Tr)
 	var fields [][][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
@@ -98,12 +112,19 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 	q := c.Rank() - pl.ComputeRanks()
 	g := q / pl.Dec.NSdy
 	j := q % pl.Dec.NSdy
-	name := fmt.Sprintf("io%04d", q)
+	name := metrics.IOName(g, j)
 	levels := p.Levels()
 
 	var files []*ensio.MemberFile
 	defer func() {
+		reg := p.Tr.Counters()
 		for _, f := range files {
+			if reg != nil {
+				st := f.Stats()
+				reg.Add("ensio.seeks", float64(st.Seeks))
+				reg.Add("ensio.bytes", float64(st.BytesRead))
+				reg.Add("ensio.reads", float64(st.Reads))
+			}
 			f.Close()
 		}
 	}()
@@ -132,7 +153,7 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 			if err != nil {
 				return err
 			}
-			record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+			p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
 
 			commStart := time.Now()
 			for i := 0; i < pl.Dec.NSdx; i++ {
@@ -155,7 +176,7 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 					}
 				}
 			}
-			record(p.Rec, name, metrics.PhaseComm, t0, commStart, time.Now())
+			p.obs(name, metrics.PhaseComm, t0, commStart, time.Now())
 		}
 	}
 	return nil
@@ -166,7 +187,7 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 // previous stage, level by level.
 func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][][]float64, error) {
 	i, j := pl.Dec.CoordsOf(c.Rank())
-	name := fmt.Sprintf("cp%04d", c.Rank())
+	name := metrics.ComputeName(i, j)
 	levels := p.Levels()
 
 	type stageData struct {
@@ -201,6 +222,10 @@ func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][]
 					blks[lvl].Data[m.Meta[0]] = m.Data
 				}
 			}
+			if p.Tr.Enabled() {
+				p.Tr.Instant(name, trace.CatStage, "ready", time.Since(t0).Seconds(),
+					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+			}
 			stages <- stageData{blks: blks}
 		}
 	}()
@@ -219,7 +244,7 @@ func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][]
 		if sd.err != nil {
 			return nil, sd.err
 		}
-		record(p.Rec, name, metrics.PhaseWait, t0, waitStart, time.Now())
+		p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
 
 		compStart := time.Now()
 		for lvl := 0; lvl < levels; lvl++ {
@@ -235,7 +260,7 @@ func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][]
 				}
 			}
 		}
-		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
 	}
 
 	// Gather per-level sub-domain results at rank 0.

@@ -110,7 +110,7 @@ func TestMultiLevelSharedBarReads(t *testing.T) {
 	if _, err := RunSEnKFMultiLevel(p, Plan{Dec: dec, L: 3, NCg: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Breakdown("io").Read <= 0 {
+	if rec.Breakdown(metrics.IOPrefix).Read <= 0 {
 		t.Error("no read time recorded")
 	}
 	// Check actual seek counts on a fresh file: one seek per stage bar,

@@ -28,6 +28,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
 	"senkf/internal/obs"
+	"senkf/internal/trace"
 )
 
 // Plan is the S-EnKF processor layout: the compute decomposition plus the
@@ -71,6 +72,7 @@ type Problem struct {
 	Dir string
 	Net *obs.Network
 	Rec *metrics.Recorder
+	Tr  *trace.Tracer // optional observability; nil disables tracing
 }
 
 // Validate checks the problem.
@@ -92,11 +94,17 @@ const resultTag = 1 << 20
 // stageTag gives every (stage, member) pair a distinct message tag.
 func stageTag(l, nMembers, k int) int { return l*nMembers + k }
 
-func record(rec *metrics.Recorder, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	if rec == nil {
-		return
+// obs records one phase interval in the recorder and, when tracing, as a
+// span on the rank's track. Both use seconds since t0 (the run start), so
+// trace-derived breakdowns match the recorder exactly.
+func (p Problem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
+	if p.Rec != nil {
+		p.Rec.Record(proc, ph, f, t)
 	}
-	rec.Record(proc, ph, from.Sub(t0).Seconds(), to.Sub(t0).Seconds())
+	if p.Tr.Enabled() {
+		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
+	}
 }
 
 // RunSEnKF executes the full S-EnKF schedule and returns the analysis
@@ -115,6 +123,7 @@ func RunSEnKF(p Problem, pl Plan) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetTracer(p.Tr)
 	var fields [][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
@@ -141,13 +150,20 @@ func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
 	q := c.Rank() - pl.ComputeRanks()
 	g := q / pl.Dec.NSdy
 	j := q % pl.Dec.NSdy
-	name := fmt.Sprintf("io%04d", q)
+	name := metrics.IOName(g, j)
 
 	// The group's files: k ≡ g (mod n_cg). Keep them open across stages —
 	// each stage reads a different small bar of the same files.
 	var files []*ensio.MemberFile
 	defer func() {
+		reg := p.Tr.Counters()
 		for _, f := range files {
+			if reg != nil {
+				st := f.Stats()
+				reg.Add("ensio.seeks", float64(st.Seeks))
+				reg.Add("ensio.bytes", float64(st.BytesRead))
+				reg.Add("ensio.reads", float64(st.Reads))
+			}
 			f.Close()
 		}
 	}()
@@ -175,7 +191,7 @@ func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
 			if err != nil {
 				return err
 			}
-			record(p.Rec, name, metrics.PhaseRead, t0, readStart, time.Now())
+			p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
 
 			// Cut the bar into the per-column-block pieces and send each
 			// compute rank of row j its stage block.
@@ -197,7 +213,7 @@ func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
 					return err
 				}
 			}
-			record(p.Rec, name, metrics.PhaseComm, t0, commStart, time.Now())
+			p.obs(name, metrics.PhaseComm, t0, commStart, time.Now())
 		}
 	}
 	return nil
@@ -208,7 +224,7 @@ func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
 // previous layer.
 func runCompute(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) ([][]float64, error) {
 	i, j := pl.Dec.CoordsOf(c.Rank())
-	name := fmt.Sprintf("cp%04d", c.Rank())
+	name := metrics.ComputeName(i, j)
 
 	type stageData struct {
 		blk *enkf.Block
@@ -243,6 +259,12 @@ func runCompute(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) ([][]float64, err
 				}
 				blk.Data[m.Meta[0]] = m.Data
 			}
+			if p.Tr.Enabled() {
+				// Helper-thread handoff: stage l is fully assembled and
+				// ready for the main thread from this instant on.
+				p.Tr.Instant(name, trace.CatStage, "ready", time.Since(t0).Seconds(),
+					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+			}
 			stages <- stageData{blk: blk}
 		}
 	}()
@@ -259,7 +281,7 @@ func runCompute(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) ([][]float64, err
 		if sd.err != nil {
 			return nil, sd.err
 		}
-		record(p.Rec, name, metrics.PhaseWait, t0, waitStart, time.Now())
+		p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
 
 		compStart := time.Now()
 		out, err := p.Cfg.AnalyzeBox(sd.blk, p.Net.InBox(sd.blk.Box), layers[l])
@@ -273,7 +295,11 @@ func runCompute(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) ([][]float64, err
 				}
 			}
 		}
-		record(p.Rec, name, metrics.PhaseCompute, t0, compStart, time.Now())
+		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
+		if p.Tr.Enabled() {
+			p.Tr.Instant(name, trace.CatStage, "computed", time.Since(t0).Seconds(),
+				trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+		}
 	}
 
 	// Gather the sub-domain results at world rank 0 (a compute rank).

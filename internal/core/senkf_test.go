@@ -152,18 +152,18 @@ func TestSEnKFRecordsPhases(t *testing.T) {
 	if _, err := RunSEnKF(p, Plan{Dec: dec, L: 3, NCg: 2}); err != nil {
 		t.Fatal(err)
 	}
-	io := rec.Breakdown("io")
+	io := rec.Breakdown(metrics.IOPrefix)
 	if io.Read <= 0 || io.Comm <= 0 {
 		t.Errorf("io breakdown %+v", io)
 	}
-	cp := rec.Breakdown("cp")
+	cp := rec.Breakdown(metrics.ComputePrefix)
 	if cp.Compute <= 0 {
 		t.Errorf("compute breakdown %+v", cp)
 	}
-	if got := len(rec.Procs("io")); got != 4 {
+	if got := len(rec.Procs(metrics.IOPrefix)); got != 4 {
 		t.Errorf("io procs = %d, want 4", got)
 	}
-	if got := len(rec.Procs("cp")); got != 8 {
+	if got := len(rec.Procs(metrics.ComputePrefix)); got != 8 {
 		t.Errorf("compute procs = %d, want 8", got)
 	}
 }

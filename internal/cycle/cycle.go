@@ -17,8 +17,10 @@ import (
 	"senkf/internal/enkf"
 	"senkf/internal/ensio"
 	"senkf/internal/grid"
+	"senkf/internal/metrics"
 	"senkf/internal/model"
 	"senkf/internal/obs"
+	"senkf/internal/trace"
 	"senkf/internal/workload"
 )
 
@@ -208,12 +210,19 @@ func SerialAnalyzer() Analyzer {
 // operational system would, between the model run and the assimilation) and
 // runs the real parallel S-EnKF over the files.
 func SEnKFAnalyzer(dir string, dec grid.Decomposition, layers, ncg int) Analyzer {
+	return SEnKFAnalyzerObserved(dir, dec, layers, ncg, nil, nil)
+}
+
+// SEnKFAnalyzerObserved is SEnKFAnalyzer with observability attached: every
+// cycle's parallel run records phase intervals into rec and emits trace
+// events through tr (either may be nil).
+func SEnKFAnalyzerObserved(dir string, dec grid.Decomposition, layers, ncg int, rec *metrics.Recorder, tr *trace.Tracer) Analyzer {
 	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
 		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
 			return nil, err
 		}
 		return core.RunSEnKF(
-			core.Problem{Cfg: cfg, Dir: dir, Net: net},
+			core.Problem{Cfg: cfg, Dir: dir, Net: net, Rec: rec, Tr: tr},
 			core.Plan{Dec: dec, L: layers, NCg: ncg},
 		)
 	}
@@ -222,10 +231,15 @@ func SEnKFAnalyzer(dir string, dec grid.Decomposition, layers, ncg int) Analyzer
 // PEnKFAnalyzer writes each cycle's background ensemble into dir and runs
 // the block-reading baseline over the files.
 func PEnKFAnalyzer(dir string, dec grid.Decomposition) Analyzer {
+	return PEnKFAnalyzerObserved(dir, dec, nil, nil)
+}
+
+// PEnKFAnalyzerObserved is PEnKFAnalyzer with observability attached.
+func PEnKFAnalyzerObserved(dir string, dec grid.Decomposition, rec *metrics.Recorder, tr *trace.Tracer) Analyzer {
 	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
 		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
 			return nil, err
 		}
-		return baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net})
+		return baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net, Rec: rec, Tr: tr})
 	}
 }

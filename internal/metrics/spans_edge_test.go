@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for UnionSpans: zero-length intervals, exactly-adjacent spans,
+// fully-nested spans and empty inputs. The trace-derived overlap analysis
+// leans on these behaviours, so they are pinned explicitly.
+
+func spansEqual(a, b []Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUnionSpansEmptyInputs(t *testing.T) {
+	if got := UnionSpans(nil); got != nil {
+		t.Errorf("UnionSpans(nil) = %v, want nil", got)
+	}
+	if got := UnionSpans([]Span{}); got != nil {
+		t.Errorf("UnionSpans([]) = %v, want nil", got)
+	}
+}
+
+func TestUnionSpansZeroLength(t *testing.T) {
+	// A lone zero-length span survives as-is.
+	if got := UnionSpans([]Span{{2, 2}}); !spansEqual(got, []Span{{2, 2}}) {
+		t.Errorf("zero-length alone: %v", got)
+	}
+	// A zero-length span touching a real span is absorbed.
+	if got := UnionSpans([]Span{{2, 2}, {2, 5}}); !spansEqual(got, []Span{{2, 5}}) {
+		t.Errorf("zero-length at start: %v", got)
+	}
+	if got := UnionSpans([]Span{{0, 3}, {3, 3}}); !spansEqual(got, []Span{{0, 3}}) {
+		t.Errorf("zero-length at end: %v", got)
+	}
+	// A zero-length span strictly between two others stays separate.
+	got := UnionSpans([]Span{{0, 1}, {2, 2}, {3, 4}})
+	if !spansEqual(got, []Span{{0, 1}, {2, 2}, {3, 4}}) {
+		t.Errorf("isolated zero-length: %v", got)
+	}
+	if SpanTotal(got) != 2 {
+		t.Errorf("zero-length contributes to total: %g", SpanTotal(got))
+	}
+}
+
+func TestUnionSpansExactlyAdjacent(t *testing.T) {
+	// Spans that share an endpoint merge into one — [0,2]+[2,4] is
+	// continuous activity, not two bursts.
+	if got := UnionSpans([]Span{{0, 2}, {2, 4}}); !spansEqual(got, []Span{{0, 4}}) {
+		t.Errorf("adjacent pair: %v", got)
+	}
+	// Chain of adjacencies collapses fully, regardless of input order.
+	got := UnionSpans([]Span{{4, 6}, {0, 2}, {2, 4}})
+	if !spansEqual(got, []Span{{0, 6}}) {
+		t.Errorf("adjacent chain: %v", got)
+	}
+}
+
+func TestUnionSpansFullyNested(t *testing.T) {
+	// An inner span vanishes into the outer one.
+	if got := UnionSpans([]Span{{0, 10}, {3, 4}}); !spansEqual(got, []Span{{0, 10}}) {
+		t.Errorf("nested: %v", got)
+	}
+	// Multiple nesting levels plus a same-start shorter span.
+	got := UnionSpans([]Span{{1, 2}, {0, 10}, {0, 5}, {9, 10}})
+	if !spansEqual(got, []Span{{0, 10}}) {
+		t.Errorf("deep nesting: %v", got)
+	}
+	if SpanTotal(got) != 10 {
+		t.Errorf("nested total %g, want 10", SpanTotal(got))
+	}
+}
+
+func TestOverlapDurationEdgeCases(t *testing.T) {
+	// Empty inputs on either side.
+	if d := OverlapDuration(nil, []Span{{0, 1}}); d != 0 {
+		t.Errorf("nil lhs overlap = %g", d)
+	}
+	if d := OverlapDuration(nil, nil); d != 0 {
+		t.Errorf("nil both overlap = %g", d)
+	}
+	// Touching at a single point contributes zero.
+	if d := OverlapDuration([]Span{{0, 2}}, []Span{{2, 4}}); d != 0 {
+		t.Errorf("point-touching overlap = %g", d)
+	}
+	// Zero-length spans overlap nothing, even inside the other set.
+	if d := OverlapDuration([]Span{{1, 1}}, []Span{{0, 2}}); d != 0 {
+		t.Errorf("zero-length overlap = %g", d)
+	}
+	// Fully-nested: the overlap is the inner span.
+	if d := OverlapDuration([]Span{{0, 10}}, []Span{{3, 4}}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("nested overlap = %g, want 1", d)
+	}
+	// Identical sets: the overlap is the whole union.
+	a := UnionSpans([]Span{{0, 2}, {5, 8}})
+	if d := OverlapDuration(a, a); math.Abs(d-5) > 1e-12 {
+		t.Errorf("self overlap = %g, want 5", d)
+	}
+}

@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"senkf/internal/trace"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -99,10 +102,36 @@ func (ib *inbox) take(context, src, tag int) (Message, error) {
 	}
 }
 
+// CommStats are cumulative per-rank message totals. They are scoped to the
+// world rank: communicators created by Split accumulate into their world
+// rank's totals. A message of m meta ints and d data floats counts as
+// 8*(m+d) bytes.
+type CommStats struct {
+	MsgsSent   int64
+	MsgsRecvd  int64
+	BytesSent  int64
+	BytesRecvd int64
+}
+
+// rankStats is the concurrent accumulator behind CommStats: ranks run as
+// real goroutines, so totals must be atomic.
+type rankStats struct {
+	msgsSent   atomic.Int64
+	msgsRecvd  atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecvd atomic.Int64
+}
+
+func msgBytes(meta []int, data []float64) int64 {
+	return 8 * int64(len(meta)+len(data))
+}
+
 // World is a set of ranks that can exchange messages.
 type World struct {
 	size    int
 	inboxes []*inbox
+	stats   []rankStats
+	tracer  *trace.Tracer
 
 	mu          sync.Mutex
 	nextContext int
@@ -113,7 +142,7 @@ func NewWorld(n int) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
 	}
-	w := &World{size: n, inboxes: make([]*inbox, n), nextContext: 1}
+	w := &World{size: n, inboxes: make([]*inbox, n), stats: make([]rankStats, n), nextContext: 1}
 	for i := range w.inboxes {
 		w.inboxes[i] = newInbox()
 	}
@@ -122,6 +151,35 @@ func NewWorld(n int) (*World, error) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// SetTracer attaches a tracer (wall-clocked: this runtime executes for
+// real). Must be called before Run; a nil tracer disables instrumentation.
+func (w *World) SetTracer(tr *trace.Tracer) { w.tracer = tr }
+
+// RankStats returns the cumulative totals of the given world rank.
+func (w *World) RankStats(rank int) CommStats {
+	s := &w.stats[rank]
+	return CommStats{
+		MsgsSent:   s.msgsSent.Load(),
+		MsgsRecvd:  s.msgsRecvd.Load(),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecvd: s.bytesRecvd.Load(),
+	}
+}
+
+// TotalStats sums RankStats over all ranks. In a quiescent world where
+// every sent message was received, BytesSent == BytesRecvd.
+func (w *World) TotalStats() CommStats {
+	var t CommStats
+	for r := 0; r < w.size; r++ {
+		s := w.RankStats(r)
+		t.MsgsSent += s.MsgsSent
+		t.MsgsRecvd += s.MsgsRecvd
+		t.BytesSent += s.BytesSent
+		t.BytesRecvd += s.BytesRecvd
+	}
+	return t
+}
 
 // allocContext hands out a fresh context id. Contexts separate the message
 // namespaces of communicators; Split relies on every member calling it in
@@ -198,6 +256,30 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return len(c.group) }
 
+// Stats returns the caller's cumulative message totals (world-rank scoped;
+// see CommStats).
+func (c *Comm) Stats() CommStats { return c.world.RankStats(c.group[c.rank]) }
+
+// track is the caller's trace track: one row per world rank.
+func (c *Comm) track() string { return fmt.Sprintf("rank%d", c.group[c.rank]) }
+
+// opName maps a tag to the trace span name of the operation blocking on it.
+func opName(tag int) string {
+	switch tag {
+	case collBcast:
+		return "bcast"
+	case collGather:
+		return "gather"
+	case collScatter:
+		return "scatter"
+	case collBarrierUp, collBarrierDn:
+		return "barrier"
+	case collReduce:
+		return "allreduce"
+	}
+	return "recv"
+}
+
 // Send delivers a message to rank dst of this communicator. Meta and Data
 // are copied, so the caller may immediately reuse its buffers. Tags must be
 // non-negative.
@@ -224,6 +306,43 @@ func (c *Comm) send(dst, tag int, meta []int, data []float64) {
 		e.Data = append([]float64(nil), data...)
 	}
 	c.world.inboxes[c.group[dst]].put(e)
+	bytes := msgBytes(meta, data)
+	st := &c.world.stats[c.group[c.rank]]
+	st.msgsSent.Add(1)
+	st.bytesSent.Add(bytes)
+	tr := c.world.tracer
+	if reg := tr.Counters(); reg != nil {
+		reg.Inc("mpi.msgs")
+		reg.Add("mpi.bytes", float64(bytes))
+	}
+	if tr.Detail() {
+		tr.Instant(c.track(), "mpi", "send", tr.Now(),
+			trace.Arg{Key: "dst", Val: float64(c.group[dst])},
+			trace.Arg{Key: "bytes", Val: float64(bytes)})
+	}
+}
+
+// take blocks on the caller's inbox for a message from communicator rank
+// src with the given tag, accounting stats and emitting the blocking span.
+// All receive paths — point-to-point and collectives — come through here.
+func (c *Comm) take(src, tag int) (Message, error) {
+	tr := c.world.tracer
+	var t0 float64
+	if tr.Enabled() {
+		t0 = tr.Now()
+	}
+	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, src, tag)
+	if err != nil {
+		return m, err
+	}
+	st := &c.world.stats[c.group[c.rank]]
+	st.msgsRecvd.Add(1)
+	st.bytesRecvd.Add(msgBytes(m.Meta, m.Data))
+	if tr.Enabled() {
+		tr.Span(c.track(), "mpi", opName(tag), t0, tr.Now(),
+			trace.Arg{Key: "bytes", Val: float64(msgBytes(m.Meta, m.Data))})
+	}
+	return m, nil
 }
 
 // Recv blocks until a message matching (src, tag) arrives. src may be
@@ -235,7 +354,7 @@ func (c *Comm) Recv(src, tag int) (Message, error) {
 	if tag != AnyTag && tag < 0 {
 		return Message{}, fmt.Errorf("mpi: negative tag %d", tag)
 	}
-	return c.world.inboxes[c.group[c.rank]].take(c.context, src, tag)
+	return c.take(src, tag)
 }
 
 // Collectives use a private tag space carved out of the negative integers so
@@ -264,7 +383,7 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	if vr != 0 {
 		parentVirtual := (vr - 1) / 2
 		parent := (parentVirtual + root) % n
-		m, err := c.world.inboxes[c.group[c.rank]].take(c.context, parent, collBcast)
+		m, err := c.take(parent, collBcast)
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +413,7 @@ func (c *Comm) Gather(root int, data []float64) ([][]float64, error) {
 		if i == root {
 			continue
 		}
-		m, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collGather)
+		m, err := c.take(i, collGather)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +441,7 @@ func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
 		}
 		return append([]float64(nil), parts[root]...), nil
 	}
-	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, root, collScatter)
+	m, err := c.take(root, collScatter)
 	if err != nil {
 		return nil, err
 	}
@@ -333,11 +452,11 @@ func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
 func (c *Comm) Barrier() error {
 	if c.rank != 0 {
 		c.send(0, collBarrierUp, nil, nil)
-		_, err := c.world.inboxes[c.group[c.rank]].take(c.context, 0, collBarrierDn)
+		_, err := c.take(0, collBarrierDn)
 		return err
 	}
 	for i := 1; i < len(c.group); i++ {
-		if _, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collBarrierUp); err != nil {
+		if _, err := c.take(i, collBarrierUp); err != nil {
 			return err
 		}
 	}
@@ -355,7 +474,7 @@ func (c *Comm) AllreduceSum(data []float64) ([]float64, error) {
 	} else {
 		sum := append([]float64(nil), data...)
 		for i := 1; i < len(c.group); i++ {
-			m, err := c.world.inboxes[c.group[c.rank]].take(c.context, i, collReduce)
+			m, err := c.take(i, collReduce)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"senkf/internal/trace"
 )
 
 func run(t *testing.T, n int, fn func(c *Comm) error) {
@@ -491,5 +493,111 @@ func TestAbortUnblocksPendingReceives(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "simulated failure") {
 		t.Errorf("error = %v", err)
+	}
+}
+
+func TestCommStatsAccounting(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// 2 meta ints + 3 data floats = 40 bytes.
+			return c.Send(1, 7, []int{1, 2}, []float64{1, 2, 3})
+		}
+		_, err := c.Recv(0, 7)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := w.RankStats(0), w.RankStats(1)
+	if s0.MsgsSent != 1 || s0.BytesSent != 40 || s0.MsgsRecvd != 0 {
+		t.Errorf("rank 0 stats = %+v", s0)
+	}
+	if s1.MsgsRecvd != 1 || s1.BytesRecvd != 40 || s1.MsgsSent != 0 {
+		t.Errorf("rank 1 stats = %+v", s1)
+	}
+	tot := w.TotalStats()
+	if tot.BytesSent != tot.BytesRecvd || tot.MsgsSent != tot.MsgsRecvd {
+		t.Errorf("quiescent world asymmetric: %+v", tot)
+	}
+}
+
+func TestCommStatsCoverCollectives(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if _, err := c.Bcast(0, []float64{1, 2}); err != nil {
+			return err
+		}
+		if _, err := c.AllreduceSum([]float64{float64(c.Rank())}); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := w.TotalStats()
+	if tot.MsgsSent == 0 {
+		t.Fatal("collectives accounted no messages")
+	}
+	if tot.MsgsSent != tot.MsgsRecvd || tot.BytesSent != tot.BytesRecvd {
+		t.Errorf("collective totals asymmetric: %+v", tot)
+	}
+	// Comm.Stats returns the caller's world-rank slice of the same totals.
+	var sum CommStats
+	for r := 0; r < w.Size(); r++ {
+		s := w.RankStats(r)
+		sum.MsgsSent += s.MsgsSent
+		sum.MsgsRecvd += s.MsgsRecvd
+	}
+	if sum != (CommStats{MsgsSent: tot.MsgsSent, MsgsRecvd: tot.MsgsRecvd,
+		BytesSent: 0, BytesRecvd: 0}) && sum.MsgsSent != tot.MsgsSent {
+		t.Errorf("per-rank sum %+v != total %+v", sum, tot)
+	}
+}
+
+func TestMpiTracingSpans(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := trace.NewBuffer()
+	tr := trace.New(nil, buf)
+	tr.SetCounters(trace.NewRegistry())
+	w.SetTracer(tr)
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, nil, []float64{1})
+		}
+		_, err := c.Recv(0, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recvSpan bool
+	for _, ev := range buf.Events() {
+		if ev.Cat == "mpi" && ev.Name == "recv" && ev.Track == "rank1" && ev.Ph == trace.PhaseSpan {
+			if v, ok := ev.ArgValue("bytes"); !ok || v != 8 {
+				t.Errorf("recv span bytes = %v, want 8", v)
+			}
+			recvSpan = true
+		}
+	}
+	if !recvSpan {
+		t.Error("no recv span on rank1 track")
+	}
+	reg := tr.Counters()
+	if got := reg.CounterValue("mpi.msgs"); got != 1 {
+		t.Errorf("mpi.msgs = %v, want 1", got)
+	}
+	if got := reg.CounterValue("mpi.bytes"); got != 8 {
+		t.Errorf("mpi.bytes = %v, want 8", got)
 	}
 }

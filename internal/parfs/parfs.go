@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"senkf/internal/sim"
+	"senkf/internal/trace"
 )
 
 // Config describes the file system geometry and service times.
@@ -69,6 +70,13 @@ type Stats struct {
 	ServiceTime float64 // time spent actually seeking and streaming
 }
 
+// OSTStats is the per-storage-target slice of the accounting.
+type OSTStats struct {
+	Requests  int
+	Seeks     int
+	BytesRead float64
+}
+
 // FS is a simulated parallel file system.
 type FS struct {
 	cfg      Config
@@ -76,6 +84,7 @@ type FS struct {
 	osts     []*sim.Resource
 	backbone *sim.Resource
 	stats    Stats
+	perOST   []OSTStats
 }
 
 // New creates a file system inside env.
@@ -83,7 +92,7 @@ func New(env *sim.Env, cfg Config) (*FS, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	fs := &FS{cfg: cfg, env: env}
+	fs := &FS{cfg: cfg, env: env, perOST: make([]OSTStats, cfg.OSTs)}
 	fs.osts = make([]*sim.Resource, cfg.OSTs)
 	for i := range fs.osts {
 		fs.osts[i] = sim.NewResource(env, fmt.Sprintf("ost%d", i), cfg.ConcurrencyPerOST)
@@ -118,14 +127,34 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 	// must not hold a backbone stream (head-of-line blocking would collapse
 	// aggregate bandwidth, which real parallel file systems avoid by
 	// queueing requests server-side).
-	ost := fs.osts[fs.OSTOf(file)]
+	osti := fs.OSTOf(file)
+	ost := fs.osts[osti]
 	ost.Acquire(p)
+	tr := fs.env.Tracer()
+	if tr.Enabled() && p.Now() > start {
+		// The reader queued for OST capacity before service began.
+		tr.Instant(ost.Name, trace.CatOST, "queued", start,
+			trace.Arg{Key: "wait", Val: p.Now() - start})
+	}
 	if fs.backbone != nil {
+		tb := p.Now()
 		fs.backbone.Acquire(p)
+		if tr.Enabled() && p.Now() > tb {
+			// Backbone saturation: aggregate bandwidth is the limiter, not
+			// the OST — the throttling regime of Figure 10.
+			tr.Instant("backbone", trace.CatOST, "throttled", tb,
+				trace.Arg{Key: "wait", Val: p.Now() - tb})
+		}
 	}
 	waited := p.Now() - start
 	service := float64(seeks)*fs.cfg.SeekTime + bytes*fs.cfg.ByteTime
+	tServ := p.Now()
 	p.Sleep(service)
+	if tr.Enabled() {
+		tr.Span(ost.Name, trace.CatOST, "service", tServ, p.Now(),
+			trace.Arg{Key: "seeks", Val: float64(seeks)},
+			trace.Arg{Key: "bytes", Val: bytes})
+	}
 	if fs.backbone != nil {
 		fs.backbone.Release()
 	}
@@ -135,8 +164,25 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 	fs.stats.BytesRead += bytes
 	fs.stats.WaitTime += waited
 	fs.stats.ServiceTime += service
+	fs.perOST[osti].Requests++
+	fs.perOST[osti].Seeks += seeks
+	fs.perOST[osti].BytesRead += bytes
+	if reg := tr.Counters(); reg != nil {
+		reg.Inc("parfs.requests")
+		reg.Add("parfs.seeks", float64(seeks))
+		reg.Add("parfs.bytes", bytes)
+		reg.Observe("parfs.wait", waited)
+		reg.Observe("parfs.service", service)
+	}
 	return p.Now() - start
 }
 
 // Stats returns the accumulated accounting.
 func (fs *FS) Stats() Stats { return fs.stats }
+
+// OSTStats returns a copy of the per-storage-target accounting, indexed by
+// OST number. Summed over OSTs it equals the request/seek/byte totals of
+// Stats.
+func (fs *FS) OSTStats() []OSTStats {
+	return append([]OSTStats(nil), fs.perOST...)
+}

@@ -1,10 +1,12 @@
 package parfs
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"senkf/internal/sim"
+	"senkf/internal/trace"
 )
 
 func simpleConfig() Config {
@@ -217,5 +219,98 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	env := sim.NewEnv()
 	if _, err := New(env, Config{}); err == nil {
 		t.Error("expected config error")
+	}
+}
+
+func TestPerOSTStatsSumToTotals(t *testing.T) {
+	env := sim.NewEnv()
+	fs, err := New(env, simpleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 10; f++ {
+		file := f
+		env.Go(fmt.Sprintf("r%d", f), func(p *sim.Proc) {
+			fs.Read(p, file, 2, 1000)
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := fs.OSTStats()
+	if len(per) != fs.Config().OSTs {
+		t.Fatalf("OSTStats has %d entries, want %d", len(per), fs.Config().OSTs)
+	}
+	var reqs, seeks int
+	var bytes float64
+	for _, o := range per {
+		reqs += o.Requests
+		seeks += o.Seeks
+		bytes += o.BytesRead
+	}
+	tot := fs.Stats()
+	if reqs != tot.Requests || seeks != tot.Seeks || bytes != tot.BytesRead {
+		t.Errorf("per-OST sums (%d,%d,%g) != totals (%d,%d,%g)",
+			reqs, seeks, bytes, tot.Requests, tot.Seeks, tot.BytesRead)
+	}
+	// Round-robin placement: file f lands on OST f%4, so 10 files spread
+	// 3/3/2/2.
+	if per[0].Requests != 3 || per[2].Requests != 2 {
+		t.Errorf("placement off: %+v", per)
+	}
+}
+
+func TestReadEmitsServiceSpans(t *testing.T) {
+	env := sim.NewEnv()
+	buf := trace.NewBuffer()
+	tr := trace.New(env.Now, buf)
+	tr.SetCounters(trace.NewRegistry())
+	env.SetTracer(tr)
+	cfg := simpleConfig()
+	cfg.ConcurrencyPerOST = 1
+	fs, err := New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two readers of the same file serialize on the single-slot OST.
+	for i := 0; i < 2; i++ {
+		env.Go(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+			fs.Read(p, 0, 1, 100)
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := buf.Events()
+	var services int
+	var queued bool
+	for _, ev := range events {
+		if ev.Cat == trace.CatOST && ev.Name == "service" && ev.Track == "ost0" {
+			services++
+			if v, ok := ev.ArgValue("seeks"); !ok || v != 1 {
+				t.Errorf("service span seeks = %v, want 1", v)
+			}
+		}
+		if ev.Cat == trace.CatOST && ev.Name == "queued" {
+			queued = true
+		}
+	}
+	if services != 2 {
+		t.Errorf("service spans = %d, want 2", services)
+	}
+	if !queued {
+		t.Error("second reader queued but no queued instant emitted")
+	}
+	// The single-slot OST must never service two requests at once.
+	mc := trace.MaxConcurrent(events, "ost", trace.CatOST, "service")
+	if mc["ost0"] != 1 {
+		t.Errorf("ost0 concurrency = %d, want 1", mc["ost0"])
+	}
+	reg := tr.Counters()
+	if got := reg.CounterValue("parfs.seeks"); got != 2 {
+		t.Errorf("parfs.seeks = %v, want 2", got)
+	}
+	if got := reg.CounterValue("parfs.bytes"); got != 200 {
+		t.Errorf("parfs.bytes = %v, want 200", got)
 	}
 }

@@ -31,12 +31,28 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/parfs"
 	"senkf/internal/sim"
+	"senkf/internal/trace"
 )
 
 // Config couples the problem/cost parameters with the file system model.
 type Config struct {
 	P  costmodel.Params
 	FS parfs.Config
+
+	// Tracer receives the virtual-clocked event stream of every simulated
+	// run (phase spans per processor, OST service spans, stage readiness
+	// instants). Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+}
+
+// obs records one phase interval in both the recorder and — when tracing —
+// as a span on the processor's own track, keeping the two derivations of
+// the paper's breakdowns byte-for-byte comparable.
+func obs(tr *trace.Tracer, rec *metrics.Recorder, name string, ph metrics.Phase, t0, t1 float64) {
+	rec.Record(name, ph, t0, t1)
+	if tr.Enabled() {
+		tr.Span(name, trace.CatPhase, ph.String(), t0, t1)
+	}
 }
 
 // Validate checks both halves and their consistency.
@@ -148,28 +164,30 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	np := nsdx * nsdy
 	env := sim.NewEnv()
+	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
 	rec := metrics.NewRecorder()
+	tr := cfg.Tracer
 	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
 	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
 
 	for r := 0; r < np; r++ {
-		name := fmt.Sprintf("cp%06d", r)
+		name := metrics.ComputeName(r%nsdx, r/nsdx)
 		env.Go(name, func(p *sim.Proc) {
 			// Phase 1: block-read every member file, one after another,
 			// paying one addressing operation per expansion row (§4.1.1).
 			for k := 0; k < cfg.P.N; k++ {
 				t0 := p.Now()
 				fs.Read(p, k, rows, blockBytes)
-				rec.Record(name, metrics.PhaseRead, t0, p.Now())
+				obs(tr, rec, name, metrics.PhaseRead, t0, p.Now())
 			}
 			// Phase 2: local analysis on the sub-domain.
 			t0 := p.Now()
 			p.Sleep(cfg.P.C * pointsPerProc)
-			rec.Record(name, metrics.PhaseCompute, t0, p.Now())
+			obs(tr, rec, name, metrics.PhaseCompute, t0, p.Now())
 		})
 	}
 	end, err := env.Run()
@@ -180,7 +198,7 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		Algorithm: "P-EnKF",
 		NP:        np,
 		Runtime:   end,
-		Compute:   rec.MeanBreakdown("cp"),
+		Compute:   rec.MeanBreakdown(metrics.ComputePrefix),
 		FSStats:   fs.Stats(),
 	}, nil
 }
@@ -197,11 +215,13 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	np := nsdx * nsdy
 	env := sim.NewEnv()
+	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
 	rec := metrics.NewRecorder()
+	tr := cfg.Tracer
 	_, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
 	fileBytes := float64(cfg.P.NX) * float64(cfg.P.NY) * float64(cfg.P.H)
 	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
@@ -210,33 +230,34 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	for r := range boxes {
 		boxes[r] = sim.NewMailbox(env, fmt.Sprintf("mb%d", r))
 	}
-	env.Go("io0", func(p *sim.Proc) {
+	reader := metrics.IOName(0, 0)
+	env.Go(reader, func(p *sim.Proc) {
 		for k := 0; k < cfg.P.N; k++ {
 			t0 := p.Now()
 			fs.Read(p, k, 1, fileBytes)
-			rec.Record("io0", metrics.PhaseRead, t0, p.Now())
+			obs(tr, rec, reader, metrics.PhaseRead, t0, p.Now())
 			// Serial distribution: the reader pays startup + transfer for
 			// every destination, one destination after another.
 			t0 = p.Now()
 			p.Sleep(float64(np) * (cfg.P.A + cfg.P.B*blockBytes))
-			rec.Record("io0", metrics.PhaseComm, t0, p.Now())
+			obs(tr, rec, reader, metrics.PhaseComm, t0, p.Now())
 			for r := 0; r < np; r++ {
 				boxes[r].Send(k)
 			}
 		}
 	})
 	for r := 0; r < np; r++ {
-		name := fmt.Sprintf("cp%06d", r)
+		name := metrics.ComputeName(r%nsdx, r/nsdx)
 		mb := boxes[r]
 		env.Go(name, func(p *sim.Proc) {
 			t0 := p.Now()
 			for k := 0; k < cfg.P.N; k++ {
 				mb.Recv(p)
 			}
-			rec.Record(name, metrics.PhaseWait, t0, p.Now())
+			obs(tr, rec, name, metrics.PhaseWait, t0, p.Now())
 			t0 = p.Now()
 			p.Sleep(cfg.P.C * pointsPerProc)
-			rec.Record(name, metrics.PhaseCompute, t0, p.Now())
+			obs(tr, rec, name, metrics.PhaseCompute, t0, p.Now())
 		})
 	}
 	end, err := env.Run()
@@ -247,8 +268,8 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		Algorithm: "L-EnKF",
 		NP:        np + 1,
 		Runtime:   end,
-		IO:        rec.MeanBreakdown("io"),
-		Compute:   rec.MeanBreakdown("cp"),
+		IO:        rec.MeanBreakdown(metrics.IOPrefix),
+		Compute:   rec.MeanBreakdown(metrics.ComputePrefix),
 		FSStats:   fs.Stats(),
 	}, nil
 }
@@ -267,11 +288,13 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		return Result{}, fmt.Errorf("schedule: choice %v infeasible for the problem", ch)
 	}
 	env := sim.NewEnv()
+	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
 	rec := metrics.NewRecorder()
+	tr := cfg.Tracer
 	p := cfg.P
 	nsdx, nsdy, L, ncg := ch.NSdx, ch.NSdy, ch.L, ch.NCg
 
@@ -303,7 +326,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	for g := 0; g < ncg; g++ {
 		for j := 0; j < nsdy; j++ {
 			g, j := g, j
-			name := fmt.Sprintf("io%03d.%03d", g, j)
+			name := metrics.IOName(g, j)
 			env.Go(name, func(proc *sim.Proc) {
 				for l := 0; l < L; l++ {
 					// Read this stage's small bar from each file of the
@@ -314,12 +337,12 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 						fs.Read(proc, file, 1, barBytes)
 						groupBarriers[g].Wait(proc)
 					}
-					rec.Record(name, metrics.PhaseRead, t0, proc.Now())
+					obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now())
 					// Send each compute processor of row j its aggregated
 					// stage blocks (serialized at the sender's link).
 					t0 = proc.Now()
 					proc.Sleep(float64(nsdx) * (p.A + p.B*blockBytes))
-					rec.Record(name, metrics.PhaseComm, t0, proc.Now())
+					obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now())
 					for i := 0; i < nsdx; i++ {
 						boxes[j][i].Send(stageMsg{stage: l})
 					}
@@ -336,7 +359,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	for j := 0; j < nsdy; j++ {
 		for i := 0; i < nsdx; i++ {
 			i, j := i, j
-			name := fmt.Sprintf("cp%03d.%03d", j, i)
+			name := metrics.ComputeName(i, j)
 			mb := boxes[j][i]
 			env.Go(name, func(proc *sim.Proc) {
 				counts := make([]int, L)
@@ -346,9 +369,16 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 					for counts[l] < ncg {
 						m := mb.Recv(proc).(stageMsg)
 						counts[m.stage]++
+						if tr.Enabled() && counts[m.stage] == ncg {
+							// The last block of stage m.stage just arrived:
+							// computing that stage is causally legal from
+							// this instant on.
+							tr.Instant(name, trace.CatStage, "ready", proc.Now(),
+								trace.Arg{Key: trace.ArgStage, Val: float64(m.stage)})
+						}
 					}
 					if t0 != proc.Now() {
-						rec.Record(name, metrics.PhaseWait, t0, proc.Now())
+						obs(tr, rec, name, metrics.PhaseWait, t0, proc.Now())
 					}
 					if l == 0 && i == 0 && j == 0 {
 						firstStage.Send(proc.Now())
@@ -356,6 +386,10 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 					t0 = proc.Now()
 					proc.Sleep(p.C * layerPoints)
 					rec.Record(name, metrics.PhaseCompute, t0, proc.Now())
+					if tr.Enabled() {
+						tr.Span(name, trace.CatPhase, metrics.PhaseCompute.String(), t0, proc.Now(),
+							trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+					}
 				}
 			})
 		}
@@ -365,8 +399,8 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ioSpans := rec.Spans("io", metrics.PhaseRead, metrics.PhaseComm)
-	cpSpans := rec.Spans("cp", metrics.PhaseCompute)
+	ioSpans := rec.Spans(metrics.IOPrefix, metrics.PhaseRead, metrics.PhaseComm)
+	cpSpans := rec.Spans(metrics.ComputePrefix, metrics.PhaseCompute)
 	overlap := metrics.OverlapDuration(ioSpans, cpSpans)
 	ioBusy := metrics.SpanTotal(ioSpans)
 	var first float64
@@ -377,8 +411,8 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		Algorithm:              "S-EnKF",
 		NP:                     ch.C1() + ch.C2(),
 		Runtime:                end,
-		IO:                     rec.MeanBreakdown("io"),
-		Compute:                rec.MeanBreakdown("cp"),
+		IO:                     rec.MeanBreakdown(metrics.IOPrefix),
+		Compute:                rec.MeanBreakdown(metrics.ComputePrefix),
 		OverlapRuntimeFraction: overlap / end,
 		FirstStage:             first,
 		FSStats:                fs.Stats(),
@@ -403,7 +437,7 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
 	np := nsdx * nsdy
 	for r := 0; r < np; r++ {
-		env.Go("cp", func(p *sim.Proc) {
+		env.Go(metrics.ComputePrefix, func(p *sim.Proc) {
 			for k := 0; k < nFiles; k++ {
 				fs.Read(p, k, rows, blockBytes)
 			}

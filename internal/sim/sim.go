@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"senkf/internal/trace"
 )
 
 // event is a scheduled process wake-up.
@@ -56,6 +58,8 @@ type Env struct {
 
 	live    int              // processes started and not finished
 	blocked map[*Proc]string // parked with no scheduled wake-up: what they wait on
+
+	tracer *trace.Tracer
 }
 
 // NewEnv creates an empty simulation environment at time 0.
@@ -68,6 +72,13 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() float64 { return e.now }
+
+// SetTracer attaches a tracer; events are stamped with the virtual clock.
+// A nil tracer (the default) disables all instrumentation.
+func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer (possibly nil; nil is safe to use).
+func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own function.
@@ -90,6 +101,10 @@ func (p *Proc) Now() float64 { return p.env.now }
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{Name: name, env: e, resume: make(chan struct{})}
 	e.live++
+	e.tracer.Counters().Inc("sim.procs")
+	if e.tracer.Detail() {
+		e.tracer.Instant(name, "sim", "start", e.now)
+	}
 	go func() {
 		<-p.resume
 		fn(p)
@@ -123,14 +138,28 @@ func (p *Proc) Sleep(d float64) {
 	p.park()
 }
 
+// BlockedProc identifies one parked process of a deadlocked simulation and
+// the synchronization object it was blocked on.
+type BlockedProc struct {
+	Name      string
+	WaitingOn string // "resource:<name>", "mailbox:<name>" or "barrier:<name>"
+}
+
 // DeadlockError reports a simulation that stalled with parked processes.
+// Blocked holds every parked process with the resource, mailbox or barrier
+// it waits on, so the deadlock is diagnosable from the error alone.
 type DeadlockError struct {
 	Time    float64
-	Waiting []string
+	Blocked []BlockedProc // all parked processes, sorted by name
+	Waiting []string      // "name(what)" render of Blocked, same order
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked processes (e.g. %v)", d.Time, len(d.Waiting), d.Waiting)
+	examples := d.Waiting
+	if len(examples) > 8 {
+		examples = examples[:8]
+	}
+	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked processes (e.g. %v)", d.Time, len(d.Waiting), examples)
 }
 
 // Run drives the simulation until no events remain. It returns the final
@@ -149,11 +178,11 @@ func (e *Env) Run() (float64, error) {
 	if e.live > 0 {
 		d := &DeadlockError{Time: e.now}
 		for p, what := range e.blocked {
-			d.Waiting = append(d.Waiting, fmt.Sprintf("%s(%s)", p.Name, what))
+			d.Blocked = append(d.Blocked, BlockedProc{Name: p.Name, WaitingOn: what})
 		}
-		sort.Strings(d.Waiting)
-		if len(d.Waiting) > 8 {
-			d.Waiting = d.Waiting[:8]
+		sort.Slice(d.Blocked, func(i, j int) bool { return d.Blocked[i].Name < d.Blocked[j].Name })
+		for _, b := range d.Blocked {
+			d.Waiting = append(d.Waiting, b.Name+"("+b.WaitingOn+")")
 		}
 		return e.now, d
 	}
@@ -187,8 +216,20 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	r.waiters = append(r.waiters, p)
 	r.env.blocked[p] = "resource:" + r.Name
+	reg := r.env.tracer.Counters()
+	if reg != nil {
+		reg.Inc("sim.resource.waits")
+		reg.SetGauge("sim.resource.queue", float64(len(r.waiters)))
+	}
+	t0 := r.env.now
+	if r.env.tracer.Detail() {
+		r.env.tracer.Counter(r.Name, "queue", t0, float64(len(r.waiters)))
+	}
 	p.park()
 	delete(r.env.blocked, p)
+	if r.env.tracer.Detail() {
+		r.env.tracer.Span(p.Name, "sim", "resource-wait", t0, r.env.now)
+	}
 	// Capacity was transferred to us by Release.
 }
 
@@ -203,6 +244,9 @@ func (r *Resource) Release() {
 		r.waiters = r.waiters[1:]
 		// Capacity passes directly to the waiter; inUse stays constant.
 		r.env.schedule(r.env.now, w)
+		if r.env.tracer.Detail() {
+			r.env.tracer.Counter(r.Name, "queue", r.env.now, float64(len(r.waiters)))
+		}
 		return
 	}
 	r.inUse--
@@ -239,6 +283,15 @@ func (m *Mailbox) Send(v any) {
 		return
 	}
 	m.queue = append(m.queue, v)
+	reg := m.env.tracer.Counters()
+	if reg != nil {
+		// One global gauge: its high-water mark is the deepest any mailbox
+		// ever got (per-mailbox gauges would explode at 12k-rank scale).
+		reg.SetGauge("sim.mailbox.depth", float64(len(m.queue)))
+	}
+	if m.env.tracer.Detail() {
+		m.env.tracer.Counter(m.Name, "depth", m.env.now, float64(len(m.queue)))
+	}
 }
 
 // Recv dequeues the oldest value, blocking until one is available.
@@ -250,8 +303,12 @@ func (m *Mailbox) Recv(p *Proc) any {
 	}
 	m.recvq = append(m.recvq, p)
 	m.env.blocked[p] = "mailbox:" + m.Name
+	t0 := m.env.now
 	p.park()
 	delete(m.env.blocked, p)
+	if m.env.tracer.Detail() {
+		m.env.tracer.Span(p.Name, "sim", "mailbox-wait", t0, m.env.now)
+	}
 	v := p.handoff
 	p.handoff = nil
 	return v
@@ -302,8 +359,12 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	b.waiters = append(b.waiters, p)
 	b.env.blocked[p] = "barrier:" + b.Name
+	t0 := b.env.now
 	p.park()
 	delete(b.env.blocked, p)
+	if b.env.tracer.Detail() {
+		b.env.tracer.Span(p.Name, "sim", "barrier-wait", t0, b.env.now)
+	}
 }
 
 // WaitGroup lets one process wait for n completions signalled by others.

@@ -2,8 +2,12 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
+
+	"senkf/internal/trace"
 )
 
 func TestSleepAdvancesVirtualTime(t *testing.T) {
@@ -443,4 +447,132 @@ func TestBarrierValidation(t *testing.T) {
 		}
 	}()
 	NewBarrier(NewEnv(), "bad", 0)
+}
+
+func TestDeadlockErrorListsAllBlockedProcesses(t *testing.T) {
+	e := NewEnv()
+	mb := NewMailbox(e, "empty")
+	r := NewResource(e, "disk", 1)
+	bar := NewBarrier(e, "gate", 2)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p) // never released
+	})
+	e.Go("reader", func(p *Proc) {
+		mb.Recv(p)
+	})
+	e.Go("queued", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p)
+	})
+	e.Go("lonely", func(p *Proc) {
+		bar.Wait(p) // second participant never arrives
+	})
+	_, err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	want := []BlockedProc{
+		{Name: "lonely", WaitingOn: "barrier:gate"},
+		{Name: "queued", WaitingOn: "resource:disk"},
+		{Name: "reader", WaitingOn: "mailbox:empty"},
+	}
+	if len(d.Blocked) != len(want) {
+		t.Fatalf("Blocked = %+v, want %+v", d.Blocked, want)
+	}
+	for i, w := range want {
+		if d.Blocked[i] != w {
+			t.Errorf("Blocked[%d] = %+v, want %+v", i, d.Blocked[i], w)
+		}
+	}
+	// The Waiting render matches the Blocked list entry for entry.
+	if len(d.Waiting) != len(d.Blocked) || d.Waiting[0] != "lonely(barrier:gate)" {
+		t.Errorf("Waiting = %v", d.Waiting)
+	}
+	// "holder" holds the resource but is not parked: it finished, so it
+	// must not be listed.
+	for _, b := range d.Blocked {
+		if b.Name == "holder" {
+			t.Errorf("finished process listed as blocked: %+v", b)
+		}
+	}
+}
+
+func TestDeadlockErrorTruncatesMessageNotList(t *testing.T) {
+	e := NewEnv()
+	mb := NewMailbox(e, "empty")
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("stuck%02d", i)
+		e.Go(name, func(p *Proc) { mb.Recv(p) })
+	}
+	_, err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(d.Blocked) != 12 || len(d.Waiting) != 12 {
+		t.Fatalf("list truncated: %d blocked, %d waiting", len(d.Blocked), len(d.Waiting))
+	}
+	msg := d.Error()
+	if !strings.Contains(msg, "12 blocked") || strings.Contains(msg, "stuck09") {
+		t.Errorf("message should count all but show at most 8: %q", msg)
+	}
+}
+
+func TestSimTracingDetailEvents(t *testing.T) {
+	e := NewEnv()
+	buf := trace.NewBuffer()
+	tr := trace.New(func() float64 { return e.Now() }, buf)
+	tr.SetDetail(true)
+	tr.SetCounters(trace.NewRegistry())
+	e.SetTracer(tr)
+	if e.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+
+	r := NewResource(e, "disk", 1)
+	mb := NewMailbox(e, "box")
+	e.Go("a", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(2)
+		r.Release()
+		mb.Send(1)
+	})
+	e.Go("b", func(p *Proc) {
+		r.Acquire(p) // waits until t=2
+		r.Release()
+		mb.Recv(p)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var resourceWait, mailboxDepth bool
+	for _, ev := range buf.Events() {
+		if ev.Cat == "sim" && ev.Name == "resource-wait" && ev.Track == "b" {
+			if ev.Ts != 0 || ev.Dur != 2 {
+				t.Errorf("resource-wait span = %+v, want [0,2]", ev)
+			}
+			resourceWait = true
+		}
+		if ev.Ph == trace.PhaseCounter && ev.Track == "box" && ev.Name == "depth" {
+			mailboxDepth = true
+		}
+	}
+	if !resourceWait {
+		t.Error("no resource-wait span emitted")
+	}
+	if !mailboxDepth {
+		t.Error("no mailbox depth counter emitted")
+	}
+	reg := tr.Counters()
+	if got := reg.CounterValue("sim.procs"); got != 2 {
+		t.Errorf("sim.procs = %v, want 2", got)
+	}
+	if got := reg.CounterValue("sim.resource.waits"); got != 1 {
+		t.Errorf("sim.resource.waits = %v, want 1", got)
+	}
+	if got := reg.GaugeMax("sim.mailbox.depth"); got != 1 {
+		t.Errorf("sim.mailbox.depth high-water = %v, want 1", got)
+	}
 }

@@ -1,0 +1,274 @@
+// Trace-derived verification of the paper's evaluation quantities: the
+// Figure 9 phase breakdowns and the Figure 11 overlap share are recomputed
+// from the raw trace events and asserted against the metrics.Recorder
+// derivation, and the causality/capacity invariants of the schedules are
+// checked on the same trace. A bug in either the instrumentation or the
+// recorder shows up here as a mismatch.
+package senkf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/figures"
+	"senkf/internal/metrics"
+	"senkf/internal/parfs"
+	"senkf/internal/schedule"
+	"senkf/internal/trace"
+)
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func assertBreakdownsMatch(t *testing.T, label string, fromTrace, fromRecorder metrics.Breakdown) {
+	t.Helper()
+	for _, ph := range []metrics.Phase{metrics.PhaseRead, metrics.PhaseComm, metrics.PhaseCompute, metrics.PhaseWait} {
+		if !relClose(fromTrace.Get(ph), fromRecorder.Get(ph), 1e-6) {
+			t.Errorf("%s %s: trace-derived %.12g vs recorder %.12g",
+				label, ph, fromTrace.Get(ph), fromRecorder.Get(ph))
+		}
+	}
+}
+
+// TestTracedSEnKFPaperScale runs the auto-tuned S-EnKF schedule at the
+// paper's 12,000-processor scale with tracing attached and verifies:
+// the Chrome export is valid, loadable JSON that round-trips; the Fig. 9
+// breakdowns and Fig. 11 overlap share recomputed from the trace match the
+// Recorder-derived Result within 1e-6 relative; no stage is computed before
+// its last block arrived; and no OST ever serves more requests at once than
+// its configured concurrency.
+func TestTracedSEnKFPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale traced run skipped in -short mode")
+	}
+	buf := trace.NewBuffer()
+	tr := trace.New(nil, buf)
+	reg := trace.NewRegistry()
+	tr.SetCounters(reg)
+	suite := figures.NewSuite(figures.PaperOptions())
+	suite.O.Cfg.Tracer = tr
+
+	res, tuned, err := suite.SEnKFAt(12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := buf.Events()
+	if len(events) == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+
+	// Figure 9: mean per-processor phase breakdowns from the trace.
+	assertBreakdownsMatch(t, "io", trace.MeanPhaseBreakdown(events, metrics.IOPrefix), res.IO)
+	assertBreakdownsMatch(t, "compute", trace.MeanPhaseBreakdown(events, metrics.ComputePrefix), res.Compute)
+
+	// Figure 11: overlap share of I/O+comm behind compute, from the trace.
+	ioSpans := trace.PhaseSpans(events, metrics.IOPrefix, metrics.PhaseRead, metrics.PhaseComm)
+	cpSpans := trace.PhaseSpans(events, metrics.ComputePrefix, metrics.PhaseCompute)
+	overlap := metrics.OverlapDuration(ioSpans, cpSpans)
+	ioBusy := metrics.SpanTotal(ioSpans)
+	if ioBusy == 0 {
+		t.Fatal("no I/O phase spans in trace")
+	}
+	if got := overlap / ioBusy; !relClose(got, res.OverlapFraction, 1e-6) {
+		t.Errorf("overlap fraction from trace %.12g vs result %.12g", got, res.OverlapFraction)
+	}
+	if got := overlap / res.Runtime; !relClose(got, res.OverlapRuntimeFraction, 1e-6) {
+		t.Errorf("overlap runtime fraction from trace %.12g vs result %.12g", got, res.OverlapRuntimeFraction)
+	}
+
+	// Causality: every stage-l compute span starts at or after the stage-l
+	// "ready" instant, on every compute track.
+	checked, err := trace.CheckStageOrdering(events)
+	if err != nil {
+		t.Error(err)
+	}
+	if want := tuned.Choice.C2() * tuned.Choice.L; checked != want {
+		t.Errorf("stage ordering checked %d compute spans, want %d", checked, want)
+	}
+
+	// Capacity: per-OST in-flight service spans never exceed the limit.
+	mc := trace.MaxConcurrent(events, "ost", trace.CatOST, "service")
+	if len(mc) == 0 {
+		t.Fatal("no OST service spans in trace")
+	}
+	for ost, m := range mc {
+		if m > suite.O.Cfg.FS.ConcurrencyPerOST {
+			t.Errorf("%s served %d requests at once, limit %d", ost, m, suite.O.Cfg.FS.ConcurrencyPerOST)
+		}
+	}
+
+	// The counter registry agrees with the file system's own accounting.
+	if got := reg.CounterValue("parfs.requests"); got != float64(res.FSStats.Requests) {
+		t.Errorf("parfs.requests counter %g vs FSStats %d", got, res.FSStats.Requests)
+	}
+	if got := reg.CounterValue("parfs.seeks"); got != float64(res.FSStats.Seeks) {
+		t.Errorf("parfs.seeks counter %g vs FSStats %d", got, res.FSStats.Seeks)
+	}
+	if got := reg.CounterValue("parfs.bytes"); !relClose(got, res.FSStats.BytesRead, 1e-9) {
+		t.Errorf("parfs.bytes counter %g vs FSStats %g", got, res.FSStats.BytesRead)
+	}
+
+	// Chrome export: valid JSON that decodes back to the same events.
+	var out bytes.Buffer
+	if err := buf.WriteChrome(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(out.Bytes()) {
+		t.Fatal("Chrome export is not valid JSON")
+	}
+	decoded, err := trace.ReadChrome(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("round trip decoded %d events, emitted %d", len(decoded), len(events))
+	}
+	// Microsecond quantization bounds the round-trip breakdown error.
+	rb := trace.PhaseBreakdown(decoded, metrics.ComputePrefix)
+	eb := trace.PhaseBreakdown(events, metrics.ComputePrefix)
+	if !relClose(rb.Compute, eb.Compute, 1e-3) {
+		t.Errorf("round-trip compute total %.12g vs exact %.12g", rb.Compute, eb.Compute)
+	}
+}
+
+// TestTracedPEnKFCausality traces the block-reading baseline and asserts
+// its single-stage invariant: on every processor, computation starts only
+// after the last read has finished; and the trace-derived breakdown matches
+// the Result.
+func TestTracedPEnKFCausality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale traced run skipped in -short mode")
+	}
+	buf := trace.NewBuffer()
+	tr := trace.New(nil, buf)
+	suite := figures.NewSuite(figures.PaperOptions())
+	suite.O.Cfg.Tracer = tr
+
+	res, err := suite.PEnKFAt(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := buf.Events()
+	checked, err := trace.CheckReadBeforeCompute(events, metrics.ComputePrefix)
+	if err != nil {
+		t.Error(err)
+	}
+	if checked != 2000 {
+		t.Errorf("read-before-compute checked %d tracks, want 2000", checked)
+	}
+	assertBreakdownsMatch(t, "compute", trace.MeanPhaseBreakdown(events, metrics.ComputePrefix), res.Compute)
+	for ost, m := range trace.MaxConcurrent(events, "ost", trace.CatOST, "service") {
+		if m > suite.O.Cfg.FS.ConcurrencyPerOST {
+			t.Errorf("%s served %d requests at once, limit %d", ost, m, suite.O.Cfg.FS.ConcurrencyPerOST)
+		}
+	}
+}
+
+// TestRealSEnKFCrossChecksSimulatedAccounting runs the real S-EnKF over
+// actual member files and the simulated S-EnKF schedule with the same
+// (N, n_sdx, n_sdy, L, n_cg) geometry, and cross-checks the two independent
+// accountings: ensio counts the real addressing operations and read
+// requests; parfs counts the simulated ones. The schedule determines both —
+// one bar read per (reader, file-of-group, stage) — so they must agree
+// exactly.
+func TestRealSEnKFCrossChecksSimulatedAccounting(t *testing.T) {
+	const (
+		members = 8
+		nsdx    = 4
+		nsdy    = 2
+		layers  = 2
+		ncg     = 2
+	)
+	mesh, err := NewMesh(48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius, err := NewRadius(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := GenerateTruth(mesh, DefaultFieldSpec, 11)
+	ens, err := GenerateEnsemble(mesh, truth, members, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := WriteEnsemble(dir, mesh, ens); err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewStridedNetwork(mesh, truth, 3, 3, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecomposition(mesh, nsdx, nsdy, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Counters accumulate without any span sink attached.
+	reg := NewCounterRegistry()
+	tr := NewWallTracer()
+	tr.SetCounters(reg)
+	cfg := Config{Mesh: mesh, Radius: radius, N: members, Seed: 11}
+	p := Problem{Cfg: cfg, Dir: dir, Net: net, Tr: tr}
+	if _, err := RunSEnKF(p, Plan{Dec: dec, L: layers, NCg: ncg}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One bar read per (reader, file, stage): ncg·nsdy readers, N/ncg files
+	// each, L stages.
+	wantReads := ncg * nsdy * (members / ncg) * layers
+	realSeeks := reg.CounterValue("ensio.seeks")
+	realReads := reg.CounterValue("ensio.reads")
+	if realReads != float64(wantReads) {
+		t.Errorf("real ensio reads = %g, want %d", realReads, wantReads)
+	}
+	if realSeeks != float64(wantReads) { // full-width bars: one seek per read
+		t.Errorf("real ensio seeks = %g, want %d", realSeeks, wantReads)
+	}
+	if bytes := reg.CounterValue("ensio.bytes"); bytes <= 0 {
+		t.Errorf("real ensio bytes = %g, want > 0", bytes)
+	}
+
+	// The same schedule simulated: parfs must count the same requests/seeks.
+	simCfg := schedule.Config{
+		P: costmodel.Params{
+			N: members, NX: 48, NY: 24,
+			A: 1e-6, B: 1e-9, C: 1e-6,
+			Theta: 1e-9, Xi: 4, Eta: 2, H: 8,
+		},
+		FS: parfs.Config{
+			OSTs:              2,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          1e-9,
+			BackboneStreams:   4,
+		},
+	}
+	res, err := schedule.SimulateSEnKF(simCfg, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FSStats.Requests != wantReads {
+		t.Errorf("simulated parfs requests = %d, want %d", res.FSStats.Requests, wantReads)
+	}
+	if res.FSStats.Seeks != int(realSeeks) {
+		t.Errorf("simulated parfs seeks = %d, real ensio seeks = %g", res.FSStats.Seeks, realSeeks)
+	}
+
+	// The message layer moved every stage block: at least one message per
+	// (reader, file, stage, destination column).
+	if msgs := reg.CounterValue("mpi.msgs"); msgs < float64(wantReads*nsdx) {
+		t.Errorf("mpi.msgs = %g, want >= %d stage messages", msgs, wantReads*nsdx)
+	}
+	if b := reg.CounterValue("mpi.bytes"); b <= 0 {
+		t.Errorf("mpi.bytes = %g, want > 0", b)
+	}
+}

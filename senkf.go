@@ -44,6 +44,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
 	"senkf/internal/schedule"
+	"senkf/internal/trace"
 	"senkf/internal/workload"
 )
 
@@ -86,6 +87,29 @@ type (
 	Recorder = metrics.Recorder
 	// PhaseBreakdown sums recorded time per phase.
 	PhaseBreakdown = metrics.Breakdown
+)
+
+// Observability types (structured event tracing and counters).
+type (
+	// Tracer emits structured spans/instants/counters to its sinks. A nil
+	// tracer is valid everywhere and costs nothing.
+	Tracer = trace.Tracer
+	// TraceEvent is one emitted trace event.
+	TraceEvent = trace.Event
+	// TraceSink receives emitted events.
+	TraceSink = trace.Sink
+	// TraceBuffer collects events in memory and exports Chrome trace JSON.
+	TraceBuffer = trace.Buffer
+	// CounterRegistry aggregates named counters, gauges and histograms.
+	CounterRegistry = trace.Registry
+)
+
+// Processor-name class prefixes: every I/O processor is named
+// "io/g<group>/r<reader>" and every compute processor "comp/x<i>y<j>",
+// across all schedules, the recorder and the trace tracks.
+const (
+	IOPrefix      = metrics.IOPrefix
+	ComputePrefix = metrics.ComputePrefix
 )
 
 // Modelling and simulation types.
@@ -201,14 +225,26 @@ func RMSE(field, truth []float64) float64 { return enkf.RMSE(field, truth) }
 // NewRecorder returns an empty phase recorder for real executions.
 func NewRecorder() *Recorder { return metrics.NewRecorder() }
 
+// NewTraceBuffer returns an empty in-memory trace sink.
+func NewTraceBuffer() *TraceBuffer { return trace.NewBuffer() }
+
+// NewWallTracer returns a wall-clocked tracer over the given sinks, for
+// real executions. With no sinks the tracer is disabled (every call is a
+// cheap no-op), so it is safe to construct one unconditionally.
+func NewWallTracer(sinks ...trace.Sink) *Tracer { return trace.New(nil, sinks...) }
+
+// NewCounterRegistry returns an empty counter/gauge/histogram registry.
+func NewCounterRegistry() *CounterRegistry { return trace.NewRegistry() }
+
 // Problem bundles what a real parallel run needs: the assimilation
-// configuration, the member-file directory, the observation network, and an
-// optional phase recorder.
+// configuration, the member-file directory, the observation network, an
+// optional phase recorder, and an optional tracer.
 type Problem struct {
 	Cfg Config
 	Dir string
 	Net *Network
 	Rec *Recorder
+	Tr  *Tracer
 }
 
 // RunSEnKF executes the paper's S-EnKF for real: C1 = n_cg·n_sdy I/O ranks
@@ -217,18 +253,18 @@ type Problem struct {
 // arrival with the multi-stage local analysis. Returns the analysis
 // ensemble as full fields.
 func RunSEnKF(p Problem, plan Plan) ([][]float64, error) {
-	return core.RunSEnKF(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec}, plan)
+	return core.RunSEnKF(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr}, plan)
 }
 
 // RunPEnKF executes the block-reading state-of-the-art baseline (refs
 // [23, 24]) on Dec.NSdx × Dec.NSdy ranks.
 func RunPEnKF(p Problem, dec Decomposition) ([][]float64, error) {
-	return baseline.RunPEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec})
+	return baseline.RunPEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr})
 }
 
 // RunLEnKF executes the single-reader baseline (refs [13, 33]).
 func RunLEnKF(p Problem, dec Decomposition) ([][]float64, error) {
-	return baseline.RunLEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec})
+	return baseline.RunLEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr})
 }
 
 // AutoTune runs Algorithm 2 (restructured for large processor counts):
