@@ -8,6 +8,7 @@
 //	senkf-bench                 # all figures at paper scale
 //	senkf-bench -quick          # reduced scale (seconds instead of minutes)
 //	senkf-bench -figure 13      # one figure only
+//	senkf-bench -quick -faults  # fault-injection resilience sweep
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		traceNP   = flag.Int("trace-np", 0, "processor budget for the traced run (default: largest configured count)")
 		detail    = flag.Bool("trace-detail", false, "include high-volume detail events (park/wake, queue depths) in the trace")
 		counters  = flag.Bool("counters", false, "run one simulated S-EnKF run and print its counters/gauges/histograms")
+		faultsRun = flag.Bool("faults", false, "run the fault-injection resilience sweep instead of the figures")
+		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plans (with -faults)")
 	)
 	flag.Parse()
 
@@ -42,6 +45,16 @@ func main() {
 	}
 	if *traceOut != "" || *counters {
 		tracedRun(suite, *traceOut, *traceNP, *detail, *counters)
+		return
+	}
+	if *faultsRun {
+		f, err := suite.Resilience(*faultSeed, nil)
+		if err != nil {
+			log.Fatalf("resilience sweep: %v", err)
+		}
+		if err := f.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *epsSweep {

@@ -39,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		log.Fatal(err)
+		log.Fatalf("creating output directory: %v", err)
 	}
 	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
 	fields, err := senkf.GenerateEnsemble(mesh, truth, *members, *spread, *seed)
@@ -48,7 +48,7 @@ func main() {
 	}
 	paths, err := senkf.WriteEnsemble(*dir, mesh, fields)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("writing member files (is %s writable, with enough space?): %v", *dir, err)
 	}
 	fmt.Printf("wrote %d members (%dx%d grid) to %s\n", len(paths), *nx, *ny, *dir)
 	fmt.Printf("first file: %s\n", paths[0])

@@ -22,13 +22,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("senkf-tune: ")
 	var (
-		np       = flag.Int("np", 12000, "total processor budget n_p")
-		eps      = flag.Float64("eps", 0.001, "earnings-rate threshold ε of Eq. (14)")
-		maxL     = flag.Int("max-l", 12, "cap on the layer count L (0 = unbounded)")
-		maxNCg   = flag.Int("max-ncg", 12, "cap on the concurrent group count (0 = unbounded)")
-		simulate = flag.Bool("simulate", false, "also simulate the tuned schedule and the P-EnKF baseline")
+		np        = flag.Int("np", 12000, "total processor budget n_p")
+		eps       = flag.Float64("eps", 0.001, "earnings-rate threshold ε of Eq. (14)")
+		maxL      = flag.Int("max-l", 12, "cap on the layer count L (0 = unbounded)")
+		maxNCg    = flag.Int("max-ncg", 12, "cap on the concurrent group count (0 = unbounded)")
+		simulate  = flag.Bool("simulate", false, "also simulate the tuned schedule and the P-EnKF baseline")
+		intensity = flag.Float64("fault-intensity", 0, "with -simulate: re-simulate the tuned schedule under a generated fault plan of this intensity (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plan")
 	)
 	flag.Parse()
+	if *intensity > 0 && !*simulate {
+		log.Fatal("-fault-intensity needs -simulate (the plan is injected into the simulated schedule)")
+	}
+	if *intensity < 0 {
+		log.Fatalf("-fault-intensity must be non-negative, got %g", *intensity)
+	}
 
 	machine := senkf.DefaultMachine()
 	p := machine.P
@@ -66,4 +74,19 @@ func main() {
 	fmt.Printf("simulated P-EnKF at np=%d: %.2fs (I/O share %.0f%%)\n",
 		*np, pres.Runtime, pres.IOPercent())
 	fmt.Printf("speedup: %.2fx\n", pres.Runtime/sres.Runtime)
+
+	if *intensity > 0 {
+		fm := machine
+		fm.Faults = senkf.GenerateFaultPlan(*faultSeed, *intensity, senkf.FaultGeometry{
+			OSTs: machine.FS.OSTs, NCg: tuned.Choice.NCg, NSdy: tuned.Choice.NSdy,
+			L: tuned.Choice.L, N: p.N, Horizon: sres.Runtime,
+		})
+		fres, err := senkf.SimulateSEnKF(fm, tuned.Choice)
+		if err != nil {
+			log.Fatalf("faulted simulation: %v", err)
+		}
+		fmt.Printf("under faults (intensity %g, seed %d): %.2fs (%+.0f%%), %d member(s) dropped, %d failover(s), %d rank death(s)\n",
+			*intensity, *faultSeed, fres.Runtime, 100*(fres.Runtime/sres.Runtime-1),
+			len(fres.DroppedMembers), fres.Failovers, fres.RankDeaths)
+	}
 }

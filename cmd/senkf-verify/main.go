@@ -114,6 +114,16 @@ func main() {
 		check("S-EnKF", func() ([][]float64, error) {
 			return senkf.RunSEnKF(problem, senkf.Plan{Dec: dec, L: *layers, NCg: *ncg})
 		})
+		// The resilient runner on a healthy ensemble with no fault plan must
+		// land on the same corner of the triangle, bit for bit.
+		check("S-EnKF/R", func() ([][]float64, error) {
+			res, err := senkf.RunSEnKFResilient(problem,
+				senkf.Plan{Dec: dec, L: *layers, NCg: *ncg}, senkf.Resilience{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Fields, nil
+		})
 	}
 	if failures > 0 {
 		log.Fatalf("%d check(s) failed", failures)

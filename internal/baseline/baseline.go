@@ -157,6 +157,10 @@ func RunPEnKF(p Problem) ([][]float64, error) {
 			if err != nil {
 				return err
 			}
+			if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+				mf.Close()
+				return err
+			}
 			data, err := mf.ReadBlock(exp)
 			addIOStats(p.Tr, mf.Stats())
 			mf.Close()
@@ -221,6 +225,10 @@ func RunLEnKF(p Problem) ([][]float64, error) {
 				readStart := time.Now()
 				mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
 				if err != nil {
+					return err
+				}
+				if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+					mf.Close()
 					return err
 				}
 				field, err := mf.ReadAll()

@@ -134,8 +134,9 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 		if err != nil {
 			return err
 		}
-		if mf.Header.LevelCount() != levels {
-			return fmt.Errorf("core: member %d has %d levels, problem has %d", k, mf.Header.LevelCount(), levels)
+		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, levels, k); err != nil {
+			mf.Close()
+			return err
 		}
 		files = append(files, mf)
 		members = append(members, k)

@@ -173,6 +173,10 @@ func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
 		if err != nil {
 			return err
 		}
+		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+			mf.Close()
+			return err
+		}
 		files = append(files, mf)
 		members = append(members, k)
 	}

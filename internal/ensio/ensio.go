@@ -12,15 +12,25 @@
 // row-major float64 little-endian order, exactly the "row priority" layout
 // the paper assumes. Readers count addressing operations (seeks) and bytes
 // so tests and benches can verify the seek asymmetry on real files.
+//
+// Integrity and fault tolerance (format version 2): the header carries a
+// CRC-64 checksum of the payload, so single-bit corruption and silent
+// truncation are detected instead of silently assimilated; reads can be
+// wrapped with a bounded retry-with-backoff policy and a fault-injection
+// hook, so transient storage errors are survived and testable. Version-1
+// files (no checksum) remain readable.
 package ensio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"senkf/internal/grid"
 )
@@ -28,12 +38,23 @@ import (
 // Magic identifies a member file.
 const Magic = "SENK"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 appends a CRC-64
+// (ECMA) payload checksum to the version-1 header; version-1 files are
+// still read (without integrity verification).
+const Version = 2
 
-// headerSize is the byte length of the fixed header:
-// magic(4) + version(4) + nx(4) + ny(4) + member(4) + levels(4).
-const headerSize = 24
+const (
+	// headerSizeV1 is the version-1 header:
+	// magic(4) + version(4) + nx(4) + ny(4) + member(4) + levels(4).
+	headerSizeV1 = 24
+	// headerSizeV2 adds the payload checksum(8).
+	headerSizeV2 = 32
+	// checksumOffset is the byte offset of the checksum in a v2 header.
+	checksumOffset = 24
+)
+
+// crcTable is the CRC-64 polynomial used for payload checksums.
+var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Header describes a member file.
 type Header struct {
@@ -42,6 +63,10 @@ type Header struct {
 	// Levels is the number of vertical levels interleaved per grid point;
 	// 0 is treated as 1 (see LevelCount).
 	Levels int
+	// Checksum is the CRC-64 (ECMA) of the payload bytes; meaningful only
+	// when HasChecksum is true (version-2 files).
+	Checksum    uint64
+	HasChecksum bool
 }
 
 // IOStats accumulates access accounting for one open file.
@@ -49,11 +74,26 @@ type IOStats struct {
 	Seeks     int   // disk addressing operations (one per contiguous request)
 	BytesRead int64 // payload bytes read
 	Reads     int   // read requests issued
+	Retries   int   // failed attempts that were retried
 }
 
 // MemberPath returns the canonical file name of member k inside dir.
 func MemberPath(dir string, k int) string {
 	return filepath.Join(dir, fmt.Sprintf("member_%04d.senk", k))
+}
+
+// putHeader serializes h (with the given payload checksum) into a v2
+// header block.
+func putHeader(h Header, levels int, checksum uint64) []byte {
+	hdr := make([]byte, headerSizeV2)
+	copy(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(h.NX))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(h.NY))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(h.Member))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(levels))
+	binary.LittleEndian.PutUint64(hdr[checksumOffset:], checksum)
+	return hdr
 }
 
 // WriteMember writes one background ensemble member to path.
@@ -69,25 +109,27 @@ func WriteMember(path string, h Header, field []float64) error {
 		return fmt.Errorf("ensio: create: %w", err)
 	}
 	defer f.Close()
-	hdr := make([]byte, headerSize)
-	copy(hdr[0:4], Magic)
-	binary.LittleEndian.PutUint32(hdr[4:8], Version)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(h.NX))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(h.NY))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(h.Member))
-	binary.LittleEndian.PutUint32(hdr[20:24], 1)
-	if _, err := f.Write(hdr); err != nil {
+	// Header first with a zero checksum, patched after the payload has
+	// been streamed through the CRC.
+	if _, err := f.Write(putHeader(h, 1, 0)); err != nil {
 		return fmt.Errorf("ensio: write header: %w", err)
 	}
+	crc := crc64.New(crcTable)
 	buf := make([]byte, 8*h.NX)
 	for y := 0; y < h.NY; y++ {
 		row := field[y*h.NX : (y+1)*h.NX]
 		for i, v := range row {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 		}
+		crc.Write(buf)
 		if _, err := f.Write(buf); err != nil {
 			return fmt.Errorf("ensio: write row %d: %w", y, err)
 		}
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+	if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
+		return fmt.Errorf("ensio: write checksum: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("ensio: sync: %w", err)
@@ -109,20 +151,73 @@ func WriteEnsemble(dir string, m grid.Mesh, fields [][]float64) ([]string, error
 	return paths, nil
 }
 
-// MemberFile is an open member file with access accounting.
-type MemberFile struct {
-	Header Header
-	f      *os.File
-	stats  IOStats
+// ReadHook intercepts every read attempt: op is "read" or "verify",
+// member the file's member index, attempt the 0-based attempt number of
+// this operation. A non-nil return aborts the attempt with that error —
+// fault plans use this to inject deterministic transient failures.
+type ReadHook func(op string, member, attempt int) error
+
+// RetryPolicy bounds retry-with-backoff for transient read errors.
+type RetryPolicy struct {
+	// Attempts is the total attempt budget per operation (first try
+	// included); values below 1 mean a single attempt (no retry).
+	Attempts int
+	// Backoff is the wait before the first retry; it doubles per retry.
+	// Zero disables waiting (useful in tests).
+	Backoff time.Duration
 }
 
-// OpenMember opens and validates a member file.
+func (r RetryPolicy) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+// transient is the marker interface of retryable errors.
+type transient interface{ Transient() bool }
+
+// IsTransient reports whether err is marked retryable (it or a wrapped
+// error implements Transient() bool returning true).
+func IsTransient(err error) bool {
+	var t transient
+	return errors.As(err, &t) && t.Transient()
+}
+
+// OpenOptions configures integrity and fault-tolerance behaviour of
+// OpenMemberOpts. The zero value matches OpenMember exactly.
+type OpenOptions struct {
+	Retry  RetryPolicy
+	Hook   ReadHook
+	Verify bool // verify the payload checksum before returning
+}
+
+// MemberFile is an open member file with access accounting.
+type MemberFile struct {
+	Header  Header
+	path    string
+	f       *os.File
+	stats   IOStats
+	dataOff int64 // payload start: headerSizeV1 or headerSizeV2
+	retry   RetryPolicy
+	hook    ReadHook
+}
+
+// OpenMember opens and validates a member file (no retry, no checksum
+// verification — the fast path of the bit-exact schedules).
 func OpenMember(path string) (*MemberFile, error) {
+	return OpenMemberOpts(path, OpenOptions{})
+}
+
+// OpenMemberOpts opens and validates a member file with the given
+// integrity options. Truncation is caught by the size check here; payload
+// corruption is caught when o.Verify is set (or later via VerifyChecksum).
+func OpenMemberOpts(path string, o OpenOptions) (*MemberFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ensio: open: %w", err)
 	}
-	hdr := make([]byte, headerSize)
+	hdr := make([]byte, headerSizeV1)
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("ensio: read header: %w", err)
@@ -131,7 +226,8 @@ func OpenMember(path string) (*MemberFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("ensio: bad magic %q in %s", hdr[0:4], path)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+	v := binary.LittleEndian.Uint32(hdr[4:8])
+	if v != 1 && v != Version {
 		f.Close()
 		return nil, fmt.Errorf("ensio: unsupported version %d in %s", v, path)
 	}
@@ -140,6 +236,17 @@ func OpenMember(path string) (*MemberFile, error) {
 		NY:     int(binary.LittleEndian.Uint32(hdr[12:16])),
 		Member: int(binary.LittleEndian.Uint32(hdr[16:20])),
 		Levels: int(binary.LittleEndian.Uint32(hdr[20:24])),
+	}
+	dataOff := int64(headerSizeV1)
+	if v == Version {
+		var sum [8]byte
+		if _, err := io.ReadFull(f, sum[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ensio: read checksum: %w", err)
+		}
+		h.Checksum = binary.LittleEndian.Uint64(sum[:])
+		h.HasChecksum = true
+		dataOff = headerSizeV2
 	}
 	if h.NX <= 0 || h.NY <= 0 {
 		f.Close()
@@ -150,11 +257,18 @@ func OpenMember(path string) (*MemberFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("ensio: stat: %w", err)
 	}
-	if want := int64(headerSize) + int64(8*h.NX*h.NY*h.LevelCount()); fi.Size() != want {
+	if want := dataOff + int64(8*h.NX*h.NY*h.LevelCount()); fi.Size() != want {
 		f.Close()
-		return nil, fmt.Errorf("ensio: %s has %d bytes, want %d", path, fi.Size(), want)
+		return nil, fmt.Errorf("ensio: %s has %d bytes, want %d (truncated or padded member file)", path, fi.Size(), want)
 	}
-	return &MemberFile{Header: h, f: f}, nil
+	m := &MemberFile{Header: h, path: path, f: f, dataOff: dataOff, retry: o.Retry, hook: o.Hook}
+	if o.Verify {
+		if err := m.VerifyChecksum(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Close closes the underlying file.
@@ -163,12 +277,111 @@ func (m *MemberFile) Close() error { return m.f.Close() }
 // Stats returns the accumulated access accounting.
 func (m *MemberFile) Stats() IOStats { return m.stats }
 
+// CheckGeometry validates the header against the geometry a reader is
+// about to assume — mesh dimensions, vertical level count (0 accepts any)
+// and member index (negative accepts any) — returning a descriptive error
+// on mismatch instead of letting the read return garbage.
+func (m *MemberFile) CheckGeometry(nx, ny, levels, member int) error {
+	h := m.Header
+	if h.NX != nx || h.NY != ny {
+		return fmt.Errorf("ensio: %s holds a %dx%d field, reader expects %dx%d", m.path, h.NX, h.NY, nx, ny)
+	}
+	if levels > 0 && h.LevelCount() != levels {
+		return fmt.Errorf("ensio: %s holds %d vertical levels, reader expects %d", m.path, h.LevelCount(), levels)
+	}
+	if member >= 0 && h.Member != member {
+		return fmt.Errorf("ensio: %s is member %d, reader expects member %d", m.path, h.Member, member)
+	}
+	return nil
+}
+
+// CorruptionError reports a payload checksum mismatch. It is permanent
+// (not transient): retrying a corrupted file cannot help.
+type CorruptionError struct {
+	Path   string
+	Member int
+	Want   uint64
+	Got    uint64
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("ensio: %s (member %d) payload checksum %016x, header says %016x — corrupted member file", e.Path, e.Member, e.Got, e.Want)
+}
+
+// withRetry runs op under the file's retry policy: transient errors are
+// retried with doubling backoff until the attempt budget is exhausted;
+// permanent errors abort immediately.
+func (m *MemberFile) withRetry(opName string, op func() error) error {
+	attempts := m.retry.attempts()
+	backoff := m.retry.Backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			m.stats.Retries++
+		}
+		err := m.attempt(opName, a, op)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("ensio: member %d %s failed after %d attempts: %w", m.Header.Member, opName, attempts, lastErr)
+}
+
+func (m *MemberFile) attempt(opName string, a int, op func() error) error {
+	if m.hook != nil {
+		if err := m.hook(opName, m.Header.Member, a); err != nil {
+			return err
+		}
+	}
+	return op()
+}
+
+// VerifyChecksum re-reads the whole payload and compares its CRC-64
+// against the header. Version-1 files carry no checksum and verify as a
+// no-op. Corruption yields a *CorruptionError.
+func (m *MemberFile) VerifyChecksum() error {
+	if !m.Header.HasChecksum {
+		return nil
+	}
+	return m.withRetry("verify", func() error {
+		crc := crc64.New(crcTable)
+		if _, err := m.f.Seek(m.dataOff, io.SeekStart); err != nil {
+			return fmt.Errorf("ensio: seek payload: %w", err)
+		}
+		n, err := io.Copy(crc, m.f)
+		if err != nil {
+			return fmt.Errorf("ensio: verify read: %w", err)
+		}
+		m.stats.Seeks++
+		m.stats.Reads++
+		m.stats.BytesRead += n
+		if got := crc.Sum64(); got != m.Header.Checksum {
+			return &CorruptionError{Path: m.path, Member: m.Header.Member, Want: m.Header.Checksum, Got: got}
+		}
+		return nil
+	})
+}
+
 // readContiguous reads count float64 values starting at value offset off
-// with a single addressing operation.
+// with a single addressing operation, applying the hook and retry policy.
 func (m *MemberFile) readContiguous(off, count int, dst []float64) error {
 	buf := make([]byte, 8*count)
-	if _, err := m.f.ReadAt(buf, int64(headerSize)+int64(8*off)); err != nil {
-		return fmt.Errorf("ensio: read at %d: %w", off, err)
+	err := m.withRetry("read", func() error {
+		if _, err := m.f.ReadAt(buf, m.dataOff+int64(8*off)); err != nil {
+			return fmt.Errorf("ensio: read at %d: %w", off, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	for i := 0; i < count; i++ {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
@@ -226,4 +439,55 @@ func (m *MemberFile) ReadBlock(b grid.Box) ([]float64, error) {
 // ReadAll reads the entire field with one addressing operation.
 func (m *MemberFile) ReadAll() ([]float64, error) {
 	return m.ReadBar(0, m.Header.NY)
+}
+
+// DirInfo summarizes an on-disk ensemble directory.
+type DirInfo struct {
+	N      int // member files found (members 0..N-1, contiguous)
+	NX, NY int
+	Levels int
+}
+
+// InspectDir validates an ensemble directory before a run: members
+// 0..n-1 must exist, open cleanly and agree on geometry. With n <= 0 the
+// directory is scanned until the first missing member. The returned
+// DirInfo carries the common geometry; errors name the offending member
+// and what is wrong with it, so callers can print one actionable line.
+func InspectDir(dir string, n int) (DirInfo, error) {
+	var info DirInfo
+	if n <= 0 {
+		for {
+			if _, err := os.Stat(MemberPath(dir, n)); err != nil {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			return info, fmt.Errorf("ensio: no member files in %s (expected member_0000.senk, ... — generate them with senkf-gen)", dir)
+		}
+	}
+	for k := 0; k < n; k++ {
+		path := MemberPath(dir, k)
+		mf, err := OpenMember(path)
+		if err != nil {
+			if os.IsNotExist(errors.Unwrap(err)) || errors.Is(err, os.ErrNotExist) {
+				return info, fmt.Errorf("ensio: member %d of %d missing from %s (%s)", k, n, dir, err)
+			}
+			return info, fmt.Errorf("ensio: member %d unreadable: %w", k, err)
+		}
+		h := mf.Header
+		mf.Close()
+		if k == 0 {
+			info = DirInfo{N: n, NX: h.NX, NY: h.NY, Levels: h.LevelCount()}
+			continue
+		}
+		if h.NX != info.NX || h.NY != info.NY || h.LevelCount() != info.Levels {
+			return info, fmt.Errorf("ensio: member %d is %dx%d with %d levels, member 0 is %dx%d with %d levels — mixed ensembles in %s",
+				k, h.NX, h.NY, h.LevelCount(), info.NX, info.NY, info.Levels, dir)
+		}
+		if h.Member != k {
+			return info, fmt.Errorf("ensio: file %s declares member %d, expected %d", path, h.Member, k)
+		}
+	}
+	return info, nil
 }

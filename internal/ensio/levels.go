@@ -3,6 +3,7 @@ package ensio
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"math"
 	"os"
 
@@ -50,16 +51,10 @@ func WriteMemberLevels(path string, h Header, levels [][]float64) error {
 		return fmt.Errorf("ensio: create: %w", err)
 	}
 	defer f.Close()
-	hdr := make([]byte, headerSize)
-	copy(hdr[0:4], Magic)
-	binary.LittleEndian.PutUint32(hdr[4:8], Version)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(h.NX))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(h.NY))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(h.Member))
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(h.Levels))
-	if _, err := f.Write(hdr); err != nil {
+	if _, err := f.Write(putHeader(h, h.Levels, 0)); err != nil {
 		return fmt.Errorf("ensio: write header: %w", err)
 	}
+	crc := crc64.New(crcTable)
 	nl := h.Levels
 	buf := make([]byte, 8*h.NX*nl)
 	for y := 0; y < h.NY; y++ {
@@ -69,9 +64,15 @@ func WriteMemberLevels(path string, h Header, levels [][]float64) error {
 				binary.LittleEndian.PutUint64(buf[8*(x*nl+l):], math.Float64bits(v))
 			}
 		}
+		crc.Write(buf)
 		if _, err := f.Write(buf); err != nil {
 			return fmt.Errorf("ensio: write row %d: %w", y, err)
 		}
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+	if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
+		return fmt.Errorf("ensio: write checksum: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("ensio: sync: %w", err)

@@ -1,0 +1,44 @@
+package figures
+
+import "testing"
+
+func TestResilienceSweep(t *testing.T) {
+	s := quickSuite()
+	f, err := s.Resilience(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := seriesByLabel(t, f, "completion time (s)")
+	if len(ct.X) != len(DefaultFaultIntensities) {
+		t.Fatalf("series has %d points, want %d", len(ct.X), len(DefaultFaultIntensities))
+	}
+	// Intensity 0 must match the healthy tuned run; the heaviest intensity
+	// must cost at least as much as the healthy baseline.
+	np := s.O.ProcCounts[len(s.O.ProcCounts)/2]
+	base, _, err := s.SEnKFAt(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Y[0] != base.Runtime {
+		t.Errorf("intensity 0 runtime %g != healthy %g", ct.Y[0], base.Runtime)
+	}
+	last := len(ct.Y) - 1
+	if ct.Y[last] < base.Runtime {
+		t.Errorf("max-intensity runtime %g below healthy %g", ct.Y[last], base.Runtime)
+	}
+	drops := seriesByLabel(t, f, "dropped members %")
+	if drops.Y[0] != 0 {
+		t.Errorf("healthy baseline reports dropped members: %g%%", drops.Y[0])
+	}
+	// Determinism: the same seed reproduces the sweep exactly.
+	again, err := s.Resilience(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct.Y {
+		b := seriesByLabel(t, again, "completion time (s)")
+		if ct.Y[i] != b.Y[i] {
+			t.Errorf("sweep not deterministic at %d: %g vs %g", i, ct.Y[i], b.Y[i])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRankDeathMidCollectivePropagates kills one rank mid-barrier and
+// asserts that every surviving rank comes back with a *RankFailedError
+// naming the dead rank — no hang, no leaked goroutines.
+func TestRankDeathMidCollectivePropagates(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, _ := NewWorld(6)
+	boom := errors.New("simulated media failure")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 3 {
+			return boom // dies before entering the barrier
+		}
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("world succeeded despite a dead rank")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("joined error does not match ErrAborted: %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("joined error lost the original cause: %v", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("no *RankFailedError in %v", err)
+	}
+	if rf.Rank != 3 {
+		t.Errorf("RankFailedError names rank %d, want 3", rf.Rank)
+	}
+	// All goroutines must have exited (Run waits, but a leaked helper would
+	// show up here).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestRankDeathMidAllreduce exercises the reduce+bcast tree: the root's
+// collective partner dies and every live rank still unblocks.
+func TestRankDeathMidAllreduce(t *testing.T) {
+	w, _ := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 media failure")
+		}
+		_, err := c.AllreduceSum([]float64{float64(c.Rank())})
+		return err
+	})
+	if err == nil {
+		t.Fatal("allreduce with a dead rank succeeded")
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Errorf("want RankFailedError{Rank: 1}, got %v", err)
+	}
+}
+
+// TestRankFailedErrorIdentity pins the error-matching contract.
+func TestRankFailedErrorIdentity(t *testing.T) {
+	cause := errors.New("root cause")
+	err := &RankFailedError{Rank: 7, Cause: cause}
+	if !errors.Is(err, ErrAborted) {
+		t.Error("RankFailedError does not match ErrAborted")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("RankFailedError does not unwrap to its cause")
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Error("RankFailedError matches ErrDeadline")
+	}
+}
+
+// TestRecvDeadlineFires waits on a peer that never sends: the deadline
+// must fire with a *DeadlineError instead of hanging.
+func TestRecvDeadlineFires(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Rank 1 stays silent but alive until rank 0 gives up.
+			_, err := c.Recv(0, 9)
+			return err
+		}
+		_, err := c.RecvDeadline(1, 5, 20*time.Millisecond)
+		if !errors.Is(err, ErrDeadline) {
+			return fmt.Errorf("deadline recv returned %v, want ErrDeadline", err)
+		}
+		var de *DeadlineError
+		if !errors.As(err, &de) || de.Src != 1 || de.Tag != 5 {
+			return fmt.Errorf("deadline error detail wrong: %v", err)
+		}
+		// Unblock rank 1 so the world drains cleanly.
+		return c.Send(1, 9, nil, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvDeadlineNotTriggeredByTimelyMessage makes sure a message beating
+// the deadline is delivered normally and the timer does not fire later.
+func TestRecvDeadlineNotTriggeredByTimelyMessage(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 4, nil, []float64{42})
+		}
+		m, err := c.RecvDeadline(1, 4, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if len(m.Data) != 1 || m.Data[0] != 42 {
+			return fmt.Errorf("payload %v", m.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendDeadlineRefusesDeadWorld asserts that SendDeadline reports the
+// failed rank instead of enqueueing onto a poisoned inbox.
+func TestSendDeadlineRefusesDeadWorld(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.abortAll(&RankFailedError{Rank: 1, Cause: errors.New("gone")})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		err := c.SendDeadline(1, 3, nil, []float64{1}, time.Second)
+		var rf *RankFailedError
+		if !errors.As(err, &rf) || rf.Rank != 1 {
+			return fmt.Errorf("send into aborted world returned %v", err)
+		}
+		return nil
+	})
+	// The pre-poisoned world makes Run's own bookkeeping irrelevant here;
+	// only the closure's explicit failures matter.
+	if err != nil && !errors.Is(err, ErrAborted) {
+		t.Fatal(err)
+	}
+}
+
+// TestDeathWhilePeersBlockInSendRecvChain kills the middle of a ring so
+// both neighbours are blocked in Recv when the abort lands.
+func TestDeathWhilePeersBlockInSendRecvChain(t *testing.T) {
+	w, _ := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			time.Sleep(10 * time.Millisecond) // let the peers block first
+			return errors.New("rank 1 dies")
+		default:
+			_, err := c.Recv(1, 0)
+			return err
+		}
+	})
+	var rf *RankFailedError
+	if !errors.As(err, &rf) || rf.Rank != 1 {
+		t.Fatalf("want RankFailedError{Rank: 1}, got %v", err)
+	}
+	// Both survivors must report the failure too (their Recv was poisoned).
+	msg := err.Error()
+	for _, want := range []string{"rank 0", "rank 2"} {
+		if !contains(msg, want) {
+			t.Errorf("joined error misses %s: %v", want, err)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"senkf/internal/trace"
 )
@@ -46,14 +47,61 @@ type envelope struct {
 
 // ErrAborted is returned by blocked receives when another rank of the
 // world failed: the runtime poisons all pending operations so a single
-// failure cannot deadlock the whole world (MPI_Abort semantics).
+// failure cannot deadlock the whole world (MPI_Abort semantics). The
+// concrete error is usually a *RankFailedError naming the failed rank;
+// errors.Is(err, ErrAborted) matches it.
 var ErrAborted = errors.New("mpi: world aborted because another rank failed")
 
+// ErrDeadline is the sentinel matched by deadline-exceeded receive errors;
+// the concrete error is a *DeadlineError.
+var ErrDeadline = errors.New("mpi: deadline exceeded")
+
+// RankFailedError poisons the operations of surviving ranks when a peer
+// returned an error or panicked: instead of hanging in a collective the
+// survivors fail fast with the identity and cause of the dead rank.
+// It matches errors.Is(err, ErrAborted) for backward compatibility.
+type RankFailedError struct {
+	Rank  int   // world rank that failed
+	Cause error // what it failed with (nil for a bare abort)
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("mpi: rank %d failed; world aborted", e.Rank)
+	}
+	return fmt.Sprintf("mpi: rank %d failed (%v); world aborted", e.Rank, e.Cause)
+}
+
+func (e *RankFailedError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrAborted) keep working for callers written
+// against the pre-cause abort error.
+func (e *RankFailedError) Is(target error) bool { return target == ErrAborted }
+
+// DeadlineError reports a receive that waited past its deadline — the peer
+// is silent (dead without having been detected, or stalled).
+type DeadlineError struct {
+	Rank    int // receiver's world rank
+	Src     int // communicator rank waited on (AnySource allowed)
+	Tag     int
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("mpi: rank %d recv(src=%d, tag=%d) exceeded %v deadline — peer silent", e.Rank, e.Src, e.Tag, e.Timeout)
+}
+
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// errTakeExpired is the internal marker the inbox returns on deadline; the
+// Comm layer wraps it with rank/source detail.
+var errTakeExpired = errors.New("mpi: take deadline expired")
+
 type inbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	msgs    []envelope
-	aborted bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	msgs  []envelope
+	cause error // non-nil once the world aborted
 }
 
 func newInbox() *inbox {
@@ -69,16 +117,37 @@ func (ib *inbox) put(e envelope) {
 	ib.cond.Broadcast()
 }
 
-func (ib *inbox) abort() {
+// abort poisons the inbox with the given cause; the first cause wins.
+func (ib *inbox) abort(cause error) {
 	ib.mu.Lock()
-	ib.aborted = true
+	if ib.cause == nil {
+		ib.cause = cause
+	}
 	ib.mu.Unlock()
 	ib.cond.Broadcast()
 }
 
+// aborted returns the poison cause, if any.
+func (ib *inbox) aborted() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.cause
+}
+
 // take removes and returns the first message matching (context, src, tag),
-// blocking until one arrives or the world aborts.
-func (ib *inbox) take(context, src, tag int) (Message, error) {
+// blocking until one arrives, the world aborts, or the timeout (when
+// positive) expires.
+func (ib *inbox) take(context, src, tag int, timeout time.Duration) (Message, error) {
+	var expired bool
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			ib.mu.Lock()
+			expired = true
+			ib.mu.Unlock()
+			ib.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
@@ -95,8 +164,11 @@ func (ib *inbox) take(context, src, tag int) (Message, error) {
 			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
 			return e.Message, nil
 		}
-		if ib.aborted {
-			return Message{}, ErrAborted
+		if ib.cause != nil {
+			return Message{}, ib.cause
+		}
+		if expired {
+			return Message{}, errTakeExpired
 		}
 		ib.cond.Wait()
 	}
@@ -193,10 +265,14 @@ func (w *World) allocContext() int {
 }
 
 // abortAll poisons every inbox so blocked receives fail fast instead of
-// deadlocking after a rank error.
-func (w *World) abortAll() {
+// deadlocking after a rank error. The cause names the failed rank; the
+// first abort wins on each inbox.
+func (w *World) abortAll(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
 	for _, ib := range w.inboxes {
-		ib.abort()
+		ib.abort(cause)
 	}
 }
 
@@ -213,13 +289,13 @@ func (w *World) Run(fn func(c *Comm) error) error {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					w.abortAll()
+					w.abortAll(&RankFailedError{Rank: rank, Cause: fmt.Errorf("panic: %v", p)})
 				}
 			}()
 			c := &Comm{world: w, context: 0, rank: rank, group: identityGroup(w.size)}
 			errs[rank] = fn(c)
 			if errs[rank] != nil {
-				w.abortAll()
+				w.abortAll(&RankFailedError{Rank: rank, Cause: errs[rank]})
 			}
 		}(r)
 	}
@@ -294,6 +370,25 @@ func (c *Comm) Send(dst, tag int, meta []int, data []float64) error {
 	return nil
 }
 
+// SendDeadline is Send with failure detection: sends in this runtime never
+// block (mailboxes are unbounded), so the deadline's job is to refuse to
+// enqueue onto a world that already aborted — returning the failed rank's
+// *RankFailedError instead of silently feeding a dead peer. The timeout
+// parameter is accepted for interface symmetry with RecvDeadline.
+func (c *Comm) SendDeadline(dst, tag int, meta []int, data []float64, timeout time.Duration) error {
+	if dst < 0 || dst >= len(c.group) {
+		return fmt.Errorf("mpi: send to rank %d out of range [0,%d)", dst, len(c.group))
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	if cause := c.world.inboxes[c.group[dst]].aborted(); cause != nil {
+		return cause
+	}
+	c.send(dst, tag, meta, data)
+	return nil
+}
+
 func (c *Comm) send(dst, tag int, meta []int, data []float64) {
 	e := envelope{
 		context: c.context,
@@ -326,13 +421,20 @@ func (c *Comm) send(dst, tag int, meta []int, data []float64) {
 // src with the given tag, accounting stats and emitting the blocking span.
 // All receive paths — point-to-point and collectives — come through here.
 func (c *Comm) take(src, tag int) (Message, error) {
+	return c.takeTimeout(src, tag, 0)
+}
+
+func (c *Comm) takeTimeout(src, tag int, timeout time.Duration) (Message, error) {
 	tr := c.world.tracer
 	var t0 float64
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
-	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, src, tag)
+	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, src, tag, timeout)
 	if err != nil {
+		if err == errTakeExpired {
+			err = &DeadlineError{Rank: c.group[c.rank], Src: src, Tag: tag, Timeout: timeout}
+		}
 		return m, err
 	}
 	st := &c.world.stats[c.group[c.rank]]
@@ -348,13 +450,21 @@ func (c *Comm) take(src, tag int) (Message, error) {
 // Recv blocks until a message matching (src, tag) arrives. src may be
 // AnySource and tag may be AnyTag.
 func (c *Comm) Recv(src, tag int) (Message, error) {
+	return c.RecvDeadline(src, tag, 0)
+}
+
+// RecvDeadline is Recv with a deadline: when timeout is positive and no
+// matching message arrives in time, it fails with a *DeadlineError
+// (errors.Is(err, ErrDeadline)) instead of blocking forever on a silent
+// peer. A zero timeout waits indefinitely.
+func (c *Comm) RecvDeadline(src, tag int, timeout time.Duration) (Message, error) {
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		return Message{}, fmt.Errorf("mpi: recv from rank %d out of range [0,%d)", src, len(c.group))
 	}
 	if tag != AnyTag && tag < 0 {
 		return Message{}, fmt.Errorf("mpi: negative tag %d", tag)
 	}
-	return c.take(src, tag)
+	return c.takeTimeout(src, tag, timeout)
 }
 
 // Collectives use a private tag space carved out of the negative integers so

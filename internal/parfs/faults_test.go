@@ -1,0 +1,93 @@
+package parfs
+
+import (
+	"math"
+	"testing"
+
+	"senkf/internal/faults"
+	"senkf/internal/sim"
+)
+
+func faultFSConfig() Config {
+	return Config{OSTs: 4, ConcurrencyPerOST: 2, SeekTime: 0.01, ByteTime: 1e-6}
+}
+
+func TestOutageWindowStallsReads(t *testing.T) {
+	env := sim.NewEnv()
+	fs, err := New(env, faultFSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(&faults.Plan{OSTWindows: []faults.OSTWindow{
+		{OST: 1, Start: 0, End: 2, Factor: 0},
+	}})
+	var hitDur, cleanDur float64
+	env.Go("reader-hit", func(p *sim.Proc) {
+		hitDur = fs.Read(p, 1, 1, 0) // file 1 -> OST 1: stalled until t=2
+	})
+	env.Go("reader-clean", func(p *sim.Proc) {
+		cleanDur = fs.Read(p, 2, 1, 0) // file 2 -> OST 2: unaffected
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + 0.01; math.Abs(hitDur-want) > 1e-12 {
+		t.Errorf("outage read took %g, want %g", hitDur, want)
+	}
+	if want := 0.01; math.Abs(cleanDur-want) > 1e-12 {
+		t.Errorf("clean read took %g, want %g", cleanDur, want)
+	}
+	st := fs.Stats()
+	if st.OutageStalls != 1 || st.OutageTime <= 0 {
+		t.Errorf("outage accounting: %+v", st)
+	}
+}
+
+func TestDegradedWindowMultipliesService(t *testing.T) {
+	env := sim.NewEnv()
+	fs, err := New(env, faultFSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(&faults.Plan{OSTWindows: []faults.OSTWindow{
+		{OST: 0, Start: 0, End: 100, Factor: 4},
+	}})
+	var dur float64
+	env.Go("reader", func(p *sim.Proc) {
+		dur = fs.Read(p, 0, 1, 0)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 0.01; math.Abs(dur-want) > 1e-12 {
+		t.Errorf("degraded read took %g, want %g", dur, want)
+	}
+	if fs.Stats().DegradedReads != 1 {
+		t.Errorf("degraded accounting: %+v", fs.Stats())
+	}
+}
+
+func TestReadAfterWindowUnaffected(t *testing.T) {
+	env := sim.NewEnv()
+	fs, err := New(env, faultFSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(&faults.Plan{OSTWindows: []faults.OSTWindow{
+		{OST: 0, Start: 0, End: 1, Factor: 0},
+	}})
+	var dur float64
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(5) // window long gone
+		dur = fs.Read(p, 0, 1, 0)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.01; math.Abs(dur-want) > 1e-12 {
+		t.Errorf("post-window read took %g, want %g", dur, want)
+	}
+	if st := fs.Stats(); st.OutageStalls != 0 || st.DegradedReads != 0 {
+		t.Errorf("post-window fault accounting: %+v", st)
+	}
+}

@@ -17,6 +17,7 @@ package parfs
 import (
 	"fmt"
 
+	"senkf/internal/faults"
 	"senkf/internal/sim"
 	"senkf/internal/trace"
 )
@@ -68,6 +69,10 @@ type Stats struct {
 	BytesRead   float64
 	WaitTime    float64 // time spent queueing for OST or backbone capacity
 	ServiceTime float64 // time spent actually seeking and streaming
+	// Fault accounting (zero without an injected fault plan):
+	OutageStalls  int     // reads that hit an OST outage window
+	OutageTime    float64 // time spent stalled in outage windows
+	DegradedReads int     // reads served at degraded bandwidth
 }
 
 // OSTStats is the per-storage-target slice of the accounting.
@@ -85,6 +90,7 @@ type FS struct {
 	backbone *sim.Resource
 	stats    Stats
 	perOST   []OSTStats
+	faults   *faults.Plan
 }
 
 // New creates a file system inside env.
@@ -105,6 +111,13 @@ func New(env *sim.Env, cfg Config) (*FS, error) {
 
 // Config returns the file system configuration.
 func (fs *FS) Config() Config { return fs.cfg }
+
+// SetFaults installs a fault plan: reads hitting an OST inside an outage
+// window stall (holding their OST slot — requests pile up server-side, as
+// on a real file system) until the window closes; reads inside a degraded
+// window have their service time multiplied by the window factor. A nil
+// plan (the default) changes nothing.
+func (fs *FS) SetFaults(pl *faults.Plan) { fs.faults = pl }
 
 // OSTOf returns the storage target holding the given file, mirroring the
 // paper's observation that distinct files are likely on distinct disks.
@@ -148,6 +161,38 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 	}
 	waited := p.Now() - start
 	service := float64(seeks)*fs.cfg.SeekTime + bytes*fs.cfg.ByteTime
+	// Fault windows: stall through outages (re-checking, since windows may
+	// abut), then apply any degraded-bandwidth factor active at service time.
+	for {
+		w, ok := fs.faults.WindowAt(osti, p.Now())
+		if !ok {
+			break
+		}
+		if w.Factor == 0 {
+			stall := w.End - p.Now()
+			if tr.Enabled() {
+				tr.Instant(ost.Name, trace.CatFault, "outage", p.Now(),
+					trace.Arg{Key: "stall", Val: stall})
+			}
+			if reg := tr.Counters(); reg != nil {
+				reg.Inc("faults.ost.outages")
+			}
+			fs.stats.OutageStalls++
+			fs.stats.OutageTime += stall
+			p.Sleep(stall)
+			continue
+		}
+		if tr.Enabled() {
+			tr.Instant(ost.Name, trace.CatFault, "degraded", p.Now(),
+				trace.Arg{Key: "factor", Val: w.Factor})
+		}
+		if reg := tr.Counters(); reg != nil {
+			reg.Inc("faults.ost.degraded")
+		}
+		fs.stats.DegradedReads++
+		service *= w.Factor
+		break
+	}
 	tServ := p.Now()
 	p.Sleep(service)
 	if tr.Enabled() {

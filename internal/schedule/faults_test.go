@@ -1,0 +1,181 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"senkf/internal/faults"
+)
+
+// TestNilAndEmptyFaultPlansMatchBaseline pins the zero-overhead contract:
+// a nil plan and an empty plan must reproduce the healthy run exactly.
+func TestNilAndEmptyFaultPlansMatchBaseline(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	base, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &faults.Plan{}
+	withEmpty, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, withEmpty) {
+		t.Errorf("empty fault plan changed the run:\nbase %+v\nwith %+v", base, withEmpty)
+	}
+}
+
+func TestFaultedRunsAreDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	cfg.Faults = faults.Generate(42, 0.8, faults.Geometry{
+		OSTs: cfg.FS.OSTs, NCg: ch.NCg, NSdy: ch.NSdy, L: ch.L, N: cfg.P.N, Horizon: 1,
+	})
+	a, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean breakdowns sum per-track floats in map order, so they carry
+	// last-ulp noise; every event-structure quantity must match exactly.
+	if a.Runtime != b.Runtime || !reflect.DeepEqual(a.FSStats, b.FSStats) ||
+		!reflect.DeepEqual(a.DroppedMembers, b.DroppedMembers) ||
+		a.Failovers != b.Failovers || a.RankDeaths != b.RankDeaths ||
+		a.FirstStage != b.FirstStage {
+		t.Errorf("same plan produced different runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRankDeathFailsOverWithoutDeadlock kills one reader mid-run: the
+// simulation must complete (no deadlock), record the failover, and still
+// deliver every stage notification to the compute processors.
+func TestRankDeathFailsOverWithoutDeadlock(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	if ch.L < 2 {
+		t.Skip("need multi-stage schedule")
+	}
+	cfg.Faults = &faults.Plan{Deaths: []faults.RankDeath{
+		{Group: 0, Reader: 1, BeforeStage: 1},
+	}}
+	res, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatalf("death scenario deadlocked or failed: %v", err)
+	}
+	if res.RankDeaths != 1 {
+		t.Errorf("RankDeaths = %d, want 1", res.RankDeaths)
+	}
+	if res.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1 (row 1 adopted once)", res.Failovers)
+	}
+	healthy := cfg
+	healthy.Faults = nil
+	base, err := SimulateSEnKF(healthy, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime < base.Runtime {
+		t.Errorf("failover run (%g) faster than healthy run (%g)", res.Runtime, base.Runtime)
+	}
+}
+
+// TestTimeBasedDeathFailsOver exercises the virtual-clock death trigger.
+func TestTimeBasedDeathFailsOver(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	if ch.L < 2 {
+		t.Skip("need multi-stage schedule")
+	}
+	// A tiny positive At: the rank survives stage 0 (whose group-agreed
+	// stage-top time is exactly 0) and dies at the first later stage
+	// boundary, all of which have positive virtual times.
+	cfg.Faults = &faults.Plan{Deaths: []faults.RankDeath{
+		{Group: 0, Reader: 0, At: 1e-12},
+	}}
+	res, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatalf("time-based death deadlocked or failed: %v", err)
+	}
+	if res.RankDeaths != 1 || res.Failovers != 1 {
+		t.Errorf("deaths/failovers = %d/%d, want 1/1", res.RankDeaths, res.Failovers)
+	}
+}
+
+func TestDroppedMembersReported(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	cfg.Faults = &faults.Plan{FileFaults: []faults.FileFault{
+		{Member: 5, Kind: faults.FileCorrupt},
+		{Member: 9, Kind: faults.FileTransient, Count: 1}, // recoverable
+		{Member: 11, Kind: faults.FileMissing},
+	}}
+	res, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{5, 11}; !reflect.DeepEqual(res.DroppedMembers, want) {
+		t.Errorf("DroppedMembers = %v, want %v", res.DroppedMembers, want)
+	}
+}
+
+func TestOutageAndStragglerSlowTheRun(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	base, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &faults.Plan{
+		OSTWindows: []faults.OSTWindow{{OST: 0, Start: 0, End: 0.3 * base.Runtime, Factor: 0}},
+		Stragglers: []faults.Straggler{{Proc: "io/g0/r0", Factor: 3}},
+	}
+	res, err := SimulateSEnKF(cfg, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime <= base.Runtime {
+		t.Errorf("faulted run (%g) not slower than healthy (%g)", res.Runtime, base.Runtime)
+	}
+	if res.FSStats.OutageStalls == 0 {
+		t.Error("no outage stalls recorded")
+	}
+}
+
+func TestBaselinesAcceptFaultPlans(t *testing.T) {
+	cfg := smallConfig()
+	basePE, err := SimulatePEnKF(cfg, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &faults.Plan{
+		OSTWindows: []faults.OSTWindow{{OST: 1, Start: 0, End: 0.5 * basePE.Runtime, Factor: 4}},
+	}
+	pe, err := SimulatePEnKF(cfg, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Runtime <= basePE.Runtime {
+		t.Errorf("degraded P-EnKF (%g) not slower than healthy (%g)", pe.Runtime, basePE.Runtime)
+	}
+	if _, err := SimulateLEnKF(cfg, 4, 3); err != nil {
+		t.Fatalf("L-EnKF with fault plan: %v", err)
+	}
+}
+
+func TestInvalidPlanRejected(t *testing.T) {
+	cfg := smallConfig()
+	ch := feasibleChoice(t, cfg, 4, 3)
+	// Kill every reader of group 0: no failover target.
+	var deaths []faults.RankDeath
+	for j := 0; j < ch.NSdy; j++ {
+		deaths = append(deaths, faults.RankDeath{Group: 0, Reader: j, BeforeStage: 0})
+	}
+	cfg.Faults = &faults.Plan{Deaths: deaths}
+	if _, err := SimulateSEnKF(cfg, ch); err == nil {
+		t.Error("whole-group death plan accepted")
+	}
+}

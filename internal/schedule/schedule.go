@@ -26,8 +26,10 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"senkf/internal/costmodel"
+	"senkf/internal/faults"
 	"senkf/internal/metrics"
 	"senkf/internal/parfs"
 	"senkf/internal/sim"
@@ -43,6 +45,23 @@ type Config struct {
 	// run (phase spans per processor, OST service spans, stage readiness
 	// instants). Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+
+	// Faults injects a deterministic fault plan: OST outage/degradation
+	// windows and straggler processors affect every schedule; member-file
+	// faults and I/O-rank deaths additionally drive the drop/failover logic
+	// of SimulateSEnKF. Nil (the default) simulates a healthy machine with
+	// the exact pre-fault event structure.
+	Faults *faults.Plan
+}
+
+// installFaults wires the plan into the simulation substrate (straggler
+// dilation + file-system windows). Nil-safe.
+func (c Config) installFaults(env *sim.Env, fs *parfs.FS) {
+	if c.Faults == nil {
+		return
+	}
+	env.SetSlowdown(c.Faults.SlowdownFor)
+	fs.SetFaults(c.Faults)
 }
 
 // obs records one phase interval in both the recorder and — when tracing —
@@ -107,6 +126,15 @@ type Result struct {
 	FirstStage float64
 
 	FSStats parfs.Stats
+
+	// Fault outcomes (S-EnKF only; empty/zero without a fault plan):
+	// DroppedMembers lists members whose files were unrecoverable and were
+	// excluded from assimilation; Failovers counts bar rows adopted by a
+	// surviving reader after a rank death; RankDeaths counts I/O ranks that
+	// died during the run.
+	DroppedMembers []int
+	Failovers      int
+	RankDeaths     int
 }
 
 // IOPercent returns the share of I/O (read) time in read+compute across
@@ -163,12 +191,16 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
 	}
 	np := nsdx * nsdy
+	if err := cfg.Faults.Validate(0, 0, 0, cfg.P.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
 	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
@@ -214,12 +246,16 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
 	}
 	np := nsdx * nsdy
+	if err := cfg.Faults.Validate(0, 0, 0, cfg.P.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
 	_, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
@@ -287,16 +323,21 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	if !cfg.P.Feasible(ch) {
 		return Result{}, fmt.Errorf("schedule: choice %v infeasible for the problem", ch)
 	}
+	p := cfg.P
+	nsdx, nsdy, L, ncg := ch.NSdx, ch.NSdy, ch.L, ch.NCg
+	pl := cfg.Faults
+	if err := pl.Validate(ncg, nsdy, L, p.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
-	p := cfg.P
-	nsdx, nsdy, L, ncg := ch.NSdx, ch.NSdy, ch.L, ch.NCg
 
 	// Geometry of one stage (§4.3): small bars of n_y/(n_sdy·L)+2η rows,
 	// full width for reading; blocks of n_x/n_sdx+2ξ columns for sending.
@@ -304,7 +345,6 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	barBytes := barRows * float64(p.NX) * float64(p.H)
 	blockCols := float64(p.NX)/float64(nsdx) + 2*float64(p.Xi)
 	filesPerGroup := p.N / ncg
-	blockBytes := barRows * blockCols * float64(filesPerGroup) * float64(p.H)
 	layerPoints := float64(p.NY) / (float64(nsdy) * float64(L)) * float64(p.NX) / float64(nsdx)
 
 	// One mailbox per compute processor.
@@ -323,28 +363,117 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	for g := range groupBarriers {
 		groupBarriers[g] = sim.NewBarrier(env, fmt.Sprintf("grp%d", g), nsdy)
 	}
+	// Fault bookkeeping shared across the group's processors. The simulation
+	// is single-threaded (exactly one goroutine runs at any instant), so
+	// plain maps are safe; determinism comes from the plan, not the sharing.
+	var (
+		failovers  int
+		rankDeaths int
+		adopted    = map[[2]int]bool{} // (group, dead row) already counted
+		droppedSet = map[int]bool{}
+	)
+	// Per-group effective file count: unrecoverable members contribute no
+	// payload, shrinking the per-stage send volume of that group.
+	droppedInGroup := make([]int, ncg)
+	for k := 0; k < p.N; k++ {
+		if pl.Drops(k) {
+			droppedInGroup[k%ncg]++
+		}
+	}
+
 	for g := 0; g < ncg; g++ {
 		for j := 0; j < nsdy; j++ {
 			g, j := g, j
 			name := metrics.IOName(g, j)
+			effFiles := filesPerGroup - droppedInGroup[g]
+			sendBytes := barRows * blockCols * float64(effFiles) * float64(p.H)
 			env.Go(name, func(proc *sim.Proc) {
+				// tStage is the group-agreed virtual time at the top of the
+				// current stage: 0 initially, then the instant the last file
+				// barrier of the previous stage released — identical for
+				// every member of the group, so all members evaluate the
+				// death predicates with the same (stage, time) and agree on
+				// the live set without communication.
+				tStage := 0.0
 				for l := 0; l < L; l++ {
+					dead := func(jj int) bool { return pl.DeadAt(g, jj, l, tStage) }
+					if dead(j) {
+						if tr.Enabled() {
+							tr.Instant(name, trace.CatFault, "rank-death", proc.Now(),
+								trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+						}
+						tr.Counters().Inc("faults.rank.deaths")
+						rankDeaths++
+						groupBarriers[g].Leave()
+						return
+					}
+					// Rows this reader serves: its own, plus dead rows whose
+					// cyclic successor it is (the failover assignment every
+					// survivor derives identically from the plan).
+					serve := []int{j}
+					for jj := 0; jj < nsdy; jj++ {
+						if jj == j || !dead(jj) {
+							continue
+						}
+						if s, ok := faults.Successor(jj, nsdy, dead); ok && s == j {
+							serve = append(serve, jj)
+							if !adopted[[2]int{g, jj}] {
+								adopted[[2]int{g, jj}] = true
+								failovers++
+								tr.Counters().Inc("faults.failovers")
+								if tr.Enabled() {
+									tr.Instant(name, trace.CatFault, "failover", proc.Now(),
+										trace.Arg{Key: "row", Val: float64(jj)},
+										trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+								}
+							}
+						}
+					}
 					// Read this stage's small bar from each file of the
-					// group: contiguous, one addressing operation each.
+					// group: contiguous, one addressing operation each (per
+					// served row). Faulted files cost their retry probes;
+					// unrecoverable ones are dropped and contribute nothing.
 					t0 := proc.Now()
 					for f := 0; f < filesPerGroup; f++ {
 						file := g + f*ncg
-						fs.Read(proc, file, 1, barBytes)
+						if pl.Drops(file) {
+							for a := 0; a < pl.Budget(); a++ {
+								fs.Read(proc, file, 1, 0)
+							}
+							if !droppedSet[file] {
+								droppedSet[file] = true
+								tr.Counters().Inc("faults.members.dropped")
+								if tr.Enabled() {
+									tr.Instant(name, trace.CatFault, "member-dropped", proc.Now(),
+										trace.Arg{Key: "member", Val: float64(file)})
+								}
+							}
+						} else {
+							if ff, ok := pl.FaultFor(file); ok && ff.Kind == faults.FileTransient {
+								for a := 0; a < ff.Count; a++ {
+									fs.Read(proc, file, 1, 0)
+								}
+							}
+							for range serve {
+								fs.Read(proc, file, 1, barBytes)
+							}
+						}
 						groupBarriers[g].Wait(proc)
 					}
 					obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now())
-					// Send each compute processor of row j its aggregated
-					// stage blocks (serialized at the sender's link).
+					// All live members left the last barrier at this same
+					// instant: the agreed stage-top time for stage l+1.
+					tStage = proc.Now()
+					// Send each compute processor of the served rows its
+					// aggregated stage blocks (serialized at the sender's
+					// link).
 					t0 = proc.Now()
-					proc.Sleep(float64(nsdx) * (p.A + p.B*blockBytes))
+					proc.Sleep(float64(len(serve)) * float64(nsdx) * (p.A + p.B*sendBytes))
 					obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now())
-					for i := 0; i < nsdx; i++ {
-						boxes[j][i].Send(stageMsg{stage: l})
+					for _, row := range serve {
+						for i := 0; i < nsdx; i++ {
+							boxes[row][i].Send(stageMsg{stage: l})
+						}
 					}
 				}
 			})
@@ -416,7 +545,13 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		OverlapRuntimeFraction: overlap / end,
 		FirstStage:             first,
 		FSStats:                fs.Stats(),
+		Failovers:              failovers,
+		RankDeaths:             rankDeaths,
 	}
+	for k := range droppedSet {
+		res.DroppedMembers = append(res.DroppedMembers, k)
+	}
+	sort.Ints(res.DroppedMembers)
 	if ioBusy > 0 {
 		res.OverlapFraction = overlap / ioBusy
 	}

@@ -59,6 +59,8 @@ type Env struct {
 	live    int              // processes started and not finished
 	blocked map[*Proc]string // parked with no scheduled wake-up: what they wait on
 
+	slowdown func(name string) float64 // per-process sleep multiplier (nil = none)
+
 	tracer *trace.Tracer
 }
 
@@ -79,6 +81,12 @@ func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
 
 // Tracer returns the attached tracer (possibly nil; nil is safe to use).
 func (e *Env) Tracer() *trace.Tracer { return e.tracer }
+
+// SetSlowdown installs a per-process virtual-time dilation: every Sleep of
+// process name is multiplied by fn(name) when the factor exceeds 1. Fault
+// plans use this to model straggler processors without touching the cost
+// models. A nil fn (the default) disables dilation.
+func (e *Env) SetSlowdown(fn func(name string) float64) { e.slowdown = fn }
 
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own function.
@@ -133,6 +141,11 @@ func (p *Proc) park() {
 func (p *Proc) Sleep(d float64) {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: %s slept for invalid duration %g", p.Name, d))
+	}
+	if p.env.slowdown != nil {
+		if f := p.env.slowdown(p.Name); f > 1 {
+			d *= f
+		}
 	}
 	p.env.schedule(p.env.now+d, p)
 	p.park()
@@ -366,6 +379,27 @@ func (b *Barrier) Wait(p *Proc) {
 		b.env.tracer.Span(p.Name, "sim", "barrier-wait", t0, b.env.now)
 	}
 }
+
+// Leave permanently removes one participant from the barrier — the hook a
+// dying process uses so its group does not deadlock waiting for it. If the
+// remaining participants have all already arrived, the round is released
+// immediately; the order of Leave and the last Wait does not matter.
+func (b *Barrier) Leave() {
+	if b.n <= 1 {
+		panic(fmt.Sprintf("sim: barrier %s would be left with no participants", b.Name))
+	}
+	b.n--
+	if b.arrived >= b.n && b.arrived > 0 {
+		for _, w := range b.waiters {
+			b.env.schedule(b.env.now, w)
+		}
+		b.waiters = b.waiters[:0]
+		b.arrived = 0
+	}
+}
+
+// Parties returns the current number of participants.
+func (b *Barrier) Parties() int { return b.n }
 
 // WaitGroup lets one process wait for n completions signalled by others.
 type WaitGroup struct {

@@ -35,6 +35,10 @@ const CatStage = "stage"
 // CatOST is the category of file-system request spans.
 const CatOST = "ost"
 
+// CatFault is the category of injected-fault and recovery events (OST
+// outages, member drops, rank deaths, failovers, retries).
+const CatFault = "fault"
+
 // ArgStage is the Arg key carrying a stage index.
 const ArgStage = "stage"
 

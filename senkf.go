@@ -39,6 +39,7 @@ import (
 	"senkf/internal/costmodel"
 	"senkf/internal/enkf"
 	"senkf/internal/ensio"
+	"senkf/internal/faults"
 	"senkf/internal/figures"
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
@@ -328,4 +329,54 @@ type AblationResult = figures.Ablation
 // WriteAblations renders an ablation ladder as a text table.
 func WriteAblations(w io.Writer, np int, abs []AblationResult) error {
 	return figures.WriteAblations(w, np, abs)
+}
+
+// Fault injection and resilience types. A FaultPlan is a deterministic,
+// seeded description of what goes wrong during a run — OST outage/degraded
+// windows, straggler processors, damaged member files, I/O-rank deaths. The
+// same plan drives both the simulated substrate (Machine.Faults) and real
+// executions (RunSEnKFResilient / FaultPlan.Apply).
+type (
+	// FaultPlan is a deterministic fault-injection scenario.
+	FaultPlan = faults.Plan
+	// FaultGeometry describes the run a generated plan must fit.
+	FaultGeometry = faults.Geometry
+	// OSTWindow is a storage-target outage or degraded-bandwidth interval.
+	OSTWindow = faults.OSTWindow
+	// FileFault is per-member file damage (missing/truncated/corrupt/transient).
+	FileFault = faults.FileFault
+	// RankDeath kills one I/O reader at a chosen point of the schedule.
+	RankDeath = faults.RankDeath
+	// Resilience configures the hardened real execution.
+	Resilience = core.Resilience
+	// DegradedResult is the structured outcome of a resilient run.
+	DegradedResult = core.DegradedResult
+	// DroppedMember records one member excluded from a degraded analysis.
+	DroppedMember = core.DroppedMember
+	// RetryPolicy bounds ensio read retries with exponential backoff.
+	RetryPolicy = ensio.RetryPolicy
+	// EnsembleInfo describes an on-disk ensemble directory.
+	EnsembleInfo = ensio.DirInfo
+)
+
+// GenerateFaultPlan derives a reproducible fault plan of the given
+// intensity (0 = empty plan, 1 = nominal, >1 = harsher) for a run shaped
+// by g. The same (seed, intensity, geometry) always yields the same plan.
+func GenerateFaultPlan(seed uint64, intensity float64, g FaultGeometry) *FaultPlan {
+	return faults.Generate(seed, intensity, g)
+}
+
+// RunSEnKFResilient executes S-EnKF hardened against I/O failures:
+// unreadable or corrupted members are dropped (down to Resilience.MinMembers)
+// with a variance-preserving inflation reweighting, plan-declared reader
+// deaths fail over inside their concurrent group, and transient read errors
+// are retried with backoff. See DegradedResult for what comes back.
+func RunSEnKFResilient(p Problem, plan Plan, r Resilience) (*DegradedResult, error) {
+	return core.RunSEnKFResilient(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr}, plan, r)
+}
+
+// InspectEnsemble validates an on-disk ensemble directory (n <= 0 scans
+// for the member count) and returns its geometry.
+func InspectEnsemble(dir string, n int) (EnsembleInfo, error) {
+	return ensio.InspectDir(dir, n)
 }
