@@ -9,6 +9,11 @@
 //	senkf-bench -quick          # reduced scale (seconds instead of minutes)
 //	senkf-bench -figure 13      # one figure only
 //	senkf-bench -quick -faults  # fault-injection resilience sweep
+//
+// The bench pipeline writes versioned records and gates regressions:
+//
+//	senkf-bench -quick -record bench   # write bench/BENCH_<n>.json
+//	senkf-bench -quick -check bench    # fail if wall time regressed >15%
 package main
 
 import (
@@ -36,15 +41,35 @@ func main() {
 		counters  = flag.Bool("counters", false, "run one simulated S-EnKF run and print its counters/gauges/histograms")
 		faultsRun = flag.Bool("faults", false, "run the fault-injection resilience sweep instead of the figures")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plans (with -faults)")
+		record    = flag.String("record", "", "run the bench suite and write the next versioned BENCH_<n>.json into this directory")
+		recordVer = flag.Int("record-version", 0, "with -record: force the record's version number (0 = latest+1)")
+		check     = flag.String("check", "", "run the bench suite and compare against the latest BENCH_<n>.json in this directory; exit 1 on regression")
+		benchTol  = flag.Float64("bench-tol", 0.15, "relative wall-time regression tolerance for -check")
+		countCSV  = flag.String("counters-csv", "", "with -trace/-counters: also write the counter registry as CSV to this file")
+		profile   = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
 
+	if *profile != "" {
+		srv, err := senkf.StartProfiling(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
 	suite := senkf.PaperFigures()
+	scale := "paper"
 	if *quick {
 		suite = senkf.QuickFigures()
+		scale = "quick"
 	}
-	if *traceOut != "" || *counters {
-		tracedRun(suite, *traceOut, *traceNP, *detail, *counters)
+	if *record != "" || *check != "" {
+		benchPipeline(suite, scale, *record, *recordVer, *check, *benchTol)
+		return
+	}
+	if *traceOut != "" || *counters || *countCSV != "" {
+		tracedRun(suite, *traceOut, *traceNP, *detail, *counters, *countCSV)
 		return
 	}
 	if *faultsRun {
@@ -124,11 +149,57 @@ func main() {
 	}
 }
 
+// benchPipeline runs the deterministic bench suite and either records it
+// as the next BENCH_<n>.json version or checks it against the latest
+// committed record, exiting non-zero when any run's wall time regressed
+// beyond the tolerance.
+func benchPipeline(suite *senkf.FigureSuite, scale, record string, recordVer int, check string, tol float64) {
+	rec, err := senkf.CollectBenchRecord(suite, scale)
+	if err != nil {
+		log.Fatalf("bench suite: %v", err)
+	}
+	rec.Version = recordVer
+	if record != "" {
+		path, err := senkf.WriteBenchRecord(record, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d runs at %s scale)\n", path, len(rec.Runs), scale)
+	}
+	if check == "" {
+		return
+	}
+	prev, path, ok, err := senkf.LatestBenchRecord(check)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatalf("no BENCH_<n>.json in %s to check against (record one with -record)", check)
+	}
+	deltas, err := senkf.CompareBenchRecords(prev, rec, tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checked against %s (tolerance %.0f%%):\n", path, 100*tol)
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Printf("  %-8s np=%-6d %10.4gs -> %10.4gs  %+7.2f%%  %s\n",
+			d.Algorithm, d.NP, d.Prev, d.Cur, 100*d.Delta, verdict)
+	}
+	if reg := senkf.BenchRegressions(deltas); len(reg) > 0 {
+		log.Fatalf("%d run(s) regressed beyond %.0f%% vs %s", len(reg), 100*tol, path)
+	}
+	fmt.Println("no regressions")
+}
+
 // tracedRun auto-tunes and simulates one S-EnKF run at np processors with
 // tracing attached, writes the Chrome trace JSON, and/or prints the
 // simulation counters. The trace is stamped with the simulation's virtual
 // clock, so track timelines line up with the reported runtime.
-func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool) {
+func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool, countCSV string) {
 	if np == 0 {
 		np = suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 	}
@@ -173,5 +244,19 @@ func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counte
 		if err := reg.WriteTable(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if countCSV != "" {
+		f, err := os.Create(countCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote counters CSV to %s\n", countCSV)
 	}
 }

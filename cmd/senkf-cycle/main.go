@@ -45,8 +45,17 @@ func main() {
 		seed     = flag.Uint64("seed", 2019, "experiment seed")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the parallel analyses (senkf/penkf analyzers)")
 		counters = flag.Bool("counters", false, "print runtime counters after the experiment (senkf/penkf analyzers)")
+		profile  = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+	if *profile != "" {
+		srv, err := senkf.StartProfiling(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
 
 	mesh, err := senkf.NewMesh(*nx, *ny)
 	if err != nil {

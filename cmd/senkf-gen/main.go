@@ -28,11 +28,20 @@ func main() {
 		members = flag.Int("members", senkf.LaptopScale.Members, "ensemble size N")
 		spread  = flag.Float64("spread", senkf.LaptopScale.Spread, "background ensemble spread")
 		seed    = flag.Uint64("seed", senkf.LaptopScale.Seed, "generation seed")
+		profile = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		log.Fatal("missing -dir")
+	}
+	if *profile != "" {
+		srv, err := senkf.StartProfiling(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
 	}
 	mesh, err := senkf.NewMesh(*nx, *ny)
 	if err != nil {

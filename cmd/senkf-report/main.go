@@ -1,0 +1,81 @@
+// Command senkf-report turns a traced run into a performance report: the
+// critical path with per-phase attribution, per-class phase breakdowns and
+// overlap shares recomputed from the raw events, per-stage pipeline
+// efficiency against the ideal multi-stage overlap, and — when the trace
+// carries the tuner's prediction — model-vs-measured drift of every cost
+// term plus whether the auto-tuner would decide differently under the
+// measured coefficients.
+//
+// Usage:
+//
+//	senkf-bench -quick -trace trace.json -counters-csv counters.csv
+//	senkf-report -trace trace.json -counters counters.csv -json report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"senkf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("senkf-report: ")
+	var (
+		traceIn  = flag.String("trace", "", "Chrome trace-event JSON file of the run (required)")
+		counters = flag.String("counters", "", "optional counters CSV (from -counters-csv) to attach")
+		jsonOut  = flag.String("json", "", "write the structured report as JSON to this file")
+		quiet    = flag.Bool("quiet", false, "suppress the text summary (useful with -json)")
+	)
+	flag.Parse()
+	if *traceIn == "" {
+		flag.Usage()
+		log.Fatal("missing -trace (point it at a trace file from senkf-run/senkf-bench/senkf-cycle)")
+	}
+
+	tf, err := os.Open(*traceIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := senkf.ReadChromeTrace(tf)
+	tf.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", *traceIn, err)
+	}
+
+	var cmap map[string]float64
+	if *counters != "" {
+		cf, err := os.Open(*counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmap, err = senkf.ParseCountersCSV(cf)
+		cf.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *counters, err)
+		}
+	}
+
+	rep, err := senkf.BuildRunReport(events, cmap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		if err := rep.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

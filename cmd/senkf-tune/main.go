@@ -8,12 +8,14 @@
 //
 //	senkf-tune -np 12000
 //	senkf-tune -np 12000 -eps 0.01 -max-l 12 -max-ncg 12 -simulate
+//	senkf-tune -np 12000 -explain   # full Algorithm 1/2 search table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"senkf"
 )
@@ -29,8 +31,18 @@ func main() {
 		simulate  = flag.Bool("simulate", false, "also simulate the tuned schedule and the P-EnKF baseline")
 		intensity = flag.Float64("fault-intensity", 0, "with -simulate: re-simulate the tuned schedule under a generated fault plan of this intensity (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plan")
+		explain   = flag.Bool("explain", false, "print the full Algorithm 1/2 search table: every curve, the Eq. 13 earnings rates and the ε stopping point")
+		profile   = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+	if *profile != "" {
+		srv, err := senkf.StartProfiling(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
 	if *intensity > 0 && !*simulate {
 		log.Fatal("-fault-intensity needs -simulate (the plan is injected into the simulated schedule)")
 	}
@@ -43,9 +55,24 @@ func main() {
 	fmt.Printf("problem: %dx%d grid, %d members, h=%dB, ξ=%d η=%d\n",
 		p.NX, p.NY, p.N, p.H, p.Xi, p.Eta)
 
-	tuned, ok := senkf.AutoTuneConstrained(p, *np, *eps, senkf.TuneConstraints{MaxL: *maxL, MaxNCg: *maxNCg})
-	if !ok {
-		log.Fatalf("no feasible configuration for np=%d", *np)
+	tc := senkf.TuneConstraints{MaxL: *maxL, MaxNCg: *maxNCg}
+	var tuned senkf.Tuned
+	var ok bool
+	if *explain {
+		var st *senkf.TuneSearchTrace
+		tuned, st, ok = senkf.AutoTuneExplained(p, *np, *eps, tc)
+		if !ok {
+			log.Fatalf("no feasible configuration for np=%d", *np)
+		}
+		if err := st.WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	} else {
+		tuned, ok = senkf.AutoTuneConstrained(p, *np, *eps, tc)
+		if !ok {
+			log.Fatalf("no feasible configuration for np=%d", *np)
+		}
 	}
 	fmt.Printf("tuned for np=%d (ε=%g):\n", *np, *eps)
 	fmt.Printf("  n_sdx=%d n_sdy=%d L=%d n_cg=%d\n",

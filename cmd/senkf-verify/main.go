@@ -34,8 +34,17 @@ func main() {
 		ncg     = flag.Int("ncg", 2, "S-EnKF concurrent groups")
 		offGrid = flag.Bool("off-grid", false, "use off-grid (bilinear) observations")
 		seed    = flag.Uint64("seed", 7, "generation seed")
+		profile = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+	if *profile != "" {
+		srv, err := senkf.StartProfiling(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	}
 
 	mesh, err := senkf.NewMesh(*nx, *ny)
 	if err != nil {

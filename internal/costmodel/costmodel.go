@@ -184,20 +184,32 @@ func EarningsRate(a, b CurvePoint) float64 {
 	return (a.T1 - b.T1) / float64(b.C1-a.C1)
 }
 
+// EconomicIndex applies the condition (14) and returns the index of the
+// chosen curve point plus whether the walk stopped early (the first
+// earnings rate below ε) or exhausted the curve. ok is false on an empty
+// curve.
+func EconomicIndex(curve []CurvePoint, eps float64) (idx int, stopped, ok bool) {
+	if len(curve) == 0 {
+		return 0, false, false
+	}
+	for m := 0; m+1 < len(curve); m++ {
+		if EarningsRate(curve[m], curve[m+1]) < eps {
+			return m, true, true
+		}
+	}
+	return len(curve) - 1, false, true
+}
+
 // EconomicChoice applies the condition (14): walk the curve and stop at the
 // first point whose earnings rate towards the next point drops below ε —
 // "if more cost cannot provide significant benefit any more, choose the
 // current cost". Returns the last point when the rate never drops below ε.
 func EconomicChoice(curve []CurvePoint, eps float64) (CurvePoint, bool) {
-	if len(curve) == 0 {
+	idx, _, ok := EconomicIndex(curve, eps)
+	if !ok {
 		return CurvePoint{}, false
 	}
-	for m := 0; m+1 < len(curve); m++ {
-		if EarningsRate(curve[m], curve[m+1]) < eps {
-			return curve[m], true
-		}
-	}
-	return curve[len(curve)-1], true
+	return curve[idx], true
 }
 
 // Tuned is the auto-tuner's result.
@@ -349,8 +361,22 @@ func (p Params) AutoTuneFast(np int, eps float64) (Tuned, bool) {
 
 // AutoTuneConstrained is AutoTuneFast restricted to choices allowed by tc.
 func (p Params) AutoTuneConstrained(np int, eps float64, tc TuneConstraints) (Tuned, bool) {
+	t, _, ok := p.autoTuneConstrained(np, eps, tc, false)
+	return t, ok
+}
+
+// autoTuneConstrained is the shared Algorithm 2 body. With record set it
+// additionally returns the full search trace Algorithms 1–2 walked (every
+// T1 curve, the Eq. 13 earnings-rate series, and the Eq. 14 stopping
+// point per compute cost) — tuner explainability at zero cost to the
+// plain path.
+func (p Params) autoTuneConstrained(np int, eps float64, tc TuneConstraints, record bool) (Tuned, *SearchTrace, bool) {
 	if err := p.Validate(); err != nil {
-		return Tuned{}, false
+		return Tuned{}, nil, false
+	}
+	var st *SearchTrace
+	if record {
+		st = &SearchTrace{NP: np, Eps: eps, Constraints: tc, BestIndex: -1}
 	}
 	var best Tuned
 	found := false
@@ -363,18 +389,32 @@ func (p Params) AutoTuneConstrained(np int, eps float64, tc TuneConstraints) (Tu
 			}
 			seen[c2] = true
 			curve := p.T1CurveConstrained(c2, np-c2, tc)
-			pt, ok := EconomicChoice(curve, eps)
+			idx, stopped, ok := EconomicIndex(curve, eps)
 			if !ok {
 				continue
 			}
+			pt := curve[idx]
 			total := p.TTotal(pt.Choice)
+			if st != nil {
+				ce := CurveExplain{
+					C2: c2, Points: curve, PickIndex: idx,
+					StoppedEarly: stopped, TTotal: total,
+				}
+				for m := 0; m+1 < len(curve); m++ {
+					ce.Rates = append(ce.Rates, EarningsRate(curve[m], curve[m+1]))
+				}
+				st.Curves = append(st.Curves, ce)
+			}
 			if !found || total < best.TTotal {
 				found = true
 				best = Tuned{Choice: pt.Choice, C1: pt.C1, C2: c2, TTotal: total}
+				if st != nil {
+					st.BestIndex = len(st.Curves) - 1
+				}
 			}
 		}
 	}
-	return best, found
+	return best, st, found
 }
 
 // BruteForceTune scans every feasible choice with C1 + C2 ≤ np and returns

@@ -1,0 +1,158 @@
+// Model-vs-measured drift detection: feed the per-stage T_read / T_comm /
+// T_comp measured on a run back into the Eq. 7–10 predictions, report the
+// signed relative error of every term, rescale the Table-1 coefficients so
+// the model reproduces the measurements, and check whether the auto-tuner
+// would have chosen a different (n_sdx, n_sdy, L, n_cg) under the measured
+// coefficients. Drift is the trust metric of the whole co-design: the
+// tuner's choices are only as good as the model terms they optimize.
+
+package costmodel
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Measured carries the per-stage phase times observed on a run, in the
+// units of the model terms: the mean time one I/O processor spent reading
+// (T_read) and communicating (T_comm) per stage, and the mean time one
+// compute processor spent on one layer's local analysis (T_comp).
+type Measured struct {
+	TRead float64 `json:"t_read"`
+	TComm float64 `json:"t_comm"`
+	TComp float64 `json:"t_comp"`
+}
+
+// TermDrift compares one model term against its measurement.
+type TermDrift struct {
+	Term      string  `json:"term"`
+	Predicted float64 `json:"predicted"`
+	Measured  float64 `json:"measured"`
+	// RelErr is the signed relative error (measured − predicted) /
+	// predicted: positive when the machine is slower than the model says.
+	RelErr float64 `json:"rel_err"`
+}
+
+// DriftReport is the outcome of one model-vs-measured comparison.
+type DriftReport struct {
+	Choice Choice      `json:"choice"`
+	Terms  []TermDrift `json:"terms"` // t_read, t_comm, t_comp, t_total
+
+	// Calibrated is Params with Theta, A/B and C rescaled so each model
+	// term reproduces its measurement exactly (terms with a zero
+	// prediction or measurement keep their coefficients).
+	Calibrated Params `json:"calibrated"`
+
+	// Retuned is the auto-tuner's choice under the calibrated coefficients
+	// with the original budget; only set by Retune.
+	Retuned *Tuned `json:"retuned,omitempty"`
+	// WouldDiffer reports whether Retuned picks a different
+	// (n_sdx, n_sdy, L, n_cg) than the original choice — the signal that
+	// measured drift has grown large enough to change tuning decisions.
+	WouldDiffer bool `json:"would_differ"`
+}
+
+// MaxAbsRelErr returns the largest |RelErr| across the terms.
+func (d DriftReport) MaxAbsRelErr() float64 {
+	var m float64
+	for _, t := range d.Terms {
+		if a := math.Abs(t.RelErr); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func signedRelErr(measured, predicted float64) float64 {
+	if predicted == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (measured - predicted) / predicted
+}
+
+// Drift compares the Eq. 7–10 predictions for choice ch against the
+// measured per-stage times and returns the per-term report with
+// calibrated coefficients.
+func (p Params) Drift(ch Choice, m Measured) DriftReport {
+	pr, pc, pp := p.TRead(ch), p.TComm(ch), p.TComp(ch)
+	d := DriftReport{
+		Choice: ch,
+		Terms: []TermDrift{
+			{Term: "t_read", Predicted: pr, Measured: m.TRead, RelErr: signedRelErr(m.TRead, pr)},
+			{Term: "t_comm", Predicted: pc, Measured: m.TComm, RelErr: signedRelErr(m.TComm, pc)},
+			{Term: "t_comp", Predicted: pp, Measured: m.TComp, RelErr: signedRelErr(m.TComp, pp)},
+		},
+		Calibrated: p,
+	}
+	// The measured total follows Eq. 10's structure: first-stage read+comm
+	// plus L stages of computation.
+	predTotal := p.TTotal(ch)
+	measTotal := m.TRead + m.TComm + float64(ch.L)*m.TComp
+	d.Terms = append(d.Terms, TermDrift{
+		Term: "t_total", Predicted: predTotal, Measured: measTotal,
+		RelErr: signedRelErr(measTotal, predTotal),
+	})
+	// Each term is linear in its coefficients, so scaling by the
+	// measured/predicted ratio makes the calibrated model exact at ch:
+	// Theta carries T_read; A and B jointly carry T_comm (one scalar
+	// measurement cannot separate them, so both scale); C carries T_comp.
+	if pr > 0 && m.TRead > 0 {
+		d.Calibrated.Theta *= m.TRead / pr
+	}
+	if pc > 0 && m.TComm > 0 {
+		s := m.TComm / pc
+		d.Calibrated.A *= s
+		d.Calibrated.B *= s
+	}
+	if pp > 0 && m.TComp > 0 {
+		d.Calibrated.C *= m.TComp / pp
+	}
+	return d
+}
+
+// Retune re-runs the auto-tuner (Algorithm 2, constrained) under the
+// calibrated coefficients with the original processor budget and records
+// whether the economic choice moves. np ≤ 0 defaults to the cost of the
+// report's own choice (C1 + C2).
+func (d *DriftReport) Retune(np int, eps float64, tc TuneConstraints) {
+	if np <= 0 {
+		np = d.Choice.C1() + d.Choice.C2()
+	}
+	t, ok := d.Calibrated.AutoTuneConstrained(np, eps, tc)
+	if !ok {
+		return
+	}
+	d.Retuned = &t
+	d.WouldDiffer = t.Choice != d.Choice
+}
+
+// WriteTable renders the drift report as an aligned text table.
+func (d DriftReport) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "model drift at %v:\n", d.Choice); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-8s | %12s | %12s | %9s\n", "term", "predicted", "measured", "rel err"); err != nil {
+		return err
+	}
+	for _, t := range d.Terms {
+		if _, err := fmt.Fprintf(w, "  %-8s | %11.6gs | %11.6gs | %+8.2f%%\n",
+			t.Term, t.Predicted, t.Measured, 100*t.RelErr); err != nil {
+			return err
+		}
+	}
+	if d.Retuned != nil {
+		verdict := "tuner choice unchanged under measured coefficients"
+		if d.WouldDiffer {
+			verdict = fmt.Sprintf("tuner would choose %v instead (C1=%d C2=%d, model %.4gs)",
+				d.Retuned.Choice, d.Retuned.C1, d.Retuned.C2, d.Retuned.TTotal)
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", verdict); err != nil {
+			return err
+		}
+	}
+	return nil
+}

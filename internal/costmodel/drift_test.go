@@ -1,0 +1,137 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func driftParams() Params {
+	return Params{
+		N: 24, NX: 360, NY: 180,
+		A: 2e-6, B: 2e-10, C: 2e-3,
+		Theta: 0.5e-9, Xi: 8, Eta: 4, H: 240,
+	}
+}
+
+func relNear(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b))
+}
+
+// Measurements equal to the predictions: zero drift everywhere, identical
+// calibrated coefficients, and a retune that cannot move.
+func TestDriftExactMeasurementsAreZero(t *testing.T) {
+	p := driftParams()
+	tc := TuneConstraints{MaxL: 6, MaxNCg: 6}
+	tuned, ok := p.AutoTuneConstrained(180, 0.001, tc)
+	if !ok {
+		t.Fatal("auto-tune failed")
+	}
+	ch := tuned.Choice
+	d := p.Drift(ch, Measured{TRead: p.TRead(ch), TComm: p.TComm(ch), TComp: p.TComp(ch)})
+	if got := d.MaxAbsRelErr(); got > 1e-12 {
+		t.Fatalf("MaxAbsRelErr = %g on exact measurements", got)
+	}
+	if d.Calibrated != p {
+		t.Fatalf("calibration moved on exact measurements: %+v", d.Calibrated)
+	}
+	d.Retune(180, 0.001, tc)
+	if d.Retuned == nil {
+		t.Fatal("Retune found nothing")
+	}
+	if d.WouldDiffer {
+		t.Fatalf("WouldDiffer on a zero-drift report: retuned %v vs %v", d.Retuned.Choice, ch)
+	}
+}
+
+// Scaled measurements: the per-term errors are the scales, and the
+// calibrated model reproduces the measurements exactly.
+func TestDriftCalibration(t *testing.T) {
+	p := driftParams()
+	ch := Choice{NSdx: 18, NSdy: 9, L: 5, NCg: 2}
+	if !p.Feasible(ch) {
+		t.Fatal("choice infeasible")
+	}
+	m := Measured{TRead: 1.5 * p.TRead(ch), TComm: 0.5 * p.TComm(ch), TComp: 2 * p.TComp(ch)}
+	d := p.Drift(ch, m)
+	for _, term := range d.Terms {
+		var want float64
+		switch term.Term {
+		case "t_read":
+			want = 0.5
+		case "t_comm":
+			want = -0.5
+		case "t_comp":
+			want = 1.0
+		case "t_total":
+			continue // a mix of the three
+		}
+		if !relNear(term.RelErr, want, 1e-9) {
+			t.Errorf("%s RelErr = %g, want %g", term.Term, term.RelErr, want)
+		}
+	}
+	c := d.Calibrated
+	if !relNear(c.TRead(ch), m.TRead, 1e-12) ||
+		!relNear(c.TComm(ch), m.TComm, 1e-12) ||
+		!relNear(c.TComp(ch), m.TComp, 1e-12) {
+		t.Fatalf("calibrated model does not reproduce measurements: read %g vs %g, comm %g vs %g, comp %g vs %g",
+			c.TRead(ch), m.TRead, c.TComm(ch), m.TComm, c.TComp(ch), m.TComp)
+	}
+}
+
+// Heavy read-cost drift flips the tuner's trade-off: with reading far more
+// expensive than modelled, the calibrated retune must spend differently —
+// the WouldDiffer signal.
+func TestDriftRetuneWouldDiffer(t *testing.T) {
+	p := driftParams()
+	tc := TuneConstraints{MaxL: 6, MaxNCg: 6}
+	tuned, ok := p.AutoTuneConstrained(180, 0.001, tc)
+	if !ok {
+		t.Fatal("auto-tune failed")
+	}
+	ch := tuned.Choice
+	// 50x slower reading than the model claims.
+	d := p.Drift(ch, Measured{TRead: 50 * p.TRead(ch), TComm: p.TComm(ch), TComp: p.TComp(ch)})
+	d.Retune(180, 0.001, tc)
+	if d.Retuned == nil {
+		t.Fatal("Retune found nothing")
+	}
+	if !d.WouldDiffer {
+		t.Fatalf("50x read drift did not change the tuner's choice (%v)", d.Retuned.Choice)
+	}
+}
+
+func TestDriftZeroPrediction(t *testing.T) {
+	p := driftParams()
+	ch := Choice{NSdx: 18, NSdy: 9, L: 5, NCg: 2}
+	d := Params{}.Drift(ch, Measured{TRead: 1})
+	if !math.IsInf(d.Terms[0].RelErr, 1) {
+		t.Errorf("measured-without-prediction RelErr = %g, want +Inf", d.Terms[0].RelErr)
+	}
+	// Zero measurement against a real prediction: -100%, not a panic.
+	d = p.Drift(ch, Measured{})
+	if !relNear(d.Terms[0].RelErr, -1, 1e-12) {
+		t.Errorf("zero-measurement RelErr = %g, want -1", d.Terms[0].RelErr)
+	}
+	// And calibration must keep the original coefficients for those terms.
+	if d.Calibrated != p {
+		t.Errorf("zero measurements recalibrated the model: %+v", d.Calibrated)
+	}
+}
+
+func TestDriftWriteTable(t *testing.T) {
+	p := driftParams()
+	ch := Choice{NSdx: 18, NSdy: 9, L: 5, NCg: 2}
+	d := p.Drift(ch, Measured{TRead: 1.1 * p.TRead(ch), TComm: p.TComm(ch), TComp: p.TComp(ch)})
+	d.Retune(180, 0.001, TuneConstraints{MaxL: 6, MaxNCg: 6})
+	var sb strings.Builder
+	if err := d.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"t_read", "t_comm", "t_comp", "t_total", "tuner"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Tuner explainability: the full search table Algorithms 1 and 2 walk —
+// every (C1, min T1) curve per compute cost C2, the Eq. 13 earnings-rate
+// series r_m between consecutive curve points, and the Eq. 14 stopping
+// point — rendered as text so a tuning decision can be audited instead of
+// trusted. `senkf-tune -explain` prints this; the drift report's Retune
+// uses the same machinery under calibrated coefficients.
+
+package costmodel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CurveExplain is the recorded Algorithm 1 outcome for one compute cost:
+// the strictly-improving T1 curve, the earnings rates between consecutive
+// points, and where condition (14) stopped.
+type CurveExplain struct {
+	C2     int          `json:"c2"`
+	Points []CurvePoint `json:"points"`
+	// Rates[m] is r_m = EarningsRate(Points[m], Points[m+1]); its length
+	// is len(Points)-1.
+	Rates []float64 `json:"rates,omitempty"`
+	// PickIndex is the point condition (14) selected.
+	PickIndex int `json:"pick_index"`
+	// StoppedEarly is true when the walk stopped at the first r_m < ε, and
+	// false when it exhausted the curve without the rate dropping below ε.
+	StoppedEarly bool `json:"stopped_early"`
+	// TTotal is Eq. (10) at the picked point.
+	TTotal float64 `json:"t_total"`
+}
+
+// Pick returns the selected curve point.
+func (c CurveExplain) Pick() CurvePoint { return c.Points[c.PickIndex] }
+
+// SearchTrace is the complete Algorithm 2 search record.
+type SearchTrace struct {
+	NP          int             `json:"np"`
+	Eps         float64         `json:"eps"`
+	Constraints TuneConstraints `json:"constraints"`
+	// Curves in Algorithm 2's visit order, one per feasible compute cost.
+	Curves []CurveExplain `json:"curves"`
+	// BestIndex indexes the winning curve (-1 when none was feasible).
+	BestIndex int `json:"best_index"`
+}
+
+// Best returns the winning curve record.
+func (st *SearchTrace) Best() (CurveExplain, bool) {
+	if st == nil || st.BestIndex < 0 || st.BestIndex >= len(st.Curves) {
+		return CurveExplain{}, false
+	}
+	return st.Curves[st.BestIndex], true
+}
+
+// AutoTuneExplained is AutoTuneConstrained with the full search trace
+// attached: identical Tuned result, plus every curve Algorithm 2 visited.
+func (p Params) AutoTuneExplained(np int, eps float64, tc TuneConstraints) (Tuned, *SearchTrace, bool) {
+	return p.autoTuneConstrained(np, eps, tc, true)
+}
+
+// WriteTable renders the search trace: a per-C2 summary of Algorithm 2's
+// sweep, then the winning C2's full Algorithm 1 curve with the r_m series
+// and the ε-stopping point marked.
+func (st *SearchTrace) WriteTable(w io.Writer) error {
+	if st == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "auto-tuner search (np=%d, eps=%g):\n", st.NP, st.Eps); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%6s | %6s | %8s | %10s | %12s | %s\n",
+		"C2", "curve", "econ C1", "T1 (s)", "T_total (s)", "stop"); err != nil {
+		return err
+	}
+	for i, c := range st.Curves {
+		pick := c.Pick()
+		stop := "curve exhausted"
+		if c.StoppedEarly {
+			stop = fmt.Sprintf("r_%d < eps", c.PickIndex)
+		}
+		mark := " "
+		if i == st.BestIndex {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%s%5d | %6d | %8d | %10.4g | %12.4g | %s\n",
+			mark, c.C2, len(c.Points), pick.C1, pick.T1, c.TTotal, stop); err != nil {
+			return err
+		}
+	}
+	best, ok := st.Best()
+	if !ok {
+		_, err := fmt.Fprintln(w, "no feasible configuration")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nwinning curve (C2=%d), Algorithm 1 points and Eq. 13 earnings rates:\n", best.C2); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%4s | %6s | %10s | %-26s | %12s\n",
+		"m", "C1", "T1 (s)", "choice", "r_m (s/proc)"); err != nil {
+		return err
+	}
+	for m, pt := range best.Points {
+		rate := ""
+		if m < len(best.Rates) {
+			rate = fmt.Sprintf("%12.4g", best.Rates[m])
+		}
+		mark := " "
+		if m == best.PickIndex {
+			mark = "*"
+		}
+		line := fmt.Sprintf("%s%3d | %6d | %10.4g | %-26v | %s", mark, m, pt.C1, pt.T1, pt.Choice, rate)
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line, " ")); err != nil {
+			return err
+		}
+	}
+	verdict := fmt.Sprintf("stopped at m=%d: first earnings rate below eps=%g", best.PickIndex, st.Eps)
+	if !best.StoppedEarly {
+		verdict = fmt.Sprintf("rate never dropped below eps=%g: kept the last point m=%d", st.Eps, best.PickIndex)
+	}
+	_, err := fmt.Fprintf(w, "%s — economic choice C1=%d, %v\n", verdict, best.Pick().C1, best.Pick().Choice)
+	return err
+}

@@ -1,0 +1,102 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// AutoTuneExplained must be AutoTuneConstrained plus a trace — identical
+// result on every budget, and the trace's winning curve must agree with it.
+func TestAutoTuneExplainedMatchesConstrained(t *testing.T) {
+	p := driftParams()
+	tc := TuneConstraints{MaxL: 6, MaxNCg: 6}
+	for _, np := range []int{20, 60, 120, 180} {
+		want, wantOK := p.AutoTuneConstrained(np, 0.001, tc)
+		got, st, ok := p.AutoTuneExplained(np, 0.001, tc)
+		if ok != wantOK || got != want {
+			t.Fatalf("np=%d: explained (%+v, %v) != constrained (%+v, %v)", np, got, ok, want, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		best, bok := st.Best()
+		if !bok {
+			t.Fatalf("np=%d: no best curve in trace", np)
+		}
+		if best.C2 != got.C2 || best.Pick().C1 != got.C1 || best.Pick().Choice != got.Choice {
+			t.Fatalf("np=%d: trace best (C2=%d, %+v) disagrees with result %+v",
+				np, best.C2, best.Pick(), got)
+		}
+		if best.TTotal != got.TTotal {
+			t.Fatalf("np=%d: trace TTotal %g != result %g", np, best.TTotal, got.TTotal)
+		}
+		// The recorded rates must be the pairwise earnings rates of the
+		// recorded points, and the pick must obey condition (14).
+		for _, c := range st.Curves {
+			if len(c.Rates) != len(c.Points)-1 {
+				t.Fatalf("np=%d C2=%d: %d rates for %d points", np, c.C2, len(c.Rates), len(c.Points))
+			}
+			for m := range c.Rates {
+				if want := EarningsRate(c.Points[m], c.Points[m+1]); c.Rates[m] != want {
+					t.Fatalf("np=%d C2=%d: rate[%d] = %g, want %g", np, c.C2, m, c.Rates[m], want)
+				}
+			}
+			idx, stopped, ok := EconomicIndex(c.Points, st.Eps)
+			if !ok || idx != c.PickIndex || stopped != c.StoppedEarly {
+				t.Fatalf("np=%d C2=%d: recorded pick (%d, %v) != EconomicIndex (%d, %v)",
+					np, c.C2, c.PickIndex, c.StoppedEarly, idx, stopped)
+			}
+		}
+	}
+}
+
+// The rendered search table is golden-tested against a small fixed
+// geometry: both the ε-stopped curves and the exhausted winning curve must
+// render exactly.
+func TestSearchTraceWriteTableGolden(t *testing.T) {
+	p := Params{
+		N: 4, NX: 12, NY: 6,
+		A: 1e-6, B: 1e-9, C: 1e-3,
+		Theta: 1e-9, Xi: 1, Eta: 1, H: 8,
+	}
+	tuned, st, ok := p.AutoTuneExplained(12, 0.001, TuneConstraints{MaxL: 3, MaxNCg: 3})
+	if !ok {
+		t.Fatal("auto-tune failed")
+	}
+	if tuned.Choice != (Choice{NSdx: 3, NSdy: 3, L: 2, NCg: 1}) {
+		t.Fatalf("tuned = %+v (golden table is stale)", tuned)
+	}
+	var sb strings.Builder
+	if err := st.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `auto-tuner search (np=12, eps=0.001):
+    C2 |  curve |  econ C1 |     T1 (s) |  T_total (s) | stop
+     1 |      2 |        1 |  4.328e-06 |        0.072 | r_0 < eps
+     2 |      3 |        1 |  5.584e-06 |      0.03601 | r_0 < eps
+     3 |      3 |        1 |   6.84e-06 |      0.02401 | r_0 < eps
+     4 |      2 |        1 |  8.096e-06 |      0.01801 | r_0 < eps
+     6 |      4 |        1 |  1.061e-05 |      0.01201 | r_0 < eps
+     8 |      1 |        2 |  7.746e-06 |     0.009008 | curve exhausted
+*    9 |      1 |        3 |  7.032e-06 |     0.008007 | curve exhausted
+
+winning curve (C2=9), Algorithm 1 points and Eq. 13 earnings rates:
+   m |     C1 |     T1 (s) | choice                     | r_m (s/proc)
+*  0 |      3 |  7.032e-06 | nsdx=3 nsdy=3 L=2 ncg=1    |
+rate never dropped below eps=0.001: kept the last point m=0 — economic choice C1=3, nsdx=3 nsdy=3 L=2 ncg=1
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("search table drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestSearchTraceNilSafety(t *testing.T) {
+	var st *SearchTrace
+	if _, ok := st.Best(); ok {
+		t.Error("nil trace has a best curve")
+	}
+	var sb strings.Builder
+	if err := st.WriteTable(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil WriteTable wrote %q, err %v", sb.String(), err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"senkf/internal/costmodel"
 	"senkf/internal/parfs"
 	"senkf/internal/schedule"
+	"senkf/internal/trace"
 )
 
 // Series is one labelled curve of a figure.
@@ -256,6 +257,18 @@ func (s *Suite) SEnKFAt(np int) (schedule.Result, costmodel.Tuned, error) {
 	tuned, ok := s.O.Cfg.P.AutoTuneConstrained(np, s.O.Eps, s.O.Constraints)
 	if !ok {
 		return schedule.Result{}, costmodel.Tuned{}, fmt.Errorf("figures: auto-tuner found no configuration for np=%d", np)
+	}
+	// Record the tuner decision in the trace: processor budget, ε and
+	// search constraints. senkf-report reads this back to re-run the tuner
+	// under measured coefficients with the original budget.
+	if tr := s.O.Cfg.Tracer; tr.Enabled() {
+		tr.Instant(trace.ModelTrack, trace.CatModel, "decision", 0,
+			trace.Arg{Key: "np", Val: float64(np)},
+			trace.Arg{Key: "eps", Val: s.O.Eps},
+			trace.Arg{Key: "max_l", Val: float64(s.O.Constraints.MaxL)},
+			trace.Arg{Key: "max_ncg", Val: float64(s.O.Constraints.MaxNCg)},
+			trace.Arg{Key: "c1", Val: float64(tuned.C1)},
+			trace.Arg{Key: "c2", Val: float64(tuned.C2)})
 	}
 	res, err := schedule.SimulateSEnKF(s.O.Cfg, tuned.Choice)
 	if err != nil {

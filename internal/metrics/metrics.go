@@ -169,11 +169,20 @@ func (r *Recorder) MeanBreakdown(prefix string) Breakdown {
 type Span struct{ Start, End float64 }
 
 // UnionSpans merges possibly-overlapping intervals into disjoint spans.
+// Truncated intervals — End before Start, as left behind by ranks that
+// died mid-phase in a resilient run — are clamped to zero length at their
+// start instead of being allowed to swallow neighbouring spans, so the
+// Figure 11 hidden-I/O accounting cannot be inflated by failed ranks.
 func UnionSpans(ivs []Span) []Span {
 	if len(ivs) == 0 {
 		return nil
 	}
 	sorted := append([]Span(nil), ivs...)
+	for i := range sorted {
+		if sorted[i].End < sorted[i].Start {
+			sorted[i].End = sorted[i].Start
+		}
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
 	out := []Span{sorted[0]}
 	for _, s := range sorted[1:] {

@@ -1,0 +1,52 @@
+// Regression tests for truncated spans: a rank that dies mid-phase leaves
+// a span whose recorded end precedes its start (the death instant). Before
+// the clamp in UnionSpans, such spans deflated the busy-time union and
+// inflated the Figure 11 hidden-I/O share past 100%.
+
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnionSpansClampsTruncated(t *testing.T) {
+	got := UnionSpans([]Span{
+		{Start: 0, End: 2},
+		{Start: 10, End: 4}, // truncated: rank died at t=4 inside a span opened at t=10
+		{Start: 3, End: 5},
+	})
+	want := []Span{{Start: 0, End: 2}, {Start: 3, End: 5}, {Start: 10, End: 10}}
+	if len(got) != len(want) {
+		t.Fatalf("UnionSpans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UnionSpans[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if total := SpanTotal(got); total != 4 {
+		t.Fatalf("SpanTotal = %g, want 4 (truncated span contributes nothing)", total)
+	}
+}
+
+// The Fig. 11 computation end to end: overlap / ioBusy must stay ≤ 1 even
+// when the I/O union contains truncated spans from failed ranks.
+func TestOverlapShareWithTruncatedSpansStaysBounded(t *testing.T) {
+	io := UnionSpans([]Span{
+		{Start: 0, End: 1},
+		{Start: 8, End: 2}, // truncated
+	})
+	compute := UnionSpans([]Span{{Start: 0, End: 10}})
+	busy := SpanTotal(io)
+	if busy != 1 {
+		t.Fatalf("io busy = %g, want 1", busy)
+	}
+	share := OverlapDuration(io, compute) / busy
+	if share < 0 || share > 1 {
+		t.Fatalf("overlap share = %g outside [0, 1]", share)
+	}
+	if math.Abs(share-1) > 1e-12 {
+		t.Fatalf("overlap share = %g, want 1 (the single real span is fully hidden)", share)
+	}
+}

@@ -1,0 +1,120 @@
+// Package profiling wires the standard pprof endpoints and runtime/metrics
+// into the senkf binaries. Every command grows a -profile flag that starts
+// an HTTP server exposing /debug/pprof/ (CPU, heap, goroutine, block,
+// mutex profiles) on a private mux — the binaries never touch
+// http.DefaultServeMux, so importing this package has no side effects.
+// WriteMetricsTable dumps a one-shot runtime/metrics snapshot (GC pauses,
+// heap size, goroutine count, scheduler latencies) for runs where
+// attaching an HTTP client is inconvenient.
+package profiling
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// Server is a running pprof endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// Serve starts the pprof HTTP endpoint on addr (e.g. "localhost:6060").
+// The handlers live on a private mux under the standard /debug/pprof/
+// paths, so `go tool pprof http://<addr>/debug/pprof/profile` works as
+// usual.
+func Serve(addr string) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteMetricsTable(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Sample is one runtime/metrics reading flattened to a float.
+type Sample struct {
+	Name  string
+	Value float64
+	// Cumulative marks monotonically accumulating metrics.
+	Cumulative bool
+}
+
+// Snapshot reads every float64- and uint64-valued runtime metric.
+// Histogram-valued metrics are reported as their count-weighted mean
+// (suffix ":mean") so latency distributions still show up in the table.
+func Snapshot() []Sample {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make([]Sample, 0, len(samples))
+	for i, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out = append(out, Sample{Name: s.Name, Value: float64(s.Value.Uint64()), Cumulative: descs[i].Cumulative})
+		case metrics.KindFloat64:
+			out = append(out, Sample{Name: s.Name, Value: s.Value.Float64(), Cumulative: descs[i].Cumulative})
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			var sum float64
+			for b, c := range h.Counts {
+				n += c
+				// Bucket b spans [Buckets[b], Buckets[b+1]); use the
+				// midpoint, clamping the open-ended edge buckets.
+				lo, hi := h.Buckets[b], h.Buckets[b+1]
+				mid := lo
+				if lo > -1e308 && hi < 1e308 {
+					mid = (lo + hi) / 2
+				} else if lo <= -1e308 {
+					mid = hi
+				}
+				sum += float64(c) * mid
+			}
+			if n > 0 {
+				out = append(out, Sample{Name: s.Name + ":mean", Value: sum / float64(n), Cumulative: descs[i].Cumulative})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetricsTable writes the current runtime/metrics snapshot as an
+// aligned name/value table.
+func WriteMetricsTable(w io.Writer) error {
+	for _, s := range Snapshot() {
+		if _, err := fmt.Fprintf(w, "%-60s %g\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package profiling
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeExposesPprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/metrics"} {
+		resp, err := client.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s: empty body", path)
+		}
+	}
+}
+
+func TestSnapshotAndTable(t *testing.T) {
+	samples := Snapshot()
+	if len(samples) == 0 {
+		t.Fatal("empty runtime/metrics snapshot")
+	}
+	seen := false
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, "/memory/classes/heap") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("no heap metrics among %d samples", len(samples))
+	}
+	var sb strings.Builder
+	if err := WriteMetricsTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "/sched/goroutines:goroutines") {
+		t.Fatalf("table missing goroutine count:\n%.500s", sb.String())
+	}
+}

@@ -1,0 +1,220 @@
+// Versioned bench records and the regression gate. senkf-bench -record
+// writes BENCH_<n>.json — the deterministic virtual-clock outcomes of the
+// P-EnKF/S-EnKF suite (config, wall times, phase breakdowns, model drift)
+// — and senkf-bench -check compares a fresh run against the latest
+// committed record, failing when any run's wall time regresses beyond the
+// tolerance. Simulated runtimes are exact virtual seconds, so records are
+// machine-independent and the gate can run in CI without noise margins.
+
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/figures"
+	"senkf/internal/metrics"
+)
+
+// BenchSchema is the BENCH_<n>.json schema version.
+const BenchSchema = 1
+
+// BenchRun is one (algorithm, processor count) cell of a bench record.
+type BenchRun struct {
+	Algorithm string  `json:"algorithm"`
+	NP        int     `json:"np"`
+	Runtime   float64 `json:"runtime"` // virtual seconds
+	// FirstStage and OverlapFraction are S-EnKF-only (zero otherwise).
+	FirstStage      float64           `json:"first_stage,omitempty"`
+	OverlapFraction float64           `json:"overlap_fraction,omitempty"`
+	IO              metrics.Breakdown `json:"io"`
+	Compute         metrics.Breakdown `json:"compute"`
+	// Tuned is the auto-tuner's choice (S-EnKF only).
+	Tuned *costmodel.Tuned `json:"tuned,omitempty"`
+	// Drift holds the per-term model-vs-measured comparison (S-EnKF only).
+	Drift []costmodel.TermDrift `json:"drift,omitempty"`
+}
+
+func (r BenchRun) key() string { return fmt.Sprintf("%s/np%d", r.Algorithm, r.NP) }
+
+// BenchRecord is the content of one BENCH_<n>.json.
+type BenchRecord struct {
+	Version int    `json:"version"`
+	Schema  int    `json:"schema"`
+	// Scale names the option set ("quick" or "paper"); records of different
+	// scales are not comparable.
+	Scale string     `json:"scale"`
+	Eps   float64    `json:"eps"`
+	Runs  []BenchRun `json:"runs"`
+}
+
+// BenchFromSuite runs the P-EnKF and S-EnKF suite at every configured
+// processor count and assembles the record (Version is assigned by
+// WriteRecord).
+func BenchFromSuite(s *figures.Suite, scale string) (BenchRecord, error) {
+	rec := BenchRecord{Schema: BenchSchema, Scale: scale, Eps: s.O.Eps}
+	for _, np := range s.O.ProcCounts {
+		pres, err := s.PEnKFAt(np)
+		if err != nil {
+			return BenchRecord{}, err
+		}
+		rec.Runs = append(rec.Runs, BenchRun{
+			Algorithm: pres.Algorithm, NP: pres.NP, Runtime: pres.Runtime,
+			IO: pres.IO, Compute: pres.Compute,
+		})
+		sres, tuned, err := s.SEnKFAt(np)
+		if err != nil {
+			return BenchRecord{}, err
+		}
+		run := BenchRun{
+			Algorithm: sres.Algorithm, NP: sres.NP, Runtime: sres.Runtime,
+			FirstStage: sres.FirstStage, OverlapFraction: sres.OverlapFraction,
+			IO: sres.IO, Compute: sres.Compute,
+		}
+		t := tuned
+		run.Tuned = &t
+		// Result breakdowns are per-processor totals over L stages; the
+		// model terms are per stage.
+		l := float64(tuned.Choice.L)
+		if l > 0 {
+			d := s.O.Cfg.P.Drift(tuned.Choice, costmodel.Measured{
+				TRead: sres.IO.Read / l,
+				TComm: sres.IO.Comm / l,
+				TComp: sres.Compute.Compute / l,
+			})
+			run.Drift = d.Terms
+		}
+		rec.Runs = append(rec.Runs, run)
+	}
+	return rec, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// benchVersions lists the record versions present in dir, ascending.
+func benchVersions(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var vs []int
+	for _, e := range entries {
+		if m := benchName.FindStringSubmatch(e.Name()); m != nil {
+			var v int
+			fmt.Sscanf(m[1], "%d", &v)
+			vs = append(vs, v)
+		}
+	}
+	sort.Ints(vs)
+	return vs, nil
+}
+
+// BenchPath returns dir/BENCH_<version>.json.
+func BenchPath(dir string, version int) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", version))
+}
+
+// LatestRecord loads the highest-versioned record in dir. ok is false when
+// the directory holds no records.
+func LatestRecord(dir string) (BenchRecord, string, bool, error) {
+	vs, err := benchVersions(dir)
+	if err != nil || len(vs) == 0 {
+		return BenchRecord{}, "", false, err
+	}
+	path := BenchPath(dir, vs[len(vs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, "", false, err
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return BenchRecord{}, "", false, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return rec, path, true, nil
+}
+
+// WriteRecord stores rec in dir as the next version (latest+1, or 1 in an
+// empty directory) unless rec.Version is already set, and returns the
+// written path.
+func WriteRecord(dir string, rec BenchRecord) (string, error) {
+	if rec.Version == 0 {
+		vs, err := benchVersions(dir)
+		if err != nil {
+			return "", err
+		}
+		rec.Version = 1
+		if len(vs) > 0 {
+			rec.Version = vs[len(vs)-1] + 1
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := BenchPath(dir, rec.Version)
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunDelta compares one run across two records.
+type RunDelta struct {
+	Algorithm string  `json:"algorithm"`
+	NP        int     `json:"np"`
+	Prev      float64 `json:"prev"`
+	Cur       float64 `json:"cur"`
+	// Delta is (cur − prev) / prev.
+	Delta     float64 `json:"delta"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Compare checks cur against prev: every run present in both records is
+// matched by (algorithm, np) and flagged when its wall time exceeds the
+// previous one by more than tol (relative). Records of different scales
+// are an error — their runtimes are not comparable.
+func Compare(prev, cur BenchRecord, tol float64) ([]RunDelta, error) {
+	if prev.Scale != cur.Scale {
+		return nil, fmt.Errorf("report: cannot compare scale %q against %q", cur.Scale, prev.Scale)
+	}
+	old := map[string]BenchRun{}
+	for _, r := range prev.Runs {
+		old[r.key()] = r
+	}
+	var out []RunDelta
+	for _, r := range cur.Runs {
+		p, ok := old[r.key()]
+		if !ok {
+			continue
+		}
+		d := RunDelta{Algorithm: r.Algorithm, NP: r.NP, Prev: p.Runtime, Cur: r.Runtime}
+		if p.Runtime > 0 {
+			d.Delta = (r.Runtime - p.Runtime) / p.Runtime
+		}
+		d.Regressed = r.Runtime > p.Runtime*(1+tol)
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("report: records share no (algorithm, np) runs")
+	}
+	return out, nil
+}
+
+// Regressions filters the deltas down to the failures.
+func Regressions(deltas []RunDelta) []RunDelta {
+	var out []RunDelta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

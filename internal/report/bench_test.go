@@ -1,0 +1,120 @@
+package report
+
+import (
+	"testing"
+
+	"senkf/internal/figures"
+)
+
+func quickBenchSuite() *figures.Suite {
+	o := figures.QuickOptions()
+	// One processor count keeps the test fast; the pipeline logic is
+	// count-independent.
+	o.ProcCounts = []int{60}
+	return figures.NewSuite(o)
+}
+
+func TestBenchRecordRoundTripAndCompare(t *testing.T) {
+	s := quickBenchSuite()
+	rec, err := BenchFromSuite(s, "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (P-EnKF + S-EnKF)", len(rec.Runs))
+	}
+	var senkfRun *BenchRun
+	for i := range rec.Runs {
+		if rec.Runs[i].Tuned != nil {
+			senkfRun = &rec.Runs[i]
+		}
+		if rec.Runs[i].Runtime <= 0 {
+			t.Fatalf("run %d has runtime %g", i, rec.Runs[i].Runtime)
+		}
+	}
+	if senkfRun == nil || len(senkfRun.Drift) == 0 {
+		t.Fatal("S-EnKF run carries no tuner choice or drift terms")
+	}
+
+	dir := t.TempDir()
+	p1, err := WriteRecord(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, path, ok, err := LatestRecord(dir)
+	if err != nil || !ok || path != p1 {
+		t.Fatalf("LatestRecord = %q, %v, %v", path, ok, err)
+	}
+	if loaded.Version != 1 || loaded.Scale != "quick" || len(loaded.Runs) != len(rec.Runs) {
+		t.Fatalf("loaded record %+v", loaded)
+	}
+	// Versions increment.
+	p2, err := WriteRecord(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatalf("second record overwrote the first: %s", p2)
+	}
+	if _, path, _, _ := LatestRecord(dir); path != p2 {
+		t.Fatalf("latest = %s, want %s", path, p2)
+	}
+
+	// Deterministic virtual clocks: a self-comparison has no regressions.
+	deltas, err := Compare(loaded, rec, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("self-comparison regressed: %v", reg)
+	}
+
+	// A slowed-down run must trip the gate.
+	slow := rec
+	slow.Runs = append([]BenchRun(nil), rec.Runs...)
+	for i := range slow.Runs {
+		slow.Runs[i].Runtime *= 1.2
+	}
+	deltas, err = Compare(loaded, slow, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := Regressions(deltas); len(reg) != len(slow.Runs) {
+		t.Fatalf("20%% slowdown at 15%% tolerance flagged %d of %d runs", len(reg), len(slow.Runs))
+	}
+	// But stay quiet inside the tolerance.
+	slight := rec
+	slight.Runs = append([]BenchRun(nil), rec.Runs...)
+	for i := range slight.Runs {
+		slight.Runs[i].Runtime *= 1.05
+	}
+	deltas, err = Compare(loaded, slight, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("5%% drift at 15%% tolerance flagged %v", reg)
+	}
+}
+
+func TestCompareRejectsScaleMismatch(t *testing.T) {
+	a := BenchRecord{Scale: "quick", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
+	b := BenchRecord{Scale: "paper", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
+	if _, err := Compare(a, b, 0.15); err == nil {
+		t.Fatal("want error comparing quick against paper records")
+	}
+	// And disjoint run sets are an error, not a silent pass.
+	c := BenchRecord{Scale: "quick", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 999, Runtime: 1}}}
+	if _, err := Compare(a, c, 0.15); err == nil {
+		t.Fatal("want error on records sharing no runs")
+	}
+}
+
+func TestLatestRecordEmptyDir(t *testing.T) {
+	if _, _, ok, err := LatestRecord(t.TempDir()); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, _, ok, err := LatestRecord("/nonexistent/senkf-bench-dir"); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"senkf/internal/figures"
+	"senkf/internal/trace"
+)
+
+// tracedQuickRun simulates the quick-scale S-EnKF at np processors with
+// tracing and returns the events.
+func tracedQuickRun(t *testing.T, np int) []trace.Event {
+	t.Helper()
+	o := figures.QuickOptions()
+	buf := trace.NewBuffer()
+	tr := trace.New(nil, buf)
+	tr.SetCounters(trace.NewRegistry())
+	o.Cfg.Tracer = tr
+	s := figures.NewSuite(o)
+	if _, _, err := s.SEnKFAt(np); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Events()
+}
+
+func TestBuildReportFromTracedRun(t *testing.T) {
+	events := tracedQuickRun(t, 120)
+	rep, err := Build(events, map[string]float64{"counter/parfs.requests/value": 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runtime <= 0 || rep.IOTracks == 0 || rep.ComputeTracks == 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	// Acceptance criterion: the critical path explains the end-to-end time
+	// within 1%.
+	if rep.CriticalPath.CoverageError > 0.01 {
+		t.Fatalf("critical path covers %g of %g (error %g > 1%%)",
+			rep.CriticalPath.Total, rep.Runtime, rep.CriticalPath.CoverageError)
+	}
+	if rep.Model == nil {
+		t.Fatal("traced simulated run produced no model section")
+	}
+	if !rep.Model.Info.HasDecision {
+		t.Fatal("suite run carried no tuner decision instant")
+	}
+	for _, term := range rep.Model.Drift.Terms {
+		if math.IsNaN(term.RelErr) || math.IsInf(term.RelErr, 0) {
+			t.Fatalf("drift term %s has non-finite RelErr %g", term.Term, term.RelErr)
+		}
+	}
+	if rep.Model.Drift.Retuned == nil {
+		t.Fatal("decision present but no retune ran")
+	}
+	if len(rep.Stages) == 0 || rep.PipelineEfficiency <= 0 {
+		t.Fatalf("no pipeline accounting: stages %v, efficiency %g", rep.Stages, rep.PipelineEfficiency)
+	}
+	if rep.OverlapFraction < 0 || rep.OverlapFraction > 1 {
+		t.Fatalf("OverlapFraction = %g", rep.OverlapFraction)
+	}
+
+	// The report must survive a JSON round trip (the senkf-report -json path).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runtime != rep.Runtime || back.CriticalPath.Segments != rep.CriticalPath.Segments {
+		t.Fatalf("JSON round trip changed the report: %+v vs %+v", back, rep)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical path", "model drift", "pipeline"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestBuildReportEmptyTrace(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Fatal("want error on empty trace")
+	}
+}
+
+func TestExtractRunInfoRoundTripsThroughChrome(t *testing.T) {
+	events := tracedQuickRun(t, 60)
+	direct, ok := ExtractRunInfo(events)
+	if !ok {
+		t.Fatal("no prediction instant in trace")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, ok := ExtractRunInfo(decoded)
+	if !ok {
+		t.Fatal("prediction instant lost in the Chrome round trip")
+	}
+	if fromFile.Choice != direct.Choice || fromFile.Params != direct.Params ||
+		fromFile.NP != direct.NP || fromFile.HasDecision != direct.HasDecision {
+		t.Fatalf("round trip changed run info:\n%+v\n%+v", fromFile, direct)
+	}
+}
+
+func TestParseCountersCSV(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Add("parfs.requests", 3)
+	reg.SetGauge("model/t_read", 0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseCountersCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("empty counter map")
+	}
+	found := false
+	for k, v := range m {
+		if strings.Contains(k, "parfs.requests") && v == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("parfs.requests=3 not in %v", m)
+	}
+	if _, err := ParseCountersCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("want error on malformed CSV")
+	}
+}

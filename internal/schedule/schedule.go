@@ -66,12 +66,55 @@ func (c Config) installFaults(env *sim.Env, fs *parfs.FS) {
 
 // obs records one phase interval in both the recorder and — when tracing —
 // as a span on the processor's own track, keeping the two derivations of
-// the paper's breakdowns byte-for-byte comparable.
-func obs(tr *trace.Tracer, rec *metrics.Recorder, name string, ph metrics.Phase, t0, t1 float64) {
+// the paper's breakdowns byte-for-byte comparable. Optional args annotate
+// the span (stage tags feed the per-stage overlap accounting).
+func obs(tr *trace.Tracer, rec *metrics.Recorder, name string, ph metrics.Phase, t0, t1 float64, args ...trace.Arg) {
 	rec.Record(name, ph, t0, t1)
 	if tr.Enabled() {
-		tr.Span(name, trace.CatPhase, ph.String(), t0, t1)
+		tr.Span(name, trace.CatPhase, ph.String(), t0, t1, args...)
 	}
+}
+
+// emitModelPrediction publishes the Eq. 7–10 predictions for the choice
+// about to be simulated: counter samples (model/t_read, model/t_comm,
+// model/t_comp) on the model track so drift against measured phases is
+// visible directly in a Chrome trace, gauges in the counter registry, and
+// one "prediction" instant carrying the full Table-1 parameters and the
+// choice — everything senkf-report needs to recompute drift from the
+// trace file alone.
+func emitModelPrediction(tr *trace.Tracer, p costmodel.Params, ch costmodel.Choice) {
+	tRead, tComm, tComp := p.TRead(ch), p.TComm(ch), p.TComp(ch)
+	if reg := tr.Counters(); reg != nil {
+		reg.SetGauge("model/t_read", tRead)
+		reg.SetGauge("model/t_comm", tComm)
+		reg.SetGauge("model/t_comp", tComp)
+		reg.SetGauge("model/t_total", p.TTotal(ch))
+	}
+	if !tr.Enabled() {
+		return
+	}
+	tr.Counter(trace.ModelTrack, "model/t_read", 0, tRead)
+	tr.Counter(trace.ModelTrack, "model/t_comm", 0, tComm)
+	tr.Counter(trace.ModelTrack, "model/t_comp", 0, tComp)
+	tr.Instant(trace.ModelTrack, trace.CatModel, "prediction", 0,
+		trace.Arg{Key: "nsdx", Val: float64(ch.NSdx)},
+		trace.Arg{Key: "nsdy", Val: float64(ch.NSdy)},
+		trace.Arg{Key: "l", Val: float64(ch.L)},
+		trace.Arg{Key: "ncg", Val: float64(ch.NCg)},
+		trace.Arg{Key: "t_read", Val: tRead},
+		trace.Arg{Key: "t_comm", Val: tComm},
+		trace.Arg{Key: "t_comp", Val: tComp},
+		trace.Arg{Key: "t_total", Val: p.TTotal(ch)},
+		trace.Arg{Key: "n", Val: float64(p.N)},
+		trace.Arg{Key: "nx", Val: float64(p.NX)},
+		trace.Arg{Key: "ny", Val: float64(p.NY)},
+		trace.Arg{Key: "a", Val: p.A},
+		trace.Arg{Key: "b", Val: p.B},
+		trace.Arg{Key: "c", Val: p.C},
+		trace.Arg{Key: "theta", Val: p.Theta},
+		trace.Arg{Key: "xi", Val: float64(p.Xi)},
+		trace.Arg{Key: "eta", Val: float64(p.Eta)},
+		trace.Arg{Key: "h", Val: float64(p.H)})
 }
 
 // Validate checks both halves and their consistency.
@@ -338,6 +381,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
+	emitModelPrediction(tr, p, ch)
 
 	// Geometry of one stage (§4.3): small bars of n_y/(n_sdy·L)+2η rows,
 	// full width for reading; blocks of n_x/n_sdx+2ξ columns for sending.
@@ -460,7 +504,8 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 						}
 						groupBarriers[g].Wait(proc)
 					}
-					obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now())
+					obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now(),
+						trace.Arg{Key: trace.ArgStage, Val: float64(l)})
 					// All live members left the last barrier at this same
 					// instant: the agreed stage-top time for stage l+1.
 					tStage = proc.Now()
@@ -469,7 +514,8 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 					// link).
 					t0 = proc.Now()
 					proc.Sleep(float64(len(serve)) * float64(nsdx) * (p.A + p.B*sendBytes))
-					obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now())
+					obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now(),
+						trace.Arg{Key: trace.ArgStage, Val: float64(l)})
 					for _, row := range serve {
 						for i := 0; i < nsdx; i++ {
 							boxes[row][i].Send(stageMsg{stage: l})
@@ -553,7 +599,9 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	}
 	sort.Ints(res.DroppedMembers)
 	if ioBusy > 0 {
-		res.OverlapFraction = overlap / ioBusy
+		// Clamp: the hidden share of I/O cannot exceed 100%; resilient runs
+		// with truncated spans from dead ranks must not report more.
+		res.OverlapFraction = math.Min(1, overlap/ioBusy)
 	}
 	return res, nil
 }

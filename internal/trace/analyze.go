@@ -39,6 +39,16 @@ const CatOST = "ost"
 // outages, member drops, rank deaths, failovers, retries).
 const CatFault = "fault"
 
+// CatModel is the category of cost-model events: the "prediction" instant
+// a simulated S-EnKF run emits at tuner decision time (carrying the
+// Table-1 parameters, the chosen configuration and the Eq. 7–10 predicted
+// terms) and the model/t_* counter samples that make model-vs-measured
+// drift visible directly in a Chrome trace.
+const CatModel = "model"
+
+// ModelTrack is the track the cost-model events are emitted on.
+const ModelTrack = "model"
+
 // ArgStage is the Arg key carrying a stage index.
 const ArgStage = "stage"
 
@@ -86,13 +96,15 @@ func Tracks(events []Event, trackPrefix string) []string {
 
 // PhaseBreakdown sums phase-span durations across tracks with the given
 // prefix — the trace-derived analogue of metrics.Recorder.Breakdown.
+// Truncated spans (negative duration, as left behind by ranks that died
+// mid-phase) contribute nothing instead of subtracting time.
 func PhaseBreakdown(events []Event, trackPrefix string) metrics.Breakdown {
 	var b metrics.Breakdown
 	for _, ev := range events {
 		if ev.Ph != PhaseSpan || ev.Cat != CatPhase || !strings.HasPrefix(ev.Track, trackPrefix) {
 			continue
 		}
-		if ph, ok := phaseByName(ev.Name); ok {
+		if ph, ok := phaseByName(ev.Name); ok && ev.Dur > 0 {
 			b.Add(ph, ev.Dur)
 		}
 	}

@@ -44,8 +44,11 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
+	"senkf/internal/profiling"
+	"senkf/internal/report"
 	"senkf/internal/schedule"
 	"senkf/internal/trace"
+	"senkf/internal/trace/critpath"
 	"senkf/internal/workload"
 )
 
@@ -380,3 +383,115 @@ func RunSEnKFResilient(p Problem, plan Plan, r Resilience) (*DegradedResult, err
 func InspectEnsemble(dir string, n int) (EnsembleInfo, error) {
 	return ensio.InspectDir(dir, n)
 }
+
+// Performance-observability types: critical-path extraction, model-vs-
+// measured drift, tuner explainability, run reports and the bench
+// regression pipeline.
+type (
+	// CriticalPath is the blocking chain explaining a run's end-to-end time.
+	CriticalPath = critpath.Path
+	// CritPathSegment is one segment of a critical path.
+	CritPathSegment = critpath.Segment
+	// StagePipelineOverlap is the per-stage hidden-I/O accounting.
+	StagePipelineOverlap = critpath.StageOverlap
+	// ModelMeasured carries measured per-stage T_read/T_comm/T_comp.
+	ModelMeasured = costmodel.Measured
+	// ModelDriftReport compares Eq. 7–10 predictions against measurements.
+	ModelDriftReport = costmodel.DriftReport
+	// TuneSearchTrace records the full Algorithm 1/2 search for -explain.
+	TuneSearchTrace = costmodel.SearchTrace
+	// RunReport is the structured outcome of one traced run.
+	RunReport = report.Report
+	// BenchRecord is the content of one versioned BENCH_<n>.json.
+	BenchRecord = report.BenchRecord
+	// BenchRunDelta compares one bench run across two records.
+	BenchRunDelta = report.RunDelta
+	// ProfileServer is a running pprof endpoint.
+	ProfileServer = profiling.Server
+)
+
+// ExtractCriticalPath walks the trace's span DAG backwards from the
+// last-ending phase span and returns the chain of segments explaining the
+// end-to-end time (gaps appear as synthetic "blocked" segments).
+func ExtractCriticalPath(events []TraceEvent) (CriticalPath, error) {
+	return critpath.Extract(events)
+}
+
+// StagePipelineOverlaps computes, per stage, how much of the I/O activity
+// was hidden behind computation — overlap efficiency against the ideal
+// §4.2 pipeline (stage 0 exposed, stages ≥ 1 fully hidden).
+func StagePipelineOverlaps(events []TraceEvent) []StagePipelineOverlap {
+	return critpath.StageOverlaps(events)
+}
+
+// ModelDrift compares the model's predictions for choice ch against
+// measured per-stage times: signed relative error per term plus
+// coefficients recalibrated to reproduce the measurements.
+func ModelDrift(p ModelParams, ch Choice, m ModelMeasured) ModelDriftReport {
+	return p.Drift(ch, m)
+}
+
+// AutoTuneExplained is AutoTuneConstrained with the full Algorithm 1/2
+// search table attached (the Eq. 13–14 earnings-rate series and stopping
+// points); senkf-tune -explain prints it.
+func AutoTuneExplained(p ModelParams, np int, eps float64, tc TuneConstraints) (Tuned, *TuneSearchTrace, bool) {
+	return p.AutoTuneExplained(np, eps, tc)
+}
+
+// WriteChromeTrace encodes events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error { return trace.WriteChrome(w, events) }
+
+// ReadChromeTrace decodes a Chrome trace-event JSON file (as written by
+// TraceBuffer.WriteChrome) back into events.
+func ReadChromeTrace(r io.Reader) ([]TraceEvent, error) { return trace.ReadChrome(r) }
+
+// ParseCountersCSV ingests a CounterRegistry CSV dump into a flat
+// "kind/name/field" map for report attachment.
+func ParseCountersCSV(r io.Reader) (map[string]float64, error) {
+	return report.ParseCountersCSV(r)
+}
+
+// BuildRunReport computes the structured run report — phase breakdowns,
+// overlap shares, critical path, per-stage pipeline efficiency and (when
+// the trace carries a tuner prediction) model drift — from trace events
+// plus optional counters.
+func BuildRunReport(events []TraceEvent, counters map[string]float64) (*RunReport, error) {
+	return report.Build(events, counters)
+}
+
+// CollectBenchRecord runs the suite's P-EnKF/S-EnKF ladder and assembles
+// a bench record (Version is assigned when written).
+func CollectBenchRecord(s *FigureSuite, scale string) (BenchRecord, error) {
+	return report.BenchFromSuite(s, scale)
+}
+
+// LatestBenchRecord loads the highest-versioned BENCH_<n>.json in dir.
+func LatestBenchRecord(dir string) (BenchRecord, string, bool, error) {
+	return report.LatestRecord(dir)
+}
+
+// WriteBenchRecord stores rec in dir as the next BENCH_<n>.json version
+// and returns the written path.
+func WriteBenchRecord(dir string, rec BenchRecord) (string, error) {
+	return report.WriteRecord(dir, rec)
+}
+
+// CompareBenchRecords matches runs by (algorithm, np) and flags wall-time
+// regressions beyond the relative tolerance.
+func CompareBenchRecords(prev, cur BenchRecord, tol float64) ([]BenchRunDelta, error) {
+	return report.Compare(prev, cur, tol)
+}
+
+// BenchRegressions filters compare deltas down to the failures.
+func BenchRegressions(deltas []BenchRunDelta) []BenchRunDelta {
+	return report.Regressions(deltas)
+}
+
+// StartProfiling serves the standard /debug/pprof/ endpoints (plus
+// /debug/metrics) on addr; every senkf binary exposes this behind its
+// -profile flag.
+func StartProfiling(addr string) (*ProfileServer, error) { return profiling.Serve(addr) }
+
+// WriteRuntimeMetrics dumps a one-shot runtime/metrics snapshot as an
+// aligned name/value table.
+func WriteRuntimeMetrics(w io.Writer) error { return profiling.WriteMetricsTable(w) }
