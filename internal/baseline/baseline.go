@@ -1,298 +1,48 @@
-// Package baseline contains real (numerically exact) parallel executions of
-// the two prior-art EnKF implementations the paper compares against:
+// Package baseline contains the entry points for the two prior-art EnKF
+// implementations the paper compares against:
 //
-//   - L-EnKF (§3.1, refs [13, 33]): a single reader processor reads every
+//   - L-EnKF (§3.1, refs [13, 33]): a single dedicated reader reads every
 //     background ensemble member in full and scatters expansion blocks to
-//     the other processors, which then run the local analysis.
+//     the compute ranks, which then run the local analysis.
 //   - P-EnKF (§2.3, refs [23, 24], Figure 3): every processor block-reads
 //     its own expansion from every member file (one addressing operation
 //     per latitude row), with no inter-processor communication, and then
 //     runs the local analysis.
 //
-// Both run on the goroutine message-passing runtime (internal/mpi) against
-// real member files (internal/ensio) and must reproduce the serial
-// reference bit-for-bit — the integration tests assert this. Wall-clock
-// phase timings can be recorded for the real-file ablation benches.
+// Both are declared as reader strategies in internal/plan and executed by
+// the same real-substrate engine as S-EnKF (core.ExecutePlan): goroutine
+// message passing against real member files, numerically exact. They must
+// reproduce the serial reference bit-for-bit — the integration tests
+// assert this. Wall-clock phase timings can be recorded for the real-file
+// ablation benches.
 package baseline
 
 import (
-	"fmt"
-	"time"
-
-	"senkf/internal/enkf"
-	"senkf/internal/ensio"
+	"senkf/internal/core"
 	"senkf/internal/grid"
-	"senkf/internal/metrics"
-	"senkf/internal/mpi"
-	"senkf/internal/obs"
-	"senkf/internal/trace"
+	"senkf/internal/plan"
 )
 
-// Problem bundles everything a parallel run needs.
-type Problem struct {
-	Cfg enkf.Config
-	Dec grid.Decomposition
-	Dir string       // directory containing the member files
-	Net *obs.Network // full observation network (small; read by everyone)
-	// Rec, when non-nil, receives wall-clock phase intervals.
-	Rec *metrics.Recorder
-	// Tr, when non-nil and enabled, receives phase spans per rank.
-	Tr *trace.Tracer
-}
+// Problem is the shared real-run problem type, declared in internal/plan.
+type Problem = plan.Problem
 
-// Validate checks the problem's internal consistency.
-func (p Problem) Validate() error {
-	if err := p.Cfg.Validate(); err != nil {
-		return err
-	}
-	if p.Dec.Mesh != p.Cfg.Mesh {
-		return fmt.Errorf("baseline: decomposition mesh %v differs from config mesh %v", p.Dec.Mesh, p.Cfg.Mesh)
-	}
-	if p.Net == nil {
-		return fmt.Errorf("baseline: nil observation network")
-	}
-	if p.Dir == "" {
-		return fmt.Errorf("baseline: empty member directory")
-	}
-	return nil
-}
-
-const (
-	// tag space: member distribution uses tags [0, N); results use this.
-	resultTag = 1 << 20
-)
-
-// obs logs a wall-clock interval relative to t0 in the recorder (if set)
-// and as a trace span (if tracing), keeping both derivations comparable.
-func (p Problem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
-	if p.Rec != nil {
-		p.Rec.Record(proc, ph, f, t)
-	}
-	if p.Tr.Enabled() {
-		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
-	}
-}
-
-// addIOStats feeds one member file's addressing counters into the tracer's
-// registry, mirroring the S-EnKF I/O ranks' accounting.
-func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
-	if reg := tr.Counters(); reg != nil {
-		reg.Add("ensio.seeks", float64(st.Seeks))
-		reg.Add("ensio.bytes", float64(st.BytesRead))
-		reg.Add("ensio.reads", float64(st.Reads))
-	}
-}
-
-// flattenBlock serializes a block's members into one slice.
-func flattenBlock(b *enkf.Block) []float64 {
-	pts := b.Box.Points()
-	out := make([]float64, len(b.Data)*pts)
-	for k, d := range b.Data {
-		copy(out[k*pts:(k+1)*pts], d)
-	}
-	return out
-}
-
-// unflattenBlock inverts flattenBlock.
-func unflattenBlock(box grid.Box, n int, data []float64) (*enkf.Block, error) {
-	pts := box.Points()
-	if len(data) != n*pts {
-		return nil, fmt.Errorf("baseline: block payload has %d values, want %d", len(data), n*pts)
-	}
-	b := enkf.NewBlock(box, n)
-	for k := 0; k < n; k++ {
-		copy(b.Data[k], data[k*pts:(k+1)*pts])
-	}
-	return b, nil
-}
-
-// gatherResults sends each rank's analysis block to rank 0 and assembles
-// the full fields there. Non-zero ranks return nil fields.
-func gatherResults(c *mpi.Comm, p Problem, mine *enkf.Block, contributors int) ([][]float64, error) {
-	if c.Rank() != 0 {
-		meta := []int{mine.Box.X0, mine.Box.X1, mine.Box.Y0, mine.Box.Y1}
-		return nil, c.Send(0, resultTag, meta, flattenBlock(mine))
-	}
-	blocks := []*enkf.Block{mine}
-	for i := 1; i < contributors; i++ {
-		m, err := c.Recv(mpi.AnySource, resultTag)
-		if err != nil {
-			return nil, err
-		}
-		box := grid.Box{X0: m.Meta[0], X1: m.Meta[1], Y0: m.Meta[2], Y1: m.Meta[3]}
-		blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
-		if err != nil {
-			return nil, err
-		}
-		blocks = append(blocks, blk)
-	}
-	return enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
-}
-
-// RunPEnKF executes the block-reading baseline on
-// Dec.NSdx × Dec.NSdy goroutine ranks and returns the analysis ensemble.
-func RunPEnKF(p Problem) ([][]float64, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	np := p.Dec.SubDomains()
-	w, err := mpi.NewWorld(np)
+// RunPEnKF compiles the block-reading plan over dec and executes it on
+// dec.NSdx × dec.NSdy ranks, returning the analysis ensemble.
+func RunPEnKF(p Problem, dec grid.Decomposition) ([][]float64, error) {
+	c, err := plan.Compile(plan.PEnKF(dec, p.Cfg.N))
 	if err != nil {
 		return nil, err
 	}
-	w.SetTracer(p.Tr)
-	var fields [][]float64
-	t0 := time.Now()
-	err = w.Run(func(c *mpi.Comm) error {
-		i, j := p.Dec.CoordsOf(c.Rank())
-		name := metrics.ComputeName(i, j)
-		exp := p.Dec.Expansion(i, j)
-		blk := enkf.NewBlock(exp, p.Cfg.N)
-
-		// Phase 1: block-read the expansion from every member file.
-		readStart := time.Now()
-		for k := 0; k < p.Cfg.N; k++ {
-			mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-			if err != nil {
-				return err
-			}
-			if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
-				mf.Close()
-				return err
-			}
-			data, err := mf.ReadBlock(exp)
-			addIOStats(p.Tr, mf.Stats())
-			mf.Close()
-			if err != nil {
-				return err
-			}
-			blk.Data[k] = data
-		}
-		p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
-
-		// Phase 2: local analysis on the sub-domain.
-		compStart := time.Now()
-		out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(exp), p.Dec.SubDomain(i, j))
-		if err != nil {
-			return err
-		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
-
-		f, err := gatherResults(c, p, out, np)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			fields = f
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
+	return core.ExecutePlan(p, c)
 }
 
-// RunLEnKF executes the single-reader baseline: rank 0 reads every member
-// file in full and scatters expansion blocks; all ranks (including 0) then
-// run the local analysis.
-func RunLEnKF(p Problem) ([][]float64, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	np := p.Dec.SubDomains()
-	w, err := mpi.NewWorld(np)
+// RunLEnKF compiles the single-reader plan over dec and executes it: one
+// dedicated reader rank reads every member file in full and scatters
+// expansion blocks; the compute ranks run the local analysis.
+func RunLEnKF(p Problem, dec grid.Decomposition) ([][]float64, error) {
+	c, err := plan.Compile(plan.LEnKF(dec, p.Cfg.N))
 	if err != nil {
 		return nil, err
 	}
-	w.SetTracer(p.Tr)
-	var fields [][]float64
-	t0 := time.Now()
-	err = w.Run(func(c *mpi.Comm) error {
-		i, j := p.Dec.CoordsOf(c.Rank())
-		name := metrics.ComputeName(i, j)
-		// Rank 0 plays the reader role: its reading and distribution are
-		// recorded under the I/O name so phase breakdowns group by class.
-		reader := metrics.IOName(0, 0)
-		exp := p.Dec.Expansion(i, j)
-		blk := enkf.NewBlock(exp, p.Cfg.N)
-
-		if c.Rank() == 0 {
-			// The single reader: read each member in full, cut out each
-			// rank's expansion, and distribute serially.
-			for k := 0; k < p.Cfg.N; k++ {
-				readStart := time.Now()
-				mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-				if err != nil {
-					return err
-				}
-				if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
-					mf.Close()
-					return err
-				}
-				field, err := mf.ReadAll()
-				addIOStats(p.Tr, mf.Stats())
-				mf.Close()
-				if err != nil {
-					return err
-				}
-				p.obs(reader, metrics.PhaseRead, t0, readStart, time.Now())
-				commStart := time.Now()
-				full := &enkf.Block{
-					Box:  grid.Box{X0: 0, X1: p.Cfg.Mesh.NX, Y0: 0, Y1: p.Cfg.Mesh.NY},
-					Data: [][]float64{field},
-				}
-				for r := 0; r < np; r++ {
-					ri, rj := p.Dec.CoordsOf(r)
-					rexp := p.Dec.Expansion(ri, rj)
-					sub, err := full.SubBlock(rexp)
-					if err != nil {
-						return err
-					}
-					if r == 0 {
-						blk.Data[k] = sub.Data[0]
-						continue
-					}
-					if err := c.Send(r, k, nil, sub.Data[0]); err != nil {
-						return err
-					}
-				}
-				p.obs(reader, metrics.PhaseComm, t0, commStart, time.Now())
-			}
-		} else {
-			waitStart := time.Now()
-			for k := 0; k < p.Cfg.N; k++ {
-				m, err := c.Recv(0, k)
-				if err != nil {
-					return err
-				}
-				if len(m.Data) != exp.Points() {
-					return fmt.Errorf("baseline: member %d block has %d points, want %d", k, len(m.Data), exp.Points())
-				}
-				blk.Data[k] = m.Data
-			}
-			p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
-		}
-
-		compStart := time.Now()
-		out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(exp), p.Dec.SubDomain(i, j))
-		if err != nil {
-			return err
-		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
-
-		f, err := gatherResults(c, p, out, np)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			fields = f
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
+	return core.ExecutePlan(p, c)
 }

@@ -11,7 +11,7 @@ import (
 	"senkf/internal/workload"
 )
 
-func setup(t *testing.T) (Problem, [][]float64) {
+func setup(t *testing.T) (Problem, grid.Decomposition, [][]float64) {
 	t.Helper()
 	ps := workload.TestScale
 	m, err := ps.Mesh()
@@ -40,19 +40,17 @@ func setup(t *testing.T) (Problem, [][]float64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net}, ref
+	return Problem{Cfg: cfg, Dir: dir, Net: net}, dec, ref
 }
 
 func TestPEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
-	p, ref := setup(t)
+	p, _, ref := setup(t)
 	for _, d := range [][2]int{{1, 1}, {2, 1}, {4, 2}, {6, 3}, {12, 4}} {
 		dec, err := grid.NewDecomposition(p.Cfg.Mesh, d[0], d[1], p.Cfg.Radius)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
-		prob := p
-		prob.Dec = dec
-		got, err := RunPEnKF(prob)
+		got, err := RunPEnKF(p, dec)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
@@ -63,15 +61,13 @@ func TestPEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
 }
 
 func TestLEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
-	p, ref := setup(t)
+	p, _, ref := setup(t)
 	for _, d := range [][2]int{{1, 1}, {3, 2}, {4, 4}} {
 		dec, err := grid.NewDecomposition(p.Cfg.Mesh, d[0], d[1], p.Cfg.Radius)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
-		prob := p
-		prob.Dec = dec
-		got, err := RunLEnKF(prob)
+		got, err := RunLEnKF(p, dec)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)
 		}
@@ -82,10 +78,10 @@ func TestLEnKFMatchesReferenceAcrossDecompositions(t *testing.T) {
 }
 
 func TestPEnKFRecordsReadAndCompute(t *testing.T) {
-	p, _ := setup(t)
+	p, dec, _ := setup(t)
 	rec := metrics.NewRecorder()
 	p.Rec = rec
-	if _, err := RunPEnKF(p); err != nil {
+	if _, err := RunPEnKF(p, dec); err != nil {
 		t.Fatal(err)
 	}
 	b := rec.Breakdown(metrics.ComputePrefix)
@@ -95,23 +91,23 @@ func TestPEnKFRecordsReadAndCompute(t *testing.T) {
 	if b.Comm != 0 {
 		t.Error("P-EnKF should not communicate during acquisition")
 	}
-	if got := len(rec.Procs(metrics.ComputePrefix)); got != p.Dec.SubDomains() {
-		t.Errorf("recorded %d procs, want %d", got, p.Dec.SubDomains())
+	if got := len(rec.Procs(metrics.ComputePrefix)); got != dec.SubDomains() {
+		t.Errorf("recorded %d procs, want %d", got, dec.SubDomains())
 	}
 }
 
 func TestLEnKFRecordsReaderPhases(t *testing.T) {
-	p, _ := setup(t)
+	p, dec, _ := setup(t)
 	rec := metrics.NewRecorder()
 	p.Rec = rec
-	if _, err := RunLEnKF(p); err != nil {
+	if _, err := RunLEnKF(p, dec); err != nil {
 		t.Fatal(err)
 	}
 	reader := rec.Breakdown(metrics.IOName(0, 0))
 	if reader.Read <= 0 || reader.Comm <= 0 {
 		t.Errorf("reader breakdown %+v", reader)
 	}
-	// Non-reader ranks wait, never read.
+	// Compute ranks wait for the scattered blocks, never read.
 	other := rec.Breakdown(metrics.ComputeName(1, 0))
 	if other.Read != 0 || other.Wait <= 0 {
 		t.Errorf("non-reader breakdown %+v", other)
@@ -119,32 +115,31 @@ func TestLEnKFRecordsReaderPhases(t *testing.T) {
 }
 
 func TestProblemValidation(t *testing.T) {
-	p, _ := setup(t)
+	p, dec, _ := setup(t)
 	bad := p
 	bad.Net = nil
-	if _, err := RunPEnKF(bad); err == nil {
+	if _, err := RunPEnKF(bad, dec); err == nil {
 		t.Error("nil network accepted")
 	}
 	bad = p
 	bad.Dir = ""
-	if _, err := RunLEnKF(bad); err == nil {
+	if _, err := RunLEnKF(bad, dec); err == nil {
 		t.Error("empty dir accepted")
 	}
-	bad = p
 	otherMesh, _ := grid.NewMesh(12, 12)
-	bad.Dec, _ = grid.NewDecomposition(otherMesh, 2, 2, p.Cfg.Radius)
-	if _, err := RunPEnKF(bad); err == nil {
+	otherDec, _ := grid.NewDecomposition(otherMesh, 2, 2, p.Cfg.Radius)
+	if _, err := RunPEnKF(p, otherDec); err == nil {
 		t.Error("mesh mismatch accepted")
 	}
 }
 
 func TestMissingFilesFailCleanly(t *testing.T) {
-	p, _ := setup(t)
+	p, dec, _ := setup(t)
 	p.Dir = t.TempDir()
-	if _, err := RunPEnKF(p); err == nil {
+	if _, err := RunPEnKF(p, dec); err == nil {
 		t.Error("P-EnKF with missing files should fail")
 	}
-	if _, err := RunLEnKF(p); err == nil {
+	if _, err := RunLEnKF(p, dec); err == nil {
 		t.Error("L-EnKF with missing files should fail")
 	}
 }

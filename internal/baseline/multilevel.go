@@ -9,22 +9,19 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
-	"senkf/internal/obs"
+	"senkf/internal/plan"
 	"senkf/internal/trace"
 )
 
-// MultiLevelProblem mirrors core.MultiLevelProblem for the baseline side
-// (the packages stay independent — core must not be imported here).
-type MultiLevelProblem struct {
-	Cfg  enkf.Config
-	Dir  string
-	Nets []*obs.Network
-	Rec  *metrics.Recorder
-	Tr   *trace.Tracer
-}
+// MultiLevelProblem is the shared multi-level problem type, declared in
+// internal/plan.
+type MultiLevelProblem = plan.MultiLevelProblem
 
-// obs mirrors Problem.obs for the multi-level variant.
-func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+const resultTag = 1 << 20
+
+// observe logs a wall-clock interval relative to t0 in the recorder (if
+// set) and as a trace span (if tracing).
+func observe(p MultiLevelProblem, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
 	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
 	if p.Rec != nil {
 		p.Rec.Record(proc, ph, f, t)
@@ -34,23 +31,37 @@ func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from
 	}
 }
 
-// Validate checks the problem.
-func (p MultiLevelProblem) Validate() error {
-	if err := p.Cfg.Validate(); err != nil {
-		return err
+// addIOStats feeds one member file's addressing counters into the tracer's
+// registry, mirroring the engine's accounting.
+func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
+	if reg := tr.Counters(); reg != nil {
+		reg.Add("ensio.seeks", float64(st.Seeks))
+		reg.Add("ensio.bytes", float64(st.BytesRead))
+		reg.Add("ensio.reads", float64(st.Reads))
 	}
-	if len(p.Nets) == 0 {
-		return fmt.Errorf("baseline: no observation networks (need one per level)")
+}
+
+// flattenBlock serializes a block's members into one slice.
+func flattenBlock(b *enkf.Block) []float64 {
+	pts := b.Box.Points()
+	out := make([]float64, len(b.Data)*pts)
+	for k, d := range b.Data {
+		copy(out[k*pts:(k+1)*pts], d)
 	}
-	for l, n := range p.Nets {
-		if n == nil {
-			return fmt.Errorf("baseline: nil network at level %d", l)
-		}
+	return out
+}
+
+// unflattenBlock inverts flattenBlock.
+func unflattenBlock(box grid.Box, n int, data []float64) (*enkf.Block, error) {
+	pts := box.Points()
+	if len(data) != n*pts {
+		return nil, fmt.Errorf("baseline: block payload has %d values, want %d", len(data), n*pts)
 	}
-	if p.Dir == "" {
-		return fmt.Errorf("baseline: empty member directory")
+	b := enkf.NewBlock(box, n)
+	for k := 0; k < n; k++ {
+		copy(b.Data[k], data[k*pts:(k+1)*pts])
 	}
-	return nil
+	return b, nil
 }
 
 // RunPEnKFMultiLevel executes the block-reading baseline over a multi-level
@@ -103,7 +114,7 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 				blks[lvl].Data[k] = data[lvl]
 			}
 		}
-		p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
+		observe(p, name, metrics.PhaseRead, t0, readStart, time.Now())
 
 		compStart := time.Now()
 		results := make([]*enkf.Block, levels)
@@ -114,7 +125,7 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 			}
 			results[lvl] = out
 		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
+		observe(p, name, metrics.PhaseCompute, t0, compStart, time.Now())
 
 		// Gather per level at rank 0.
 		if c.Rank() != 0 {

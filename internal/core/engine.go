@@ -1,0 +1,309 @@
+// The real-substrate plan interpreter: one orchestration loop executing any
+// compiled plan (S-EnKF, P-EnKF or L-EnKF) on the goroutine message-passing
+// runtime against real member files. The algorithm-specific entry points —
+// RunSEnKF here, RunPEnKF/RunLEnKF in internal/baseline, the resilient and
+// multilevel variants — are thin strategy+policy wrappers that compile a
+// plan.Spec and hand the schedule to ExecutePlan. internal/schedule replays
+// the same compiled plans on the discrete-event substrate.
+
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/grid"
+	"senkf/internal/metrics"
+	"senkf/internal/mpi"
+	"senkf/internal/plan"
+	"senkf/internal/trace"
+)
+
+// observe records one phase interval in the recorder and, when tracing, as
+// a span on the rank's track, stage-tagged when stage >= 0. Both use
+// seconds since t0 so trace-derived breakdowns match the recorder exactly.
+func observe(p plan.Problem, proc string, ph metrics.Phase, t0, from, to time.Time, stage int) {
+	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
+	if p.Rec != nil {
+		p.Rec.Record(proc, ph, f, t)
+	}
+	if p.Tr.Enabled() {
+		if stage >= 0 {
+			p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t,
+				trace.Arg{Key: trace.ArgStage, Val: float64(stage)})
+		} else {
+			p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
+		}
+	}
+}
+
+// addIOStats feeds one member file's addressing counters into the tracer's
+// registry so real runs expose the same accounting the cost model predicts.
+func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
+	if reg := tr.Counters(); reg != nil {
+		reg.Add("ensio.seeks", float64(st.Seeks))
+		reg.Add("ensio.bytes", float64(st.BytesRead))
+		reg.Add("ensio.reads", float64(st.Reads))
+	}
+}
+
+// cutPayload extracts a destination's block from a full-width bar read.
+// barBox is the region held in bar (full mesh rows); dst is the
+// destination's stage box, guaranteed to lie inside barBox.
+func cutPayload(bar []float64, barBox, dst grid.Box, nx int) []float64 {
+	payload := make([]float64, dst.Points())
+	for y := dst.Y0; y < dst.Y1; y++ {
+		srcOff := (y-barBox.Y0)*nx + dst.X0
+		dstOff := (y - dst.Y0) * dst.Width()
+		copy(payload[dstOff:dstOff+dst.Width()], bar[srcOff:srcOff+dst.Width()])
+	}
+	return payload
+}
+
+// ExecutePlan runs a compiled plan on the real substrate and returns the
+// analysis ensemble assembled at world rank 0 (a compute rank).
+func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Spec.Dec.Mesh != p.Cfg.Mesh {
+		return nil, fmt.Errorf("core: decomposition mesh %v differs from config mesh %v", c.Spec.Dec.Mesh, p.Cfg.Mesh)
+	}
+	if c.Spec.N != p.Cfg.N {
+		return nil, fmt.Errorf("core: plan compiled for %d members, config has %d", c.Spec.N, p.Cfg.N)
+	}
+	w, err := mpi.NewWorld(c.WorldSize())
+	if err != nil {
+		return nil, err
+	}
+	w.SetTracer(p.Tr)
+	var fields [][]float64
+	t0 := time.Now()
+	err = w.Run(func(comm *mpi.Comm) error {
+		if comm.Rank() < c.NumCompute() {
+			f, err := engineCompute(comm, p, c, c.Compute[comm.Rank()], t0)
+			if err != nil {
+				return err
+			}
+			if comm.Rank() == 0 {
+				fields = f
+			}
+			return nil
+		}
+		return engineIO(comm, p, c, c.IO[comm.Rank()-c.NumCompute()], t0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// engineIO is the body of one dedicated I/O rank: per stage, read the
+// stage's region from every member of the stage, then cut and send every
+// destination its block of every member.
+func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t0 time.Time) error {
+	staged := c.Staged()
+	nx := p.Cfg.Mesh.NX
+
+	// Keep the rank's member files open across stages — each stage reads a
+	// different region of the same files.
+	files := make(map[int]*ensio.MemberFile, len(r.Members))
+	defer func() {
+		for _, f := range files {
+			addIOStats(p.Tr, f.Stats())
+			f.Close()
+		}
+	}()
+	for _, k := range r.Members {
+		mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
+		if err != nil {
+			return err
+		}
+		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+			mf.Close()
+			return err
+		}
+		files[k] = mf
+	}
+
+	for _, st := range r.Stages {
+		tag := -1
+		if staged {
+			tag = st.Stage
+		}
+
+		// Read phase: the stage's contiguous region of each member — one
+		// addressing operation per member read (bar reading, §4.1.2).
+		readStart := time.Now()
+		bars := make([][]float64, len(st.Members))
+		for mi, k := range st.Members {
+			bar, err := files[k].ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
+			if err != nil {
+				return err
+			}
+			bars[mi] = bar
+		}
+		observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), tag)
+
+		// Comm phase: every destination gets its stage box of every member.
+		commStart := time.Now()
+		for mi, k := range st.Members {
+			for _, dst := range st.Comm.Dsts {
+				box := c.Compute[dst].Stages[st.Stage].Box
+				meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
+				payload := cutPayload(bars[mi], st.Read.Box, box, nx)
+				if err := comm.Send(dst, stageTag(st.Stage, c.Spec.N, k), meta, payload); err != nil {
+					return err
+				}
+			}
+		}
+		observe(p, r.Name, metrics.PhaseComm, t0, commStart, time.Now(), tag)
+	}
+	return nil
+}
+
+// engineCompute is the body of one compute rank. Stages whose data arrives
+// by message are assembled by a helper goroutine (§4.2) that signals the
+// main flow stage by stage; self-read stages block-read the member files
+// directly. The main flow analyses each stage's region and accumulates the
+// sub-domain result, gathered at world rank 0.
+func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time) ([][]float64, error) {
+	staged := c.Staged()
+	n := c.Spec.N
+
+	type stageData struct {
+		blk *enkf.Block
+		err error
+	}
+	var assembled chan stageData
+	recvStages := 0
+	for _, st := range r.Stages {
+		if st.Expect > 0 {
+			recvStages++
+		}
+	}
+	if recvStages > 0 {
+		assembled = make(chan stageData, recvStages)
+		// Helper thread: receive the Expect per-member blocks of each
+		// message stage, assemble them, and hand the stage over.
+		go func() {
+			for _, st := range r.Stages {
+				if st.Expect == 0 {
+					continue
+				}
+				blk := enkf.NewBlock(st.Box, n)
+				for k := 0; k < st.Expect; k++ {
+					m, err := comm.Recv(mpi.AnySource, stageTag(st.Stage, n, k))
+					if err != nil {
+						assembled <- stageData{err: err}
+						return
+					}
+					box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+					if box != st.Box {
+						assembled <- stageData{err: fmt.Errorf("core: stage %d member %d box %v, want %v", st.Stage, k, box, st.Box)}
+						return
+					}
+					if len(m.Data) != st.Box.Points() {
+						assembled <- stageData{err: fmt.Errorf("core: stage %d member %d payload %d, want %d", st.Stage, k, len(m.Data), st.Box.Points())}
+						return
+					}
+					blk.Data[m.Meta[0]] = m.Data
+				}
+				if staged && p.Tr.Enabled() {
+					// Helper-thread handoff: the stage is fully assembled
+					// and ready for the main thread from this instant on.
+					p.Tr.Instant(r.Name, trace.CatStage, "ready", time.Since(t0).Seconds(),
+						trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
+				}
+				assembled <- stageData{blk: blk}
+			}
+		}()
+	}
+
+	result := enkf.NewBlock(r.Sub, n)
+	for _, st := range r.Stages {
+		tag := -1
+		if staged {
+			tag = st.Stage
+		}
+
+		var blk *enkf.Block
+		if st.Expect > 0 {
+			waitStart := time.Now()
+			sd := <-assembled
+			if sd.err != nil {
+				return nil, sd.err
+			}
+			observe(p, r.Name, metrics.PhaseWait, t0, waitStart, time.Now(), -1)
+			blk = sd.blk
+		} else {
+			// Block reading (§2.3): the rank reads its own expansion from
+			// every member file, one addressing operation per row.
+			blk = enkf.NewBlock(st.Box, n)
+			for _, k := range st.SelfMembers {
+				readStart := time.Now()
+				mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
+				if err != nil {
+					return nil, err
+				}
+				if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+					mf.Close()
+					return nil, err
+				}
+				data, err := mf.ReadBlock(st.Read.Box)
+				addIOStats(p.Tr, mf.Stats())
+				mf.Close()
+				if err != nil {
+					return nil, err
+				}
+				blk.Data[k] = data
+				observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
+			}
+		}
+
+		compStart := time.Now()
+		out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(st.Box), st.Analyze)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < n; k++ {
+			for y := st.Analyze.Y0; y < st.Analyze.Y1; y++ {
+				for x := st.Analyze.X0; x < st.Analyze.X1; x++ {
+					result.Set(k, x, y, out.At(k, x, y))
+				}
+			}
+		}
+		observe(p, r.Name, metrics.PhaseCompute, t0, compStart, time.Now(), tag)
+		if staged && p.Tr.Enabled() {
+			p.Tr.Instant(r.Name, trace.CatStage, "computed", time.Since(t0).Seconds(),
+				trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
+		}
+	}
+
+	return gatherResults(comm, p.Cfg, result, c.NumCompute())
+}
+
+// gatherResults sends each compute rank's analysis block to world rank 0
+// and assembles the full fields there. Other ranks return nil fields.
+func gatherResults(comm *mpi.Comm, cfg enkf.Config, mine *enkf.Block, contributors int) ([][]float64, error) {
+	if comm.Rank() != 0 {
+		meta := []int{mine.Box.X0, mine.Box.X1, mine.Box.Y0, mine.Box.Y1}
+		return nil, comm.Send(0, resultTag, meta, flattenBlock(mine))
+	}
+	blocks := []*enkf.Block{mine}
+	for i := 1; i < contributors; i++ {
+		m, err := comm.Recv(mpi.AnySource, resultTag)
+		if err != nil {
+			return nil, err
+		}
+		box := grid.Box{X0: m.Meta[0], X1: m.Meta[1], Y0: m.Meta[2], Y1: m.Meta[3]}
+		blk, err := unflattenBlock(box, cfg.N, m.Data)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, blk)
+	}
+	return enkf.Assemble(cfg.Mesh, cfg.N, blocks)
+}

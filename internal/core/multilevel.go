@@ -9,27 +9,22 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
-	"senkf/internal/obs"
+	"senkf/internal/plan"
 	"senkf/internal/trace"
 )
 
-// MultiLevelProblem is the 3-D variant of Problem: member files carry
-// `Levels` vertical levels interleaved per grid point (realising the
-// paper's h = levels × 8 bytes per-point volume), and each level has its
-// own observation network. The levels are assimilated with 2-D
-// localization, level by level — standard practice for layered ocean
-// states — but the I/O is shared: one bar read per stage fetches *all*
-// levels of the stage rows with a single addressing operation.
-type MultiLevelProblem struct {
-	Cfg  enkf.Config // per-level analysis parameters (shared)
-	Dir  string
-	Nets []*obs.Network // one network per vertical level
-	Rec  *metrics.Recorder
-	Tr   *trace.Tracer // optional observability; nil disables tracing
-}
+// MultiLevelProblem is the shared multi-level problem type, declared in
+// internal/plan: member files carry `Levels` vertical levels interleaved
+// per grid point (realising the paper's h = levels × 8 bytes per-point
+// volume), each level with its own observation network. The levels are
+// assimilated with 2-D localization, level by level — standard practice
+// for layered ocean states — but the I/O is shared: one bar read per stage
+// fetches *all* levels of the stage rows with a single addressing
+// operation.
+type MultiLevelProblem = plan.MultiLevelProblem
 
-// obs mirrors Problem.obs for the multi-level variant.
-func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
+// observeML mirrors observe for the multi-level problem type.
+func observeML(p MultiLevelProblem, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
 	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
 	if p.Rec != nil {
 		p.Rec.Record(proc, ph, f, t)
@@ -39,28 +34,6 @@ func (p MultiLevelProblem) obs(proc string, ph metrics.Phase, t0 time.Time, from
 	}
 }
 
-// Validate checks the problem.
-func (p MultiLevelProblem) Validate() error {
-	if err := p.Cfg.Validate(); err != nil {
-		return err
-	}
-	if len(p.Nets) == 0 {
-		return fmt.Errorf("core: no observation networks (need one per level)")
-	}
-	for l, n := range p.Nets {
-		if n == nil {
-			return fmt.Errorf("core: nil network at level %d", l)
-		}
-	}
-	if p.Dir == "" {
-		return fmt.Errorf("core: empty member directory")
-	}
-	return nil
-}
-
-// Levels returns the number of vertical levels.
-func (p MultiLevelProblem) Levels() int { return len(p.Nets) }
-
 // mlTag gives every (stage, member, level) triple a distinct message tag.
 func mlTag(stage, nMembers, member, levels, level int) int {
 	return (stage*nMembers+member)*levels + level
@@ -68,7 +41,8 @@ func mlTag(stage, nMembers, member, levels, level int) int {
 
 // RunSEnKFMultiLevel executes the S-EnKF schedule over a multi-level
 // ensemble and returns the analysis as [level][member][]field, assembled at
-// world rank 0.
+// world rank 0. The per-rank schedule is the same compiled plan RunSEnKF
+// executes; the level dimension rides along inside each read and message.
 func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -79,7 +53,11 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	if err := pl.Validate(p.Cfg.N); err != nil {
 		return nil, err
 	}
-	w, err := mpi.NewWorld(pl.WorldSize())
+	cp, err := plan.Compile(pl.Spec(p.Cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(cp.WorldSize())
 	if err != nil {
 		return nil, err
 	}
@@ -87,8 +65,8 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	var fields [][][]float64
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
-		if c.Rank() < pl.ComputeRanks() {
-			f, err := runComputeML(c, p, pl, t0)
+		if c.Rank() < cp.NumCompute() {
+			f, err := runComputeML(c, p, cp, t0)
 			if err != nil {
 				return err
 			}
@@ -97,7 +75,7 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 			}
 			return nil
 		}
-		return runIOML(c, p, pl, t0)
+		return runIOML(c, p, cp, t0)
 	})
 	if err != nil {
 		return nil, err
@@ -108,28 +86,19 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 // runIOML is the multi-level I/O rank: one bar read per (stage, file)
 // fetches every level at once; the per-level column blocks are then cut out
 // and streamed to the compute ranks.
-func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
-	q := c.Rank() - pl.ComputeRanks()
-	g := q / pl.Dec.NSdy
-	j := q % pl.Dec.NSdy
-	name := metrics.IOName(g, j)
+func runIOML(c *mpi.Comm, p MultiLevelProblem, cp *plan.Compiled, t0 time.Time) error {
+	me := cp.IO[c.Rank()-cp.NumCompute()]
+	name := me.Name
 	levels := p.Levels()
 
 	var files []*ensio.MemberFile
 	defer func() {
-		reg := p.Tr.Counters()
 		for _, f := range files {
-			if reg != nil {
-				st := f.Stats()
-				reg.Add("ensio.seeks", float64(st.Seeks))
-				reg.Add("ensio.bytes", float64(st.BytesRead))
-				reg.Add("ensio.reads", float64(st.Reads))
-			}
+			addIOStats(p.Tr, f.Stats())
 			f.Close()
 		}
 	}()
-	var members []int
-	for k := g; k < p.Cfg.N; k += pl.NCg {
+	for _, k := range me.Members {
 		mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
 		if err != nil {
 			return err
@@ -139,45 +108,31 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 			return err
 		}
 		files = append(files, mf)
-		members = append(members, k)
 	}
 
-	for l := 0; l < pl.L; l++ {
-		lb, err := pl.Dec.LayerBar(j, l, pl.L)
-		if err != nil {
-			return err
-		}
+	for _, st := range me.Stages {
+		lb := st.Read.Box
 		for fi, mf := range files {
-			k := members[fi]
+			k := me.Members[fi]
 			readStart := time.Now()
 			bars, err := mf.ReadBarLevels(lb.Y0, lb.Y1) // all levels, one seek
 			if err != nil {
 				return err
 			}
-			p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
+			observeML(p, name, metrics.PhaseRead, t0, readStart, time.Now())
 
 			commStart := time.Now()
-			for i := 0; i < pl.Dec.NSdx; i++ {
-				exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
-				if err != nil {
-					return err
-				}
-				dst := pl.Dec.RankOf(i, j)
-				meta := []int{k, exp.X0, exp.X1, exp.Y0, exp.Y1}
+			for _, dst := range st.Comm.Dsts {
+				box := cp.Compute[dst].Stages[st.Stage].Box
+				meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
 				for lvl := 0; lvl < levels; lvl++ {
-					payload := make([]float64, exp.Points())
-					bar := bars[lvl]
-					for y := exp.Y0; y < exp.Y1; y++ {
-						srcOff := (y-lb.Y0)*p.Cfg.Mesh.NX + exp.X0
-						dstOff := (y - exp.Y0) * exp.Width()
-						copy(payload[dstOff:dstOff+exp.Width()], bar[srcOff:srcOff+exp.Width()])
-					}
-					if err := c.Send(dst, mlTag(l, p.Cfg.N, k, levels, lvl), meta, payload); err != nil {
+					payload := cutPayload(bars[lvl], lb, box, p.Cfg.Mesh.NX)
+					if err := c.Send(dst, mlTag(st.Stage, p.Cfg.N, k, levels, lvl), meta, payload); err != nil {
 						return err
 					}
 				}
 			}
-			p.obs(name, metrics.PhaseComm, t0, commStart, time.Now())
+			observeML(p, name, metrics.PhaseComm, t0, commStart, time.Now())
 		}
 	}
 	return nil
@@ -186,38 +141,34 @@ func runIOML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) error {
 // runComputeML is the multi-level compute rank: the helper goroutine
 // assembles one block per level per stage while the main flow analyses the
 // previous stage, level by level.
-func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][][]float64, error) {
-	i, j := pl.Dec.CoordsOf(c.Rank())
-	name := metrics.ComputeName(i, j)
+func runComputeML(c *mpi.Comm, p MultiLevelProblem, cp *plan.Compiled, t0 time.Time) ([][][]float64, error) {
+	me := cp.Compute[c.Rank()]
+	name := me.Name
 	levels := p.Levels()
 
 	type stageData struct {
 		blks []*enkf.Block // one per level
 		err  error
 	}
-	stages := make(chan stageData, pl.L)
+	stages := make(chan stageData, len(me.Stages))
 
 	go func() {
-		for l := 0; l < pl.L; l++ {
-			exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
-			if err != nil {
-				stages <- stageData{err: err}
-				return
-			}
+		for _, st := range me.Stages {
+			exp := st.Box
 			blks := make([]*enkf.Block, levels)
 			for lvl := range blks {
 				blks[lvl] = enkf.NewBlock(exp, p.Cfg.N)
 			}
 			for k := 0; k < p.Cfg.N; k++ {
 				for lvl := 0; lvl < levels; lvl++ {
-					m, err := c.Recv(mpi.AnySource, mlTag(l, p.Cfg.N, k, levels, lvl))
+					m, err := c.Recv(mpi.AnySource, mlTag(st.Stage, p.Cfg.N, k, levels, lvl))
 					if err != nil {
 						stages <- stageData{err: err}
 						return
 					}
 					box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
 					if box != exp || len(m.Data) != exp.Points() {
-						stages <- stageData{err: fmt.Errorf("core: stage %d member %d level %d: bad block %v/%d", l, k, lvl, box, len(m.Data))}
+						stages <- stageData{err: fmt.Errorf("core: stage %d member %d level %d: bad block %v/%d", st.Stage, k, lvl, box, len(m.Data))}
 						return
 					}
 					blks[lvl].Data[m.Meta[0]] = m.Data
@@ -225,43 +176,40 @@ func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][]
 			}
 			if p.Tr.Enabled() {
 				p.Tr.Instant(name, trace.CatStage, "ready", time.Since(t0).Seconds(),
-					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+					trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
 			}
 			stages <- stageData{blks: blks}
 		}
 	}()
 
-	layers, err := pl.Dec.Layers(i, j, pl.L)
-	if err != nil {
-		return nil, err
-	}
 	results := make([]*enkf.Block, levels)
 	for lvl := range results {
-		results[lvl] = enkf.NewBlock(pl.Dec.SubDomain(i, j), p.Cfg.N)
+		results[lvl] = enkf.NewBlock(me.Sub, p.Cfg.N)
 	}
-	for l := 0; l < pl.L; l++ {
+	for _, st := range me.Stages {
 		waitStart := time.Now()
 		sd := <-stages
 		if sd.err != nil {
 			return nil, sd.err
 		}
-		p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
+		observeML(p, name, metrics.PhaseWait, t0, waitStart, time.Now())
 
+		layer := st.Analyze
 		compStart := time.Now()
 		for lvl := 0; lvl < levels; lvl++ {
-			out, err := p.Cfg.AnalyzeBox(sd.blks[lvl], p.Nets[lvl].InBox(sd.blks[lvl].Box), layers[l])
+			out, err := p.Cfg.AnalyzeBox(sd.blks[lvl], p.Nets[lvl].InBox(sd.blks[lvl].Box), layer)
 			if err != nil {
 				return nil, err
 			}
 			for k := 0; k < p.Cfg.N; k++ {
-				for y := layers[l].Y0; y < layers[l].Y1; y++ {
-					for x := layers[l].X0; x < layers[l].X1; x++ {
+				for y := layer.Y0; y < layer.Y1; y++ {
+					for x := layer.X0; x < layer.X1; x++ {
 						results[lvl].Set(k, x, y, out.At(k, x, y))
 					}
 				}
 			}
 		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
+		observeML(p, name, metrics.PhaseCompute, t0, compStart, time.Now())
 	}
 
 	// Gather per-level sub-domain results at rank 0.
@@ -277,7 +225,7 @@ func runComputeML(c *mpi.Comm, p MultiLevelProblem, pl Plan, t0 time.Time) ([][]
 	out := make([][][]float64, levels)
 	for lvl := 0; lvl < levels; lvl++ {
 		blocks := []*enkf.Block{results[lvl]}
-		for r := 1; r < pl.ComputeRanks(); r++ {
+		for r := 1; r < cp.NumCompute(); r++ {
 			m, err := c.Recv(mpi.AnySource, resultTag+lvl)
 			if err != nil {
 				return nil, err

@@ -3,7 +3,6 @@ package core
 import (
 	"testing"
 
-	"senkf/internal/baseline"
 	"senkf/internal/enkf"
 	"senkf/internal/ensio"
 	"senkf/internal/grid"
@@ -198,26 +197,6 @@ func TestMultiLevelImprovesEveryLevel(t *testing.T) {
 	}
 }
 
-func TestMultiLevelTriangleWithPEnKF(t *testing.T) {
-	// The multi-level P-EnKF baseline (block reads of all levels) matches
-	// the multi-level S-EnKF (shared bar reads) and the per-level serial
-	// reference exactly.
-	p, dec, refs := setupML(t)
-	sen, err := RunSEnKFMultiLevel(p, Plan{Dec: dec, L: 2, NCg: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	pen, err := baseline.RunPEnKFMultiLevel(
-		baseline.MultiLevelProblem{Cfg: p.Cfg, Dir: p.Dir, Nets: p.Nets}, dec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for l := range refs {
-		if d := enkf.MaxAbsDiffFields(sen[l], refs[l]); d != 0 {
-			t.Errorf("level %d: S-EnKF differs by %g", l, d)
-		}
-		if d := enkf.MaxAbsDiffFields(pen[l], refs[l]); d != 0 {
-			t.Errorf("level %d: P-EnKF differs by %g", l, d)
-		}
-	}
-}
+// The multi-level triangle test (S-EnKF ML vs P-EnKF ML vs per-level
+// serial reference) lives in internal/baseline/multilevel_test.go: baseline
+// may import core, but not the reverse.

@@ -28,6 +28,7 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
+	"senkf/internal/plan"
 	"senkf/internal/trace"
 )
 
@@ -162,7 +163,11 @@ func RunSEnKFResilient(p Problem, pl Plan, r Resilience) (*DegradedResult, error
 			}
 		}
 	}
-	w, err := mpi.NewWorld(pl.WorldSize())
+	cp, err := plan.Compile(pl.Spec(p.Cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(cp.WorldSize())
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +175,8 @@ func RunSEnKFResilient(p Problem, pl Plan, r Resilience) (*DegradedResult, error
 	var out *DegradedResult
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
-		if c.Rank() < pl.ComputeRanks() {
-			res, err := runComputeResilient(c, p, pl, r, t0)
+		if c.Rank() < cp.NumCompute() {
+			res, err := runComputeResilient(c, p, cp, r, t0)
 			if err != nil {
 				return err
 			}
@@ -180,7 +185,7 @@ func RunSEnKFResilient(p Problem, pl Plan, r Resilience) (*DegradedResult, error
 			}
 			return nil
 		}
-		return runIOResilient(c, p, pl, r, t0)
+		return runIOResilient(c, p, cp, r, t0)
 	})
 	if err != nil {
 		return nil, err
@@ -228,7 +233,7 @@ func effectiveConfig(cfg enkf.Config, effN int) enkf.Config {
 
 // planFailovers derives the failover assignments from the plan — every
 // rank could compute this, but only rank 0 needs it for the result.
-func planFailovers(fp *faults.Plan, pl Plan) []Failover {
+func planFailovers(fp *faults.Plan, nsdy int) []Failover {
 	if fp == nil {
 		return nil
 	}
@@ -238,19 +243,20 @@ func planFailovers(fp *faults.Plan, pl Plan) []Failover {
 			continue
 		}
 		dead := func(jj int) bool { return fp.DeadBeforeStage(d.Group, jj, d.BeforeStage) }
-		if s, ok := faults.Successor(d.Reader, pl.Dec.NSdy, dead); ok {
+		if s, ok := faults.Successor(d.Reader, nsdy, dead); ok {
 			out = append(out, Failover{Group: d.Group, FromReader: d.Reader, ToReader: s, Stage: d.BeforeStage})
 		}
 	}
 	return out
 }
 
-// runIOResilient is the hardened body of I/O rank (group g, bar row j).
-func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time) error {
-	q := c.Rank() - pl.ComputeRanks()
-	g := q / pl.Dec.NSdy
-	j := q % pl.Dec.NSdy
-	name := metrics.IOName(g, j)
+// runIOResilient is the hardened body of I/O rank (group g, bar row j):
+// the compiled plan supplies the rank's identity, members and per-stage
+// read/send geometry; the failover policy decides which rows it serves.
+func runIOResilient(c *mpi.Comm, p Problem, cp *plan.Compiled, r Resilience, t0 time.Time) error {
+	me := cp.IO[c.Rank()-cp.NumCompute()]
+	g, j, name := me.Group, me.Row, me.Name
+	nsdy, nStages := cp.Spec.Dec.NSdy, cp.Spec.L
 	fp := r.Faults
 	tr := p.Tr
 
@@ -263,7 +269,7 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 	open := map[int]*ensio.MemberFile{} // member -> file
 	myCodes := map[int]int{}
 	if !deadFromStart {
-		for k := g; k < p.Cfg.N; k += pl.NCg {
+		for _, k := range me.Members {
 			mf, err := ensio.OpenMemberOpts(ensio.MemberPath(p.Dir, k), opts)
 			if err != nil {
 				myCodes[k] = classifyOpenError(err)
@@ -295,7 +301,7 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 	// reader alive at stage 0 (every rank derives the same choice from the
 	// plan, so the sum is not multiplied by n_sdy).
 	reporter := 0
-	for jj := 0; jj < pl.Dec.NSdy; jj++ {
+	for jj := 0; jj < nsdy; jj++ {
 		if !fp.DeadBeforeStage(g, jj, 0) {
 			reporter = jj
 			break
@@ -318,13 +324,13 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 
 	// Group members in survivor order.
 	var members []int
-	for k := g; k < p.Cfg.N; k += pl.NCg {
+	for _, k := range me.Members {
 		if _, ok := posOf[k]; ok {
 			members = append(members, k)
 		}
 	}
 
-	for l := 0; l < pl.L; l++ {
+	for l := 0; l < nStages; l++ {
 		if fp.DeadBeforeStage(g, j, l) {
 			if tr.Enabled() {
 				tr.Instant(name, trace.CatFault, "rank-death", time.Since(t0).Seconds(),
@@ -338,11 +344,11 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 		// assignment from the plan.
 		dead := func(jj int) bool { return fp.DeadBeforeStage(g, jj, l) }
 		serve := []int{j}
-		for jj := 0; jj < pl.Dec.NSdy; jj++ {
+		for jj := 0; jj < nsdy; jj++ {
 			if jj == j || !dead(jj) {
 				continue
 			}
-			if s, ok := faults.Successor(jj, pl.Dec.NSdy, dead); ok && s == j {
+			if s, ok := faults.Successor(jj, nsdy, dead); ok && s == j {
 				serve = append(serve, jj)
 				if l == 0 || !fp.DeadBeforeStage(g, jj, l-1) {
 					// First stage this row is adopted.
@@ -356,41 +362,30 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 			}
 		}
 		for _, row := range serve {
-			lb, err := pl.Dec.LayerBar(row, l, pl.L)
-			if err != nil {
-				return err
-			}
+			rowPlan := cp.IOAt(g, row)
+			st := rowPlan.Stages[l]
 			for _, k := range members {
 				mf := open[k]
 				if mf == nil {
 					return fmt.Errorf("core: reader %s lost member %d agreed as a survivor", name, k)
 				}
 				readStart := time.Now()
-				bar, err := mf.ReadBar(lb.Y0, lb.Y1)
+				bar, err := mf.ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
 				if err != nil {
 					return fmt.Errorf("core: reader %s, member %d, stage %d: %w", name, k, l, err)
 				}
-				p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
+				observe(p, name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
 
 				commStart := time.Now()
-				for i := 0; i < pl.Dec.NSdx; i++ {
-					exp, err := pl.Dec.LayerExpansion(i, row, l, pl.L)
-					if err != nil {
-						return err
-					}
-					payload := make([]float64, exp.Points())
-					for y := exp.Y0; y < exp.Y1; y++ {
-						srcOff := (y-lb.Y0)*p.Cfg.Mesh.NX + exp.X0
-						dstOff := (y - exp.Y0) * exp.Width()
-						copy(payload[dstOff:dstOff+exp.Width()], bar[srcOff:srcOff+exp.Width()])
-					}
-					meta := []int{posOf[k], exp.X0, exp.X1, exp.Y0, exp.Y1}
-					dst := pl.Dec.RankOf(i, row)
+				for _, dst := range st.Comm.Dsts {
+					box := cp.Compute[dst].Stages[l].Box
+					payload := cutPayload(bar, st.Read.Box, box, p.Cfg.Mesh.NX)
+					meta := []int{posOf[k], box.X0, box.X1, box.Y0, box.Y1}
 					if err := c.Send(dst, stageTag(l, effN, posOf[k]), meta, payload); err != nil {
 						return err
 					}
 				}
-				p.obs(name, metrics.PhaseComm, t0, commStart, time.Now())
+				observe(p, name, metrics.PhaseComm, t0, commStart, time.Now(), -1)
 			}
 		}
 	}
@@ -400,9 +395,10 @@ func runIOResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time)
 // runComputeResilient is the hardened body of compute rank (i, j): the
 // same helper-thread overlap as runCompute, over the survivor ensemble
 // with the effective (reweighted) configuration.
-func runComputeResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.Time) (*DegradedResult, error) {
-	i, j := pl.Dec.CoordsOf(c.Rank())
-	name := metrics.ComputeName(i, j)
+func runComputeResilient(c *mpi.Comm, p Problem, cp *plan.Compiled, r Resilience, t0 time.Time) (*DegradedResult, error) {
+	me := cp.Compute[c.Rank()]
+	name := cp.Compute[c.Rank()].Name
+	nStages := cp.Spec.L
 
 	// Membership agreement: compute ranks contribute nothing but must
 	// participate so every rank holds the identical survivor set.
@@ -430,14 +426,10 @@ func runComputeResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.
 		blk *enkf.Block
 		err error
 	}
-	stages := make(chan stageData, pl.L)
+	stages := make(chan stageData, nStages)
 	go func() {
-		for l := 0; l < pl.L; l++ {
-			exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
-			if err != nil {
-				stages <- stageData{err: err}
-				return
-			}
+		for l := 0; l < nStages; l++ {
+			exp := me.Stages[l].Box
 			blk := enkf.NewBlock(exp, effN)
 			for s := 0; s < effN; s++ {
 				m, err := c.Recv(mpi.AnySource, stageTag(l, effN, s))
@@ -464,32 +456,29 @@ func runComputeResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.
 		}
 	}()
 
-	layers, err := pl.Dec.Layers(i, j, pl.L)
-	if err != nil {
-		return nil, err
-	}
-	result := enkf.NewBlock(pl.Dec.SubDomain(i, j), effN)
-	for l := 0; l < pl.L; l++ {
+	result := enkf.NewBlock(me.Sub, effN)
+	for l := 0; l < nStages; l++ {
 		waitStart := time.Now()
 		sd := <-stages
 		if sd.err != nil {
 			return nil, sd.err
 		}
-		p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
+		observe(p, name, metrics.PhaseWait, t0, waitStart, time.Now(), -1)
 
+		layer := me.Stages[l].Analyze
 		compStart := time.Now()
-		out, err := effCfg.AnalyzeBox(sd.blk, p.Net.InBox(sd.blk.Box), layers[l])
+		out, err := effCfg.AnalyzeBox(sd.blk, p.Net.InBox(sd.blk.Box), layer)
 		if err != nil {
 			return nil, err
 		}
 		for s := 0; s < effN; s++ {
-			for y := layers[l].Y0; y < layers[l].Y1; y++ {
-				for x := layers[l].X0; x < layers[l].X1; x++ {
+			for y := layer.Y0; y < layer.Y1; y++ {
+				for x := layer.X0; x < layer.X1; x++ {
 					result.Set(s, x, y, out.At(s, x, y))
 				}
 			}
 		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
+		observe(p, name, metrics.PhaseCompute, t0, compStart, time.Now(), -1)
 	}
 
 	if c.Rank() != 0 {
@@ -497,7 +486,7 @@ func runComputeResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.
 		return nil, c.Send(0, resultTag, meta, flattenBlock(result))
 	}
 	blocks := []*enkf.Block{result}
-	for rk := 1; rk < pl.ComputeRanks(); rk++ {
+	for rk := 1; rk < cp.NumCompute(); rk++ {
 		m, err := c.Recv(mpi.AnySource, resultTag)
 		if err != nil {
 			return nil, err
@@ -513,7 +502,7 @@ func runComputeResilient(c *mpi.Comm, p Problem, pl Plan, r Resilience, t0 time.
 	if err != nil {
 		return nil, err
 	}
-	failovers := planFailovers(r.Faults, pl)
+	failovers := planFailovers(r.Faults, cp.Spec.Dec.NSdy)
 	return &DegradedResult{
 		Fields:          fields,
 		Survivors:       survivors,

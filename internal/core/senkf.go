@@ -1,5 +1,7 @@
-// Package core implements S-EnKF itself — the paper's contribution — as a
-// real parallel execution on the goroutine message-passing runtime:
+// Package core is the real-substrate engine: it interprets compiled plans
+// (internal/plan) on the goroutine message-passing runtime (internal/mpi)
+// against real member files (internal/ensio), numerically exact. The S-EnKF
+// schedule it executes is the paper's contribution:
 //
 //   - Concurrent-group bar reading (§4.1): C1 = n_cg·n_sdy dedicated I/O
 //     ranks organised into n_cg groups; the n_sdy ranks of a group read the
@@ -14,21 +16,19 @@
 //     layer — file reading and communication genuinely overlap local
 //     analysis.
 //
-// The result must equal the serial reference (and both baselines) exactly;
-// integration tests assert the correctness triangle.
+// The same engine executes the baseline plans (see internal/baseline for
+// the P-EnKF/L-EnKF entry points); RunSEnKF, RunSEnKFResilient and
+// RunSEnKFMultiLevel are strategy+policy wrappers over it. The result must
+// equal the serial reference (and both baselines) exactly; integration
+// tests assert the correctness triangle.
 package core
 
 import (
 	"fmt"
-	"time"
 
 	"senkf/internal/enkf"
-	"senkf/internal/ensio"
 	"senkf/internal/grid"
-	"senkf/internal/metrics"
-	"senkf/internal/mpi"
-	"senkf/internal/obs"
-	"senkf/internal/trace"
+	"senkf/internal/plan"
 )
 
 // Plan is the S-EnKF processor layout: the compute decomposition plus the
@@ -65,47 +65,16 @@ func (pl Plan) Validate(n int) error {
 	return nil
 }
 
-// Problem mirrors baseline.Problem; core keeps its own copy to avoid a
-// dependency between the contribution and the baselines.
-type Problem struct {
-	Cfg enkf.Config
-	Dir string
-	Net *obs.Network
-	Rec *metrics.Recorder
-	Tr  *trace.Tracer // optional observability; nil disables tracing
-}
+// Spec returns the declarative algorithm spec this layout describes.
+func (pl Plan) Spec(n int) plan.Spec { return plan.SEnKF(pl.Dec, n, pl.L, pl.NCg) }
 
-// Validate checks the problem.
-func (p Problem) Validate() error {
-	if err := p.Cfg.Validate(); err != nil {
-		return err
-	}
-	if p.Net == nil {
-		return fmt.Errorf("core: nil observation network")
-	}
-	if p.Dir == "" {
-		return fmt.Errorf("core: empty member directory")
-	}
-	return nil
-}
+// Problem is the shared real-run problem type, declared in internal/plan.
+type Problem = plan.Problem
 
 const resultTag = 1 << 20
 
 // stageTag gives every (stage, member) pair a distinct message tag.
 func stageTag(l, nMembers, k int) int { return l*nMembers + k }
-
-// obs records one phase interval in the recorder and, when tracing, as a
-// span on the rank's track. Both use seconds since t0 (the run start), so
-// trace-derived breakdowns match the recorder exactly.
-func (p Problem) obs(proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
-	if p.Rec != nil {
-		p.Rec.Record(proc, ph, f, t)
-	}
-	if p.Tr.Enabled() {
-		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
-	}
-}
 
 // RunSEnKF executes the full S-EnKF schedule and returns the analysis
 // ensemble (assembled at world rank 0).
@@ -119,212 +88,11 @@ func RunSEnKF(p Problem, pl Plan) ([][]float64, error) {
 	if err := pl.Validate(p.Cfg.N); err != nil {
 		return nil, err
 	}
-	w, err := mpi.NewWorld(pl.WorldSize())
+	c, err := plan.Compile(pl.Spec(p.Cfg.N))
 	if err != nil {
 		return nil, err
 	}
-	w.SetTracer(p.Tr)
-	var fields [][]float64
-	t0 := time.Now()
-	err = w.Run(func(c *mpi.Comm) error {
-		if c.Rank() < pl.ComputeRanks() {
-			f, err := runCompute(c, p, pl, t0)
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				fields = f
-			}
-			return nil
-		}
-		return runIO(c, p, pl, t0)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
-}
-
-// runIO is the body of one I/O rank: group g, bar row j.
-func runIO(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) error {
-	q := c.Rank() - pl.ComputeRanks()
-	g := q / pl.Dec.NSdy
-	j := q % pl.Dec.NSdy
-	name := metrics.IOName(g, j)
-
-	// The group's files: k ≡ g (mod n_cg). Keep them open across stages —
-	// each stage reads a different small bar of the same files.
-	var files []*ensio.MemberFile
-	defer func() {
-		reg := p.Tr.Counters()
-		for _, f := range files {
-			if reg != nil {
-				st := f.Stats()
-				reg.Add("ensio.seeks", float64(st.Seeks))
-				reg.Add("ensio.bytes", float64(st.BytesRead))
-				reg.Add("ensio.reads", float64(st.Reads))
-			}
-			f.Close()
-		}
-	}()
-	var members []int
-	for k := g; k < p.Cfg.N; k += pl.NCg {
-		mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-		if err != nil {
-			return err
-		}
-		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
-			mf.Close()
-			return err
-		}
-		files = append(files, mf)
-		members = append(members, k)
-	}
-
-	for l := 0; l < pl.L; l++ {
-		lb, err := pl.Dec.LayerBar(j, l, pl.L)
-		if err != nil {
-			return err
-		}
-		for fi, mf := range files {
-			k := members[fi]
-			// Bar reading: the stage-l small bar is contiguous on disk —
-			// a single addressing operation (§4.1.2).
-			readStart := time.Now()
-			bar, err := mf.ReadBar(lb.Y0, lb.Y1)
-			if err != nil {
-				return err
-			}
-			p.obs(name, metrics.PhaseRead, t0, readStart, time.Now())
-
-			// Cut the bar into the per-column-block pieces and send each
-			// compute rank of row j its stage block.
-			commStart := time.Now()
-			for i := 0; i < pl.Dec.NSdx; i++ {
-				exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
-				if err != nil {
-					return err
-				}
-				payload := make([]float64, exp.Points())
-				for y := exp.Y0; y < exp.Y1; y++ {
-					srcOff := (y-lb.Y0)*p.Cfg.Mesh.NX + exp.X0
-					dstOff := (y - exp.Y0) * exp.Width()
-					copy(payload[dstOff:dstOff+exp.Width()], bar[srcOff:srcOff+exp.Width()])
-				}
-				meta := []int{k, exp.X0, exp.X1, exp.Y0, exp.Y1}
-				dst := pl.Dec.RankOf(i, j)
-				if err := c.Send(dst, stageTag(l, p.Cfg.N, k), meta, payload); err != nil {
-					return err
-				}
-			}
-			p.obs(name, metrics.PhaseComm, t0, commStart, time.Now())
-		}
-	}
-	return nil
-}
-
-// runCompute is the body of one compute rank (i, j): a helper goroutine
-// receives and assembles stage blocks while the main flow analyses the
-// previous layer.
-func runCompute(c *mpi.Comm, p Problem, pl Plan, t0 time.Time) ([][]float64, error) {
-	i, j := pl.Dec.CoordsOf(c.Rank())
-	name := metrics.ComputeName(i, j)
-
-	type stageData struct {
-		blk *enkf.Block
-		err error
-	}
-	stages := make(chan stageData, pl.L)
-
-	// Helper thread (§4.2): receive the N per-member blocks of each stage,
-	// assemble them, and signal the main thread stage by stage.
-	go func() {
-		for l := 0; l < pl.L; l++ {
-			exp, err := pl.Dec.LayerExpansion(i, j, l, pl.L)
-			if err != nil {
-				stages <- stageData{err: err}
-				return
-			}
-			blk := enkf.NewBlock(exp, p.Cfg.N)
-			for k := 0; k < p.Cfg.N; k++ {
-				m, err := c.Recv(mpi.AnySource, stageTag(l, p.Cfg.N, k))
-				if err != nil {
-					stages <- stageData{err: err}
-					return
-				}
-				box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-				if box != exp {
-					stages <- stageData{err: fmt.Errorf("core: stage %d member %d box %v, want %v", l, k, box, exp)}
-					return
-				}
-				if len(m.Data) != exp.Points() {
-					stages <- stageData{err: fmt.Errorf("core: stage %d member %d payload %d, want %d", l, k, len(m.Data), exp.Points())}
-					return
-				}
-				blk.Data[m.Meta[0]] = m.Data
-			}
-			if p.Tr.Enabled() {
-				// Helper-thread handoff: stage l is fully assembled and
-				// ready for the main thread from this instant on.
-				p.Tr.Instant(name, trace.CatStage, "ready", time.Since(t0).Seconds(),
-					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-			}
-			stages <- stageData{blk: blk}
-		}
-	}()
-
-	// Main thread: multi-stage local analysis.
-	layers, err := pl.Dec.Layers(i, j, pl.L)
-	if err != nil {
-		return nil, err
-	}
-	result := enkf.NewBlock(pl.Dec.SubDomain(i, j), p.Cfg.N)
-	for l := 0; l < pl.L; l++ {
-		waitStart := time.Now()
-		sd := <-stages
-		if sd.err != nil {
-			return nil, sd.err
-		}
-		p.obs(name, metrics.PhaseWait, t0, waitStart, time.Now())
-
-		compStart := time.Now()
-		out, err := p.Cfg.AnalyzeBox(sd.blk, p.Net.InBox(sd.blk.Box), layers[l])
-		if err != nil {
-			return nil, err
-		}
-		for k := 0; k < p.Cfg.N; k++ {
-			for y := layers[l].Y0; y < layers[l].Y1; y++ {
-				for x := layers[l].X0; x < layers[l].X1; x++ {
-					result.Set(k, x, y, out.At(k, x, y))
-				}
-			}
-		}
-		p.obs(name, metrics.PhaseCompute, t0, compStart, time.Now())
-		if p.Tr.Enabled() {
-			p.Tr.Instant(name, trace.CatStage, "computed", time.Since(t0).Seconds(),
-				trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-		}
-	}
-
-	// Gather the sub-domain results at world rank 0 (a compute rank).
-	if c.Rank() != 0 {
-		meta := []int{result.Box.X0, result.Box.X1, result.Box.Y0, result.Box.Y1}
-		return nil, c.Send(0, resultTag, meta, flattenBlock(result))
-	}
-	blocks := []*enkf.Block{result}
-	for r := 1; r < pl.ComputeRanks(); r++ {
-		m, err := c.Recv(mpi.AnySource, resultTag)
-		if err != nil {
-			return nil, err
-		}
-		box := grid.Box{X0: m.Meta[0], X1: m.Meta[1], Y0: m.Meta[2], Y1: m.Meta[3]}
-		blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
-		if err != nil {
-			return nil, err
-		}
-		blocks = append(blocks, blk)
-	}
-	return enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
+	return ExecutePlan(p, c)
 }
 
 func flattenBlock(b *enkf.Block) []float64 {

@@ -3,14 +3,29 @@ package core
 import (
 	"testing"
 
-	"senkf/internal/baseline"
 	"senkf/internal/enkf"
 	"senkf/internal/ensio"
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
+	"senkf/internal/plan"
 	"senkf/internal/workload"
 )
+
+// runBaseline compiles a baseline spec and executes it on the engine — the
+// same path internal/baseline's RunPEnKF/RunLEnKF wrap.
+func runBaseline(t *testing.T, p Problem, s plan.Spec) [][]float64 {
+	t.Helper()
+	c, err := plan.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecutePlan(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
 
 // setup generates a test problem with member files on disk and returns the
 // pieces plus the serial reference analysis.
@@ -89,20 +104,13 @@ func TestSEnKFMatchesSerialReference(t *testing.T) {
 func TestCorrectnessTriangle(t *testing.T) {
 	// Serial reference == L-EnKF == P-EnKF == S-EnKF, bit for bit.
 	p, dec, ref := setup(t, enkf.SolverEnsembleSpace)
-	bp := baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net}
 
-	penkf, err := baseline.RunPEnKF(bp)
-	if err != nil {
-		t.Fatal(err)
-	}
+	penkf := runBaseline(t, p, plan.PEnKF(dec, p.Cfg.N))
 	if d := enkf.MaxAbsDiffFields(penkf, ref); d != 0 {
 		t.Errorf("P-EnKF differs from serial reference by %g", d)
 	}
 
-	lenkf, err := baseline.RunLEnKF(bp)
-	if err != nil {
-		t.Fatal(err)
-	}
+	lenkf := runBaseline(t, p, plan.LEnKF(dec, p.Cfg.N))
 	if d := enkf.MaxAbsDiffFields(lenkf, ref); d != 0 {
 		t.Errorf("L-EnKF differs from serial reference by %g", d)
 	}
@@ -238,10 +246,7 @@ func TestCorrectnessTriangleWithOffGridObservations(t *testing.T) {
 	if d := enkf.MaxAbsDiffFields(sen, ref); d != 0 {
 		t.Errorf("S-EnKF with off-grid obs differs from reference by %g", d)
 	}
-	pen, err := baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net})
-	if err != nil {
-		t.Fatal(err)
-	}
+	pen := runBaseline(t, p, plan.PEnKF(dec, cfg.N))
 	if d := enkf.MaxAbsDiffFields(pen, ref); d != 0 {
 		t.Errorf("P-EnKF with off-grid obs differs from reference by %g", d)
 	}

@@ -240,6 +240,6 @@ func PEnKFAnalyzerObserved(dir string, dec grid.Decomposition, rec *metrics.Reco
 		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
 			return nil, err
 		}
-		return baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dec: dec, Dir: dir, Net: net, Rec: rec, Tr: tr})
+		return baseline.RunPEnKF(baseline.Problem{Cfg: cfg, Dir: dir, Net: net, Rec: rec, Tr: tr}, dec)
 	}
 }

@@ -1,0 +1,177 @@
+// Structural phase-span DAGs: the substrate-independent shape of a run.
+//
+// Both substrates emit, per processor track, an ordered chain of phase
+// spans (read/comm on I/O tracks, compute on compute tracks) plus the
+// helper-thread release instants ("ready", one per stage on each compute
+// track of a staged run). Wall-clock and virtual timings differ between
+// substrates — and wait spans exist only where a substrate actually
+// blocked — but the busy-span chains and release points are fully
+// determined by the compiled plan. StructuralDAG extracts that shape from
+// a trace; ExpectedDAG derives it from the plan itself; DiffDAG compares.
+// The observability suite asserts real == expected == simulated at equal
+// geometry.
+
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"senkf/internal/metrics"
+	"senkf/internal/trace"
+)
+
+// DAGNode is one busy phase span in a track's chain.
+type DAGNode struct {
+	Phase string // "read", "comm" or "compute"
+	Stage int    // stage tag, -1 when untagged
+}
+
+// TrackDAG is the structural signature of one processor track: its busy
+// spans in execution order, and the stages of its helper-thread release
+// ("ready") instants in emission order.
+type TrackDAG struct {
+	Spans []DAGNode
+	Ready []int
+}
+
+// StructuralDAG reduces a trace to its per-track structural signature.
+// Only the substrate-independent shape survives: phase spans on io/ and
+// comp/ tracks except waits (blocking is timing, not structure), ordered
+// by start time, and the "ready" release instants per compute track. The
+// release-edge topology is implied: span n+1 of a track is released by
+// span n, and a staged compute span is additionally released by its
+// stage's "ready" instant — which the comm span of the I/O ranks feeding
+// that row produced.
+func StructuralDAG(events []trace.Event) map[string]*TrackDAG {
+	type keyed struct {
+		start float64
+		seq   int // emission order breaks exact ties deterministically
+		node  DAGNode
+	}
+	spans := map[string][]keyed{}
+	out := map[string]*TrackDAG{}
+	track := func(name string) *TrackDAG {
+		t := out[name]
+		if t == nil {
+			t = &TrackDAG{}
+			out[name] = t
+		}
+		return t
+	}
+	for seq, ev := range events {
+		if !strings.HasPrefix(ev.Track, metrics.IOPrefix+"/") &&
+			!strings.HasPrefix(ev.Track, metrics.ComputePrefix+"/") {
+			continue
+		}
+		switch {
+		case ev.Ph == trace.PhaseSpan && ev.Cat == trace.CatPhase:
+			if ev.Name == metrics.PhaseWait.String() {
+				continue
+			}
+			stage := -1
+			if v, ok := ev.ArgValue(trace.ArgStage); ok {
+				stage = int(v)
+			}
+			spans[ev.Track] = append(spans[ev.Track],
+				keyed{start: ev.Ts, seq: seq, node: DAGNode{Phase: ev.Name, Stage: stage}})
+		case ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatStage && ev.Name == "ready":
+			stage := -1
+			if v, ok := ev.ArgValue(trace.ArgStage); ok {
+				stage = int(v)
+			}
+			track(ev.Track).Ready = append(track(ev.Track).Ready, stage)
+		}
+	}
+	for name, ks := range spans {
+		sort.SliceStable(ks, func(a, b int) bool {
+			if ks[a].start != ks[b].start {
+				return ks[a].start < ks[b].start
+			}
+			return ks[a].seq < ks[b].seq
+		})
+		t := track(name)
+		t.Spans = make([]DAGNode, len(ks))
+		for i, k := range ks {
+			t.Spans[i] = k.node
+		}
+	}
+	return out
+}
+
+// ExpectedDAG derives the structural signature a conforming interpreter of
+// this plan must produce, on either substrate.
+func (c *Compiled) ExpectedDAG() map[string]*TrackDAG {
+	staged := c.Staged()
+	tag := func(stage int) int {
+		if staged {
+			return stage
+		}
+		return -1
+	}
+	out := map[string]*TrackDAG{}
+	for _, r := range c.IO {
+		t := &TrackDAG{}
+		for _, st := range r.Stages {
+			t.Spans = append(t.Spans,
+				DAGNode{Phase: metrics.PhaseRead.String(), Stage: tag(st.Stage)},
+				DAGNode{Phase: metrics.PhaseComm.String(), Stage: tag(st.Stage)})
+		}
+		out[r.Name] = t
+	}
+	for _, r := range c.Compute {
+		t := &TrackDAG{}
+		for _, st := range r.Stages {
+			for range st.SelfMembers {
+				t.Spans = append(t.Spans, DAGNode{Phase: metrics.PhaseRead.String(), Stage: -1})
+			}
+			if staged && st.Expect > 0 {
+				t.Ready = append(t.Ready, st.Stage)
+			}
+			t.Spans = append(t.Spans, DAGNode{Phase: metrics.PhaseCompute.String(), Stage: tag(st.Stage)})
+		}
+		out[r.Name] = t
+	}
+	return out
+}
+
+// DiffDAG reports the first structural difference between two signatures,
+// or nil when they are identical: same track set, same span chain per
+// track, same release points.
+func DiffDAG(a, b map[string]*TrackDAG) error {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tb, ok := b[n]
+		if !ok {
+			return fmt.Errorf("plan: track %q present in one DAG only", n)
+		}
+		ta := a[n]
+		if len(ta.Spans) != len(tb.Spans) {
+			return fmt.Errorf("plan: track %q has %d vs %d busy spans", n, len(ta.Spans), len(tb.Spans))
+		}
+		for i := range ta.Spans {
+			if ta.Spans[i] != tb.Spans[i] {
+				return fmt.Errorf("plan: track %q span %d: %+v vs %+v", n, i, ta.Spans[i], tb.Spans[i])
+			}
+		}
+		if len(ta.Ready) != len(tb.Ready) {
+			return fmt.Errorf("plan: track %q has %d vs %d release instants", n, len(ta.Ready), len(tb.Ready))
+		}
+		for i := range ta.Ready {
+			if ta.Ready[i] != tb.Ready[i] {
+				return fmt.Errorf("plan: track %q release %d: stage %d vs %d", n, i, ta.Ready[i], tb.Ready[i])
+			}
+		}
+	}
+	for n := range b {
+		if _, ok := a[n]; !ok {
+			return fmt.Errorf("plan: track %q present in one DAG only", n)
+		}
+	}
+	return nil
+}

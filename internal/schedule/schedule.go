@@ -1,12 +1,14 @@
-// Package schedule executes the parallel schedules of P-EnKF, L-EnKF and
-// S-EnKF on the discrete-event machine (internal/sim + internal/parfs) at
-// the paper's scale — thousands of simulated processors over the 0.1°
-// problem geometry — to regenerate the evaluation figures. The *numerical*
-// assimilation is not performed here (that is the job of the real
-// executions in internal/core and internal/baseline); what is simulated is
-// the exact event structure of each algorithm: who reads what with how many
-// disk-addressing operations, who waits for whom, and what overlaps with
-// what.
+// Package schedule replays compiled execution plans (internal/plan) on the
+// discrete-event machine (internal/sim + internal/parfs) at the paper's
+// scale — thousands of simulated processors over the 0.1° problem geometry —
+// to regenerate the evaluation figures. The *numerical* assimilation is not
+// performed here (that is the job of the real engine in internal/core); what
+// is simulated is the exact event structure each compiled plan prescribes:
+// who reads what with how many disk-addressing operations, who waits for
+// whom, and what overlaps with what. Because both this package and the real
+// engine interpret the same plan.Compiled, the simulated schedule is
+// structurally identical to a traced real run at the same geometry
+// (plan.ExpectedDAG is the common reference).
 //
 // Schedules implemented:
 //
@@ -30,8 +32,10 @@ import (
 
 	"senkf/internal/costmodel"
 	"senkf/internal/faults"
+	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/parfs"
+	"senkf/internal/plan"
 	"senkf/internal/sim"
 	"senkf/internal/trace"
 )
@@ -225,7 +229,27 @@ func expansionGeometry(p costmodel.Params, nsdx, nsdy int) (rows, cols int, byte
 	return rows, cols, float64(rows) * float64(cols) * float64(p.H)
 }
 
-// SimulatePEnKF runs the block-reading baseline on nsdx × nsdy processors.
+// decompose builds the mesh decomposition the plan compiler works on: the
+// cost model's localization radius (ξ, η) becomes the decomposition radius,
+// so the plan's nominal addressing-op and point counts are exactly the
+// quantities of Eqs. 2 and 5.
+func decompose(p costmodel.Params, nsdx, nsdy int) (grid.Decomposition, error) {
+	m, err := grid.NewMesh(p.NX, p.NY)
+	if err != nil {
+		return grid.Decomposition{}, err
+	}
+	return grid.NewDecomposition(m, nsdx, nsdy, grid.Radius{Xi: p.Xi, Eta: p.Eta})
+}
+
+// nominalBytes converts a plan's nominal point count to bytes at h bytes
+// per grid point. All factors are exact small integers, so the product is
+// exact in float64 regardless of association.
+func nominalBytes(points, h int) float64 {
+	return float64(points) * float64(h)
+}
+
+// SimulatePEnKF replays the compiled block-reading plan on nsdx × nsdy
+// processors.
 func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -233,8 +257,15 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if cfg.P.NX%nsdx != 0 || cfg.P.NY%nsdy != 0 {
 		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
 	}
-	np := nsdx * nsdy
 	if err := cfg.Faults.Validate(0, 0, 0, cfg.P.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
+	dec, err := decompose(cfg.P, nsdx, nsdy)
+	if err != nil {
+		return Result{}, err
+	}
+	cp, err := plan.Compile(plan.PEnKF(dec, cfg.P.N))
+	if err != nil {
 		return Result{}, err
 	}
 	env := sim.NewEnv()
@@ -246,23 +277,25 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
-	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
-	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
 
-	for r := 0; r < np; r++ {
-		name := metrics.ComputeName(r%nsdx, r/nsdx)
-		env.Go(name, func(p *sim.Proc) {
-			// Phase 1: block-read every member file, one after another,
-			// paying one addressing operation per expansion row (§4.1.1).
-			for k := 0; k < cfg.P.N; k++ {
+	for q := range cp.Compute {
+		cr := &cp.Compute[q]
+		env.Go(cr.Name, func(p *sim.Proc) {
+			for _, st := range cr.Stages {
+				// Phase 1: block-read every member file, one after another,
+				// paying the plan's nominal addressing operations per file
+				// (one per expansion row, §4.1.1).
+				blockBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+				for _, k := range st.SelfMembers {
+					t0 := p.Now()
+					fs.Read(p, k, st.Read.AddrOps, blockBytes)
+					obs(tr, rec, cr.Name, metrics.PhaseRead, t0, p.Now())
+				}
+				// Phase 2: local analysis on the sub-domain.
 				t0 := p.Now()
-				fs.Read(p, k, rows, blockBytes)
-				obs(tr, rec, name, metrics.PhaseRead, t0, p.Now())
+				p.Sleep(cfg.P.C * float64(st.Analyze.Points()))
+				obs(tr, rec, cr.Name, metrics.PhaseCompute, t0, p.Now())
 			}
-			// Phase 2: local analysis on the sub-domain.
-			t0 := p.Now()
-			p.Sleep(cfg.P.C * pointsPerProc)
-			obs(tr, rec, name, metrics.PhaseCompute, t0, p.Now())
 		})
 	}
 	end, err := env.Run()
@@ -271,16 +304,16 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	return Result{
 		Algorithm: "P-EnKF",
-		NP:        np,
+		NP:        cp.NumCompute(),
 		Runtime:   end,
 		Compute:   rec.MeanBreakdown(metrics.ComputePrefix),
 		FSStats:   fs.Stats(),
 	}, nil
 }
 
-// SimulateLEnKF runs the single-reader baseline: one reader processor reads
-// every member file in full and serially distributes expansion blocks to
-// nsdx × nsdy compute processors.
+// SimulateLEnKF replays the compiled single-reader plan: one reader
+// processor reads every member file in full and serially distributes
+// expansion blocks to nsdx × nsdy compute processors.
 func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -288,8 +321,15 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if cfg.P.NX%nsdx != 0 || cfg.P.NY%nsdy != 0 {
 		return Result{}, fmt.Errorf("schedule: %dx%d does not divide the %dx%d mesh", nsdx, nsdy, cfg.P.NX, cfg.P.NY)
 	}
-	np := nsdx * nsdy
 	if err := cfg.Faults.Validate(0, 0, 0, cfg.P.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
+	dec, err := decompose(cfg.P, nsdx, nsdy)
+	if err != nil {
+		return Result{}, err
+	}
+	cp, err := plan.Compile(plan.LEnKF(dec, cfg.P.N))
+	if err != nil {
 		return Result{}, err
 	}
 	env := sim.NewEnv()
@@ -301,42 +341,44 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
-	_, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
-	fileBytes := float64(cfg.P.NX) * float64(cfg.P.NY) * float64(cfg.P.H)
-	pointsPerProc := float64(cfg.P.NX) / float64(nsdx) * float64(cfg.P.NY) / float64(nsdy)
 
-	boxes := make([]*sim.Mailbox, np)
+	boxes := make([]*sim.Mailbox, cp.NumCompute())
 	for r := range boxes {
 		boxes[r] = sim.NewMailbox(env, fmt.Sprintf("mb%d", r))
 	}
-	reader := metrics.IOName(0, 0)
-	env.Go(reader, func(p *sim.Proc) {
-		for k := 0; k < cfg.P.N; k++ {
+	rd := &cp.IO[0]
+	env.Go(rd.Name, func(p *sim.Proc) {
+		// One round per member: read the file in full (one addressing
+		// operation), then scatter every destination its expansion block.
+		for _, st := range rd.Stages {
+			k := st.Members[0]
 			t0 := p.Now()
-			fs.Read(p, k, 1, fileBytes)
-			obs(tr, rec, reader, metrics.PhaseRead, t0, p.Now())
+			fs.Read(p, k, st.Read.AddrOps, nominalBytes(st.Read.NominalPoints, cfg.P.H))
+			obs(tr, rec, rd.Name, metrics.PhaseRead, t0, p.Now())
 			// Serial distribution: the reader pays startup + transfer for
 			// every destination, one destination after another.
+			blockBytes := nominalBytes(st.Comm.PerDstPoints, cfg.P.H)
 			t0 = p.Now()
-			p.Sleep(float64(np) * (cfg.P.A + cfg.P.B*blockBytes))
-			obs(tr, rec, reader, metrics.PhaseComm, t0, p.Now())
-			for r := 0; r < np; r++ {
-				boxes[r].Send(k)
+			p.Sleep(float64(len(st.Comm.Dsts)) * (cfg.P.A + cfg.P.B*blockBytes))
+			obs(tr, rec, rd.Name, metrics.PhaseComm, t0, p.Now())
+			for _, dst := range st.Comm.Dsts {
+				boxes[dst].Send(k)
 			}
 		}
 	})
-	for r := 0; r < np; r++ {
-		name := metrics.ComputeName(r%nsdx, r/nsdx)
-		mb := boxes[r]
-		env.Go(name, func(p *sim.Proc) {
+	for q := range cp.Compute {
+		cr := &cp.Compute[q]
+		mb := boxes[cr.Rank]
+		env.Go(cr.Name, func(p *sim.Proc) {
+			st := cr.Stages[0]
 			t0 := p.Now()
-			for k := 0; k < cfg.P.N; k++ {
+			for n := 0; n < st.Expect; n++ {
 				mb.Recv(p)
 			}
-			obs(tr, rec, name, metrics.PhaseWait, t0, p.Now())
+			obs(tr, rec, cr.Name, metrics.PhaseWait, t0, p.Now())
 			t0 = p.Now()
-			p.Sleep(cfg.P.C * pointsPerProc)
-			obs(tr, rec, name, metrics.PhaseCompute, t0, p.Now())
+			p.Sleep(cfg.P.C * float64(st.Analyze.Points()))
+			obs(tr, rec, cr.Name, metrics.PhaseCompute, t0, p.Now())
 		})
 	}
 	end, err := env.Run()
@@ -345,7 +387,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	return Result{
 		Algorithm: "L-EnKF",
-		NP:        np + 1,
+		NP:        cp.WorldSize(),
 		Runtime:   end,
 		IO:        rec.MeanBreakdown(metrics.IOPrefix),
 		Compute:   rec.MeanBreakdown(metrics.ComputePrefix),
@@ -357,8 +399,8 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 // arrived" notification an I/O processor sends a compute processor.
 type stageMsg struct{ stage int }
 
-// SimulateSEnKF runs the multi-stage overlapped schedule with the given
-// parameter choice (n_sdx, n_sdy, L, n_cg).
+// SimulateSEnKF replays the compiled multi-stage overlapped plan with the
+// given parameter choice (n_sdx, n_sdy, L, n_cg).
 func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -367,9 +409,17 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		return Result{}, fmt.Errorf("schedule: choice %v infeasible for the problem", ch)
 	}
 	p := cfg.P
-	nsdx, nsdy, L, ncg := ch.NSdx, ch.NSdy, ch.L, ch.NCg
+	nsdy, ncg := ch.NSdy, ch.NCg
 	pl := cfg.Faults
-	if err := pl.Validate(ncg, nsdy, L, p.N, cfg.FS.OSTs); err != nil {
+	if err := pl.Validate(ncg, nsdy, ch.L, p.N, cfg.FS.OSTs); err != nil {
+		return Result{}, err
+	}
+	dec, err := decompose(p, ch.NSdx, nsdy)
+	if err != nil {
+		return Result{}, err
+	}
+	cp, err := plan.Compile(plan.SEnKF(dec, p.N, ch.L, ncg))
+	if err != nil {
 		return Result{}, err
 	}
 	env := sim.NewEnv()
@@ -383,26 +433,18 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	tr := cfg.Tracer
 	emitModelPrediction(tr, p, ch)
 
-	// Geometry of one stage (§4.3): small bars of n_y/(n_sdy·L)+2η rows,
-	// full width for reading; blocks of n_x/n_sdx+2ξ columns for sending.
-	barRows := float64(p.NY)/(float64(nsdy)*float64(L)) + 2*float64(p.Eta)
-	barBytes := barRows * float64(p.NX) * float64(p.H)
-	blockCols := float64(p.NX)/float64(nsdx) + 2*float64(p.Xi)
-	filesPerGroup := p.N / ncg
-	layerPoints := float64(p.NY) / (float64(nsdy) * float64(L)) * float64(p.NX) / float64(nsdx)
-
-	// One mailbox per compute processor.
-	boxes := make([][]*sim.Mailbox, nsdy)
-	for j := range boxes {
-		boxes[j] = make([]*sim.Mailbox, nsdx)
-		for i := range boxes[j] {
-			boxes[j][i] = sim.NewMailbox(env, fmt.Sprintf("mb%d.%d", j, i))
-		}
+	// One mailbox per compute processor, indexed by compute rank. The plan
+	// orders ranks row-major, so creation order is unchanged (j outer, i
+	// inner).
+	boxes := make([]*sim.Mailbox, cp.NumCompute())
+	for q := range cp.Compute {
+		cr := &cp.Compute[q]
+		boxes[cr.Rank] = sim.NewMailbox(env, fmt.Sprintf("mb%d.%d", cr.J, cr.I))
 	}
 
-	// I/O processors: group g ∈ [0,ncg), bar row j ∈ [0,nsdy). The members
-	// of a group read the same file at once (§4.1.3) — a cyclic barrier
-	// keeps them on the same file.
+	// I/O processors: group g ∈ [0,ncg), bar row j ∈ [0,nsdy) — the plan's
+	// IO order. The members of a group read the same file at once (§4.1.3) —
+	// a cyclic barrier keeps them on the same file.
 	groupBarriers := make([]*sim.Barrier, ncg)
 	for g := range groupBarriers {
 		groupBarriers[g] = sim.NewBarrier(env, fmt.Sprintf("grp%d", g), nsdy)
@@ -417,157 +459,164 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		droppedSet = map[int]bool{}
 	)
 	// Per-group effective file count: unrecoverable members contribute no
-	// payload, shrinking the per-stage send volume of that group.
+	// payload, shrinking the per-stage send volume of that group. The
+	// group's member set comes from the plan (members k ≡ g mod n_cg).
 	droppedInGroup := make([]int, ncg)
-	for k := 0; k < p.N; k++ {
-		if pl.Drops(k) {
-			droppedInGroup[k%ncg]++
+	for q := range cp.IO {
+		if cp.IO[q].Row != 0 {
+			continue
+		}
+		for _, k := range cp.IO[q].Members {
+			if pl.Drops(k) {
+				droppedInGroup[cp.IO[q].Group]++
+			}
 		}
 	}
 
-	for g := 0; g < ncg; g++ {
-		for j := 0; j < nsdy; j++ {
-			g, j := g, j
-			name := metrics.IOName(g, j)
-			effFiles := filesPerGroup - droppedInGroup[g]
-			sendBytes := barRows * blockCols * float64(effFiles) * float64(p.H)
-			env.Go(name, func(proc *sim.Proc) {
-				// tStage is the group-agreed virtual time at the top of the
-				// current stage: 0 initially, then the instant the last file
-				// barrier of the previous stage released — identical for
-				// every member of the group, so all members evaluate the
-				// death predicates with the same (stage, time) and agree on
-				// the live set without communication.
-				tStage := 0.0
-				for l := 0; l < L; l++ {
-					dead := func(jj int) bool { return pl.DeadAt(g, jj, l, tStage) }
-					if dead(j) {
-						if tr.Enabled() {
-							tr.Instant(name, trace.CatFault, "rank-death", proc.Now(),
-								trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-						}
-						tr.Counters().Inc("faults.rank.deaths")
-						rankDeaths++
-						groupBarriers[g].Leave()
-						return
+	for q := range cp.IO {
+		me := &cp.IO[q]
+		g, j, name := me.Group, me.Row, me.Name
+		effFiles := len(me.Members) - droppedInGroup[g]
+		env.Go(name, func(proc *sim.Proc) {
+			// tStage is the group-agreed virtual time at the top of the
+			// current stage: 0 initially, then the instant the last file
+			// barrier of the previous stage released — identical for
+			// every member of the group, so all members evaluate the
+			// death predicates with the same (stage, time) and agree on
+			// the live set without communication.
+			tStage := 0.0
+			for _, st := range me.Stages {
+				l := st.Stage
+				barBytes := nominalBytes(st.Read.NominalPoints, p.H)
+				sendBytes := nominalBytes(st.Comm.PerDstPoints, p.H) * float64(effFiles)
+				dead := func(jj int) bool { return pl.DeadAt(g, jj, l, tStage) }
+				if dead(j) {
+					if tr.Enabled() {
+						tr.Instant(name, trace.CatFault, "rank-death", proc.Now(),
+							trace.Arg{Key: trace.ArgStage, Val: float64(l)})
 					}
-					// Rows this reader serves: its own, plus dead rows whose
-					// cyclic successor it is (the failover assignment every
-					// survivor derives identically from the plan).
-					serve := []int{j}
-					for jj := 0; jj < nsdy; jj++ {
-						if jj == j || !dead(jj) {
-							continue
-						}
-						if s, ok := faults.Successor(jj, nsdy, dead); ok && s == j {
-							serve = append(serve, jj)
-							if !adopted[[2]int{g, jj}] {
-								adopted[[2]int{g, jj}] = true
-								failovers++
-								tr.Counters().Inc("faults.failovers")
-								if tr.Enabled() {
-									tr.Instant(name, trace.CatFault, "failover", proc.Now(),
-										trace.Arg{Key: "row", Val: float64(jj)},
-										trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-								}
-							}
-						}
+					tr.Counters().Inc("faults.rank.deaths")
+					rankDeaths++
+					groupBarriers[g].Leave()
+					return
+				}
+				// Rows this reader serves: its own, plus dead rows whose
+				// cyclic successor it is (the failover assignment every
+				// survivor derives identically from the plan).
+				serve := []int{j}
+				for jj := 0; jj < nsdy; jj++ {
+					if jj == j || !dead(jj) {
+						continue
 					}
-					// Read this stage's small bar from each file of the
-					// group: contiguous, one addressing operation each (per
-					// served row). Faulted files cost their retry probes;
-					// unrecoverable ones are dropped and contribute nothing.
-					t0 := proc.Now()
-					for f := 0; f < filesPerGroup; f++ {
-						file := g + f*ncg
-						if pl.Drops(file) {
-							for a := 0; a < pl.Budget(); a++ {
-								fs.Read(proc, file, 1, 0)
+					if s, ok := faults.Successor(jj, nsdy, dead); ok && s == j {
+						serve = append(serve, jj)
+						if !adopted[[2]int{g, jj}] {
+							adopted[[2]int{g, jj}] = true
+							failovers++
+							tr.Counters().Inc("faults.failovers")
+							if tr.Enabled() {
+								tr.Instant(name, trace.CatFault, "failover", proc.Now(),
+									trace.Arg{Key: "row", Val: float64(jj)},
+									trace.Arg{Key: trace.ArgStage, Val: float64(l)})
 							}
-							if !droppedSet[file] {
-								droppedSet[file] = true
-								tr.Counters().Inc("faults.members.dropped")
-								if tr.Enabled() {
-									tr.Instant(name, trace.CatFault, "member-dropped", proc.Now(),
-										trace.Arg{Key: "member", Val: float64(file)})
-								}
-							}
-						} else {
-							if ff, ok := pl.FaultFor(file); ok && ff.Kind == faults.FileTransient {
-								for a := 0; a < ff.Count; a++ {
-									fs.Read(proc, file, 1, 0)
-								}
-							}
-							for range serve {
-								fs.Read(proc, file, 1, barBytes)
-							}
-						}
-						groupBarriers[g].Wait(proc)
-					}
-					obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now(),
-						trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-					// All live members left the last barrier at this same
-					// instant: the agreed stage-top time for stage l+1.
-					tStage = proc.Now()
-					// Send each compute processor of the served rows its
-					// aggregated stage blocks (serialized at the sender's
-					// link).
-					t0 = proc.Now()
-					proc.Sleep(float64(len(serve)) * float64(nsdx) * (p.A + p.B*sendBytes))
-					obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now(),
-						trace.Arg{Key: trace.ArgStage, Val: float64(l)})
-					for _, row := range serve {
-						for i := 0; i < nsdx; i++ {
-							boxes[row][i].Send(stageMsg{stage: l})
 						}
 					}
 				}
-			})
-		}
+				// Read this stage's small bar from each file of the
+				// group: contiguous, one addressing operation each (per
+				// served row). Faulted files cost their retry probes;
+				// unrecoverable ones are dropped and contribute nothing.
+				t0 := proc.Now()
+				for _, file := range st.Members {
+					if pl.Drops(file) {
+						for a := 0; a < pl.Budget(); a++ {
+							fs.Read(proc, file, 1, 0)
+						}
+						if !droppedSet[file] {
+							droppedSet[file] = true
+							tr.Counters().Inc("faults.members.dropped")
+							if tr.Enabled() {
+								tr.Instant(name, trace.CatFault, "member-dropped", proc.Now(),
+									trace.Arg{Key: "member", Val: float64(file)})
+							}
+						}
+					} else {
+						if ff, ok := pl.FaultFor(file); ok && ff.Kind == faults.FileTransient {
+							for a := 0; a < ff.Count; a++ {
+								fs.Read(proc, file, 1, 0)
+							}
+						}
+						for range serve {
+							fs.Read(proc, file, st.Read.AddrOps, barBytes)
+						}
+					}
+					groupBarriers[g].Wait(proc)
+				}
+				obs(tr, rec, name, metrics.PhaseRead, t0, proc.Now(),
+					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+				// All live members left the last barrier at this same
+				// instant: the agreed stage-top time for stage l+1.
+				tStage = proc.Now()
+				// Send each compute processor of the served rows its
+				// aggregated stage blocks (serialized at the sender's
+				// link). The destinations of an adopted row come from the
+				// dead rank's own plan entry.
+				t0 = proc.Now()
+				proc.Sleep(float64(len(serve)) * float64(len(st.Comm.Dsts)) * (p.A + p.B*sendBytes))
+				obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now(),
+					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+				for _, row := range serve {
+					for _, dst := range cp.IOAt(g, row).Stages[l].Comm.Dsts {
+						boxes[dst].Send(stageMsg{stage: l})
+					}
+				}
+			}
+		})
 	}
 
 	// Compute processors: the helper thread is implicit — arrival counting
 	// happens while the main loop computes, so stage l+1 data accumulates
 	// in the mailbox during stage l's analysis, exactly the overlap of
-	// Figure 8.
+	// Figure 8. Each group aggregates its N/n_cg member blocks into one
+	// notification, so the plan's Expect = N per-member blocks arrive as
+	// n_cg messages per stage.
 	firstStage := sim.NewMailbox(env, "first-stage")
-	for j := 0; j < nsdy; j++ {
-		for i := 0; i < nsdx; i++ {
-			i, j := i, j
-			name := metrics.ComputeName(i, j)
-			mb := boxes[j][i]
-			env.Go(name, func(proc *sim.Proc) {
-				counts := make([]int, L)
-				for l := 0; l < L; l++ {
-					// Wait for the ncg group notifications of stage l.
-					t0 := proc.Now()
-					for counts[l] < ncg {
-						m := mb.Recv(proc).(stageMsg)
-						counts[m.stage]++
-						if tr.Enabled() && counts[m.stage] == ncg {
-							// The last block of stage m.stage just arrived:
-							// computing that stage is causally legal from
-							// this instant on.
-							tr.Instant(name, trace.CatStage, "ready", proc.Now(),
-								trace.Arg{Key: trace.ArgStage, Val: float64(m.stage)})
-						}
-					}
-					if t0 != proc.Now() {
-						obs(tr, rec, name, metrics.PhaseWait, t0, proc.Now())
-					}
-					if l == 0 && i == 0 && j == 0 {
-						firstStage.Send(proc.Now())
-					}
-					t0 = proc.Now()
-					proc.Sleep(p.C * layerPoints)
-					rec.Record(name, metrics.PhaseCompute, t0, proc.Now())
-					if tr.Enabled() {
-						tr.Span(name, trace.CatPhase, metrics.PhaseCompute.String(), t0, proc.Now(),
-							trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+	for q := range cp.Compute {
+		cr := &cp.Compute[q]
+		name := cr.Name
+		mb := boxes[cr.Rank]
+		env.Go(name, func(proc *sim.Proc) {
+			counts := make([]int, len(cr.Stages))
+			for _, st := range cr.Stages {
+				l := st.Stage
+				// Wait for the ncg group notifications of stage l.
+				t0 := proc.Now()
+				for counts[l] < ncg {
+					m := mb.Recv(proc).(stageMsg)
+					counts[m.stage]++
+					if tr.Enabled() && counts[m.stage] == ncg {
+						// The last block of stage m.stage just arrived:
+						// computing that stage is causally legal from
+						// this instant on.
+						tr.Instant(name, trace.CatStage, "ready", proc.Now(),
+							trace.Arg{Key: trace.ArgStage, Val: float64(m.stage)})
 					}
 				}
-			})
-		}
+				if t0 != proc.Now() {
+					obs(tr, rec, name, metrics.PhaseWait, t0, proc.Now())
+				}
+				if l == 0 && cr.Rank == 0 {
+					firstStage.Send(proc.Now())
+				}
+				t0 = proc.Now()
+				proc.Sleep(p.C * float64(st.Analyze.Points()))
+				rec.Record(name, metrics.PhaseCompute, t0, proc.Now())
+				if tr.Enabled() {
+					tr.Span(name, trace.CatPhase, metrics.PhaseCompute.String(), t0, proc.Now(),
+						trace.Arg{Key: trace.ArgStage, Val: float64(l)})
+				}
+			}
+		})
 	}
 
 	end, err := env.Run()
@@ -584,7 +633,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	}
 	res := Result{
 		Algorithm:              "S-EnKF",
-		NP:                     ch.C1() + ch.C2(),
+		NP:                     cp.WorldSize(),
 		Runtime:                end,
 		IO:                     rec.MeanBreakdown(metrics.IOPrefix),
 		Compute:                rec.MeanBreakdown(metrics.ComputePrefix),

@@ -272,3 +272,127 @@ func TestRealSEnKFCrossChecksSimulatedAccounting(t *testing.T) {
 		t.Errorf("mpi.bytes = %g, want > 0", b)
 	}
 }
+
+// TestRealAndSimulatedSchedulesShareStructure is the plan engine's central
+// invariant: the phase-span DAG of a traced real run is structurally
+// identical to the simulated schedule at the same geometry, and both equal
+// the DAG the compiled plan prescribes. Wall-clock and virtual timings
+// differ — the busy-span chains and helper-thread release points must not.
+func TestRealAndSimulatedSchedulesShareStructure(t *testing.T) {
+	const (
+		members = 8
+		nsdx    = 4
+		nsdy    = 2
+		layers  = 2
+		ncg     = 2
+	)
+	mesh, err := NewMesh(48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius, err := NewRadius(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := GenerateTruth(mesh, DefaultFieldSpec, 11)
+	ens, err := GenerateEnsemble(mesh, truth, members, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := WriteEnsemble(dir, mesh, ens); err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewStridedNetwork(mesh, truth, 3, 3, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecomposition(mesh, nsdx, nsdy, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mesh: mesh, Radius: radius, N: members, Seed: 11}
+	// The simulated machine over the same geometry: ξ, η become the
+	// decomposition radius, so both substrates interpret the same plan.
+	simCfg := schedule.Config{
+		P: costmodel.Params{
+			N: members, NX: 48, NY: 24,
+			A: 1e-6, B: 1e-9, C: 1e-6,
+			Theta: 1e-9, Xi: 4, Eta: 2, H: 8,
+		},
+		FS: parfs.Config{
+			OSTs:              2,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          1e-9,
+			BackboneStreams:   4,
+		},
+	}
+
+	real := func(t *testing.T, run func(Problem) error) []TraceEvent {
+		t.Helper()
+		buf := trace.NewBuffer()
+		if err := run(Problem{Cfg: cfg, Dir: dir, Net: net, Tr: NewWallTracer(buf)}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events()
+	}
+	simulated := func(t *testing.T, run func(schedule.Config) error) []TraceEvent {
+		t.Helper()
+		buf := trace.NewBuffer()
+		sc := simCfg
+		sc.Tracer = trace.New(nil, buf)
+		if err := run(sc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events()
+	}
+	check := func(t *testing.T, spec AlgorithmSpec, realEvents, simEvents []TraceEvent) {
+		t.Helper()
+		cp, err := CompilePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cp.ExpectedDAG()
+		if err := DiffDAG(TraceDAG(realEvents), want); err != nil {
+			t.Errorf("real vs plan: %v", err)
+		}
+		if err := DiffDAG(TraceDAG(simEvents), want); err != nil {
+			t.Errorf("simulated vs plan: %v", err)
+		}
+	}
+
+	t.Run("SEnKF", func(t *testing.T) {
+		realEvents := real(t, func(p Problem) error {
+			_, err := RunSEnKF(p, Plan{Dec: dec, L: layers, NCg: ncg})
+			return err
+		})
+		simEvents := simulated(t, func(sc schedule.Config) error {
+			_, err := schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
+			return err
+		})
+		check(t, SEnKFSpec(dec, members, layers, ncg), realEvents, simEvents)
+	})
+	t.Run("PEnKF", func(t *testing.T) {
+		realEvents := real(t, func(p Problem) error {
+			_, err := RunPEnKF(p, dec)
+			return err
+		})
+		simEvents := simulated(t, func(sc schedule.Config) error {
+			_, err := schedule.SimulatePEnKF(sc, nsdx, nsdy)
+			return err
+		})
+		check(t, PEnKFSpec(dec, members), realEvents, simEvents)
+	})
+	t.Run("LEnKF", func(t *testing.T) {
+		realEvents := real(t, func(p Problem) error {
+			_, err := RunLEnKF(p, dec)
+			return err
+		})
+		simEvents := simulated(t, func(sc schedule.Config) error {
+			_, err := schedule.SimulateLEnKF(sc, nsdx, nsdy)
+			return err
+		})
+		check(t, LEnKFSpec(dec, members), realEvents, simEvents)
+	})
+}

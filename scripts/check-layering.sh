@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Enforce the plan-layer import boundary.
+#
+# internal/plan is the substrate-agnostic description of the algorithms:
+# both the real engine (internal/core on mpi+ensio) and the simulated
+# machine (internal/schedule on sim+parfs) interpret its compiled plans.
+# If plan ever imports a substrate package the "one schedule, two
+# substrates" invariant collapses into a dependency cycle, so CI pins it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+forbidden='senkf/internal/(mpi|ensio|sim|parfs)$'
+
+deps=$(go list -deps senkf/internal/plan)
+
+if bad=$(grep -E "$forbidden" <<<"$deps"); then
+    echo "FAIL: senkf/internal/plan must not depend on any substrate package:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+# The engines must sit above the plan layer, not beside it: core and
+# schedule each depend on plan, and plan on neither.
+for eng in senkf/internal/core senkf/internal/schedule; do
+    if ! go list -deps "$eng" | grep -qx 'senkf/internal/plan'; then
+        echo "FAIL: $eng no longer builds on senkf/internal/plan" >&2
+        exit 1
+    fi
+done
+
+echo "OK: plan layer is substrate-free; core and schedule both build on it"

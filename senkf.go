@@ -6,16 +6,24 @@
 // local analysis via helper threads, and cost-model-driven auto-tuning of
 // the processor layout (n_sdx, n_sdy, L, n_cg).
 //
-// The package exposes two complementary execution paths:
+// Each of the three algorithms — S-EnKF and the P-EnKF/L-EnKF baselines —
+// is declared once, as a reader strategy compiled into an explicit per-rank
+// schedule (SEnKFSpec/PEnKFSpec/LEnKFSpec + CompilePlan), and interpreted
+// on two substrates:
 //
 //   - Real executions (RunSEnKF, RunPEnKF, RunLEnKF): numerically exact
 //     assimilation over real member files, parallelised across goroutine
 //     ranks with a message-passing runtime. All three reproduce the serial
 //     reference (SerialReference) bit for bit.
 //   - Simulated executions (SimulateSEnKF, SimulatePEnKF, SimulateLEnKF):
-//     the same schedules executed on a discrete-event machine with a
-//     parallel-file-system model at the paper's scale (12,000 processors,
+//     the same compiled schedules replayed on a discrete-event machine with
+//     a parallel-file-system model at the paper's scale (12,000 processors,
 //     0.1° data), regenerating the evaluation figures (PaperFigures).
+//
+// Because both substrates derive their event structure from the same
+// compiled plan, a traced real run and a simulated run at equal geometry
+// are structurally identical — same phase spans, same stage release edges
+// per rank (see ExpectedDAG/TraceDAG/DiffDAG).
 //
 // Quick start:
 //
@@ -44,6 +52,7 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
+	"senkf/internal/plan"
 	"senkf/internal/profiling"
 	"senkf/internal/report"
 	"senkf/internal/schedule"
@@ -242,33 +251,70 @@ func NewCounterRegistry() *CounterRegistry { return trace.NewRegistry() }
 
 // Problem bundles what a real parallel run needs: the assimilation
 // configuration, the member-file directory, the observation network, an
-// optional phase recorder, and an optional tracer.
-type Problem struct {
-	Cfg Config
-	Dir string
-	Net *Network
-	Rec *Recorder
-	Tr  *Tracer
-}
+// optional phase recorder, and an optional tracer. It is the one shared
+// problem type of every real execution path (declared in internal/plan).
+type Problem = plan.Problem
+
+// Declarative plan types: algorithms are declared as specs, compiled into
+// explicit per-rank schedules, and interpreted by either substrate.
+type (
+	// AlgorithmSpec declares one algorithm instance (geometry + ensemble
+	// size + reader strategy); build one with SEnKFSpec/PEnKFSpec/LEnKFSpec.
+	AlgorithmSpec = plan.Spec
+	// CompiledPlan is the explicit per-rank schedule of a spec: who reads
+	// what with how many addressing operations, what is sent where at which
+	// stage, and where the helper-thread release points are.
+	CompiledPlan = plan.Compiled
+	// TrackDAG is the substrate-independent structural signature of one
+	// processor track (busy spans + stage release instants).
+	TrackDAG = plan.TrackDAG
+)
+
+// SEnKFSpec declares the paper's schedule: bar reading in ncg concurrent
+// groups feeding an l-stage overlapped pipeline.
+func SEnKFSpec(dec Decomposition, n, l, ncg int) AlgorithmSpec { return plan.SEnKF(dec, n, l, ncg) }
+
+// PEnKFSpec declares the block-reading baseline.
+func PEnKFSpec(dec Decomposition, n int) AlgorithmSpec { return plan.PEnKF(dec, n) }
+
+// LEnKFSpec declares the single-reader baseline.
+func LEnKFSpec(dec Decomposition, n int) AlgorithmSpec { return plan.LEnKF(dec, n) }
+
+// CompilePlan turns a declarative spec into its explicit per-rank schedule.
+func CompilePlan(s AlgorithmSpec) (*CompiledPlan, error) { return plan.Compile(s) }
+
+// ExecutePlan runs a compiled plan on the real substrate and returns the
+// analysis ensemble. RunSEnKF/RunPEnKF/RunLEnKF are thin wrappers over it.
+func ExecutePlan(p Problem, c *CompiledPlan) ([][]float64, error) { return core.ExecutePlan(p, c) }
+
+// TraceDAG reduces trace events (from either substrate) to per-track
+// structural signatures, comparable across substrates with DiffDAG.
+func TraceDAG(events []TraceEvent) map[string]*TrackDAG { return plan.StructuralDAG(events) }
+
+// DiffDAG reports the first structural difference between two signatures,
+// or nil when they are identical.
+func DiffDAG(a, b map[string]*TrackDAG) error { return plan.DiffDAG(a, b) }
 
 // RunSEnKF executes the paper's S-EnKF for real: C1 = n_cg·n_sdy I/O ranks
 // bar-read the member files in concurrent groups and stream stage blocks to
 // C2 = n_sdx·n_sdy compute ranks, whose helper threads overlap data
 // arrival with the multi-stage local analysis. Returns the analysis
 // ensemble as full fields.
-func RunSEnKF(p Problem, plan Plan) ([][]float64, error) {
-	return core.RunSEnKF(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr}, plan)
+func RunSEnKF(p Problem, pl Plan) ([][]float64, error) {
+	return core.RunSEnKF(p, pl)
 }
 
 // RunPEnKF executes the block-reading state-of-the-art baseline (refs
-// [23, 24]) on Dec.NSdx × Dec.NSdy ranks.
+// [23, 24]) on dec.NSdx × dec.NSdy ranks.
 func RunPEnKF(p Problem, dec Decomposition) ([][]float64, error) {
-	return baseline.RunPEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr})
+	return baseline.RunPEnKF(p, dec)
 }
 
-// RunLEnKF executes the single-reader baseline (refs [13, 33]).
+// RunLEnKF executes the single-reader baseline (refs [13, 33]): a dedicated
+// reader rank reads each member in full and scatters expansion blocks to
+// the dec.NSdx × dec.NSdy compute ranks.
 func RunLEnKF(p Problem, dec Decomposition) ([][]float64, error) {
-	return baseline.RunLEnKF(baseline.Problem{Cfg: p.Cfg, Dec: dec, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr})
+	return baseline.RunLEnKF(p, dec)
 }
 
 // AutoTune runs Algorithm 2 (restructured for large processor counts):
@@ -374,8 +420,8 @@ func GenerateFaultPlan(seed uint64, intensity float64, g FaultGeometry) *FaultPl
 // with a variance-preserving inflation reweighting, plan-declared reader
 // deaths fail over inside their concurrent group, and transient read errors
 // are retried with backoff. See DegradedResult for what comes back.
-func RunSEnKFResilient(p Problem, plan Plan, r Resilience) (*DegradedResult, error) {
-	return core.RunSEnKFResilient(core.Problem{Cfg: p.Cfg, Dir: p.Dir, Net: p.Net, Rec: p.Rec, Tr: p.Tr}, plan, r)
+func RunSEnKFResilient(p Problem, pl Plan, r Resilience) (*DegradedResult, error) {
+	return core.RunSEnKFResilient(p, pl, r)
 }
 
 // InspectEnsemble validates an on-disk ensemble directory (n <= 0 scans
