@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"senkf"
 )
@@ -47,6 +48,11 @@ func main() {
 		benchTol  = flag.Float64("bench-tol", 0.15, "relative wall-time regression tolerance for -check")
 		countCSV  = flag.String("counters-csv", "", "with -trace/-counters: also write the counter registry as CSV to this file")
 		profile   = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
+
+		monitorOn = flag.Bool("monitor", false, "attach the live plan-conformance monitor to one simulated S-EnKF run (implies the traced-run path)")
+		metrAddr  = flag.String("metrics-addr", "", "with -monitor: serve Prometheus /metrics and JSON /status on this address")
+		flightOut = flag.String("flight-recorder", "", "with -monitor: write the anomaly flight-recorder dump (Chrome trace JSON) here")
+		linger    = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the run, so it can be scraped")
 	)
 	flag.Parse()
 
@@ -68,9 +74,13 @@ func main() {
 		benchPipeline(suite, scale, *record, *recordVer, *check, *benchTol)
 		return
 	}
-	if *traceOut != "" || *counters || *countCSV != "" {
-		tracedRun(suite, *traceOut, *traceNP, *detail, *counters, *countCSV)
+	if *traceOut != "" || *counters || *countCSV != "" || *monitorOn {
+		tracedRun(suite, *traceOut, *traceNP, *detail, *counters, *countCSV,
+			monitorConfig{on: *monitorOn, metricsAddr: *metrAddr, flightOut: *flightOut, linger: *linger})
 		return
+	}
+	if *metrAddr != "" {
+		log.Fatal("-metrics-addr needs -monitor")
 	}
 	if *faultsRun {
 		f, err := suite.Resilience(*faultSeed, nil)
@@ -195,27 +205,67 @@ func benchPipeline(suite *senkf.FigureSuite, scale, record string, recordVer int
 	fmt.Println("no regressions")
 }
 
+// monitorConfig carries the live-monitor flags into the traced run.
+type monitorConfig struct {
+	on          bool
+	metricsAddr string
+	flightOut   string
+	linger      time.Duration
+}
+
 // tracedRun auto-tunes and simulates one S-EnKF run at np processors with
 // tracing attached, writes the Chrome trace JSON, and/or prints the
 // simulation counters. The trace is stamped with the simulation's virtual
-// clock, so track timelines line up with the reported runtime.
-func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool, countCSV string) {
+// clock, so track timelines line up with the reported runtime. With
+// -monitor, the run is additionally watched live: the monitor tees off the
+// event stream, checks plan conformance against the compiled plan, and
+// judges every stage against the Eq. 7–10 model budgets (the simulated
+// substrate streams them as model/t_* counters).
+func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool, countCSV string, mc monitorConfig) {
 	if np == 0 {
 		np = suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 	}
 	var buf *senkf.TraceBuffer
-	var sinks []senkf.TraceSink
+	var primary senkf.TraceSink
 	if traceOut != "" {
 		buf = senkf.NewTraceBuffer()
-		sinks = append(sinks, buf)
+		primary = buf
+	}
+	reg := senkf.NewCounterRegistry()
+	var mon *senkf.Monitor
+	if mc.on {
+		mon = senkf.NewMonitor(senkf.MonitorOptions{
+			DumpPath:    mc.flightOut,
+			RunRegistry: reg,
+		})
+		defer mon.Close()
+		primary = mon.Tee(primary)
+	} else if mc.metricsAddr != "" {
+		log.Fatal("-metrics-addr needs -monitor")
 	}
 	// The simulated schedules stamp every event with explicit virtual
 	// timestamps; the tracer's own clock is never consulted.
+	var sinks []senkf.TraceSink
+	if primary != nil {
+		sinks = append(sinks, primary)
+	}
 	tr := senkf.NewWallTracer(sinks...)
 	tr.SetDetail(detail)
-	reg := senkf.NewCounterRegistry()
 	tr.SetCounters(reg)
 	suite.O.Cfg.Tracer = tr
+	if mon != nil {
+		suite.O.Cfg.Obs = mon
+		if mc.metricsAddr != "" {
+			srv, err := senkf.StartProfiling(mc.metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			srv.Handle("/metrics", mon.MetricsHandler())
+			srv.Handle("/status", mon.StatusHandler())
+			fmt.Printf("monitor: http://%s/metrics and /status\n", srv.Addr())
+		}
+	}
 
 	res, tuned, err := suite.SEnKFAt(np)
 	if err != nil {
@@ -258,5 +308,24 @@ func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counte
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote counters CSV to %s\n", countCSV)
+	}
+	if mon != nil {
+		st := mon.Status()
+		fmt.Printf("monitor: %d events, %d/%d spans conformant, %d divergences, %d watchdog verdicts\n",
+			st.Events, st.Conformance.MatchedSpans, st.Conformance.ExpectedSpans,
+			st.Conformance.DivergenceCount, len(st.Verdicts))
+		for _, v := range st.Verdicts {
+			fmt.Printf("  watchdog: %s\n", v)
+		}
+		for _, d := range st.Conformance.Divergences {
+			fmt.Printf("  divergence: %s\n", d)
+		}
+		if st.FlightDump != "" {
+			fmt.Printf("  flight recorder dumped to %s\n", st.FlightDump)
+		}
+		if mc.metricsAddr != "" && mc.linger > 0 {
+			fmt.Printf("monitor: serving metrics for another %s\n", mc.linger)
+			time.Sleep(mc.linger)
+		}
 	}
 }

@@ -9,6 +9,7 @@
 //
 //	senkf-cycle -cycles 10
 //	senkf-cycle -cycles 20 -analyzer senkf -nsdx 4 -nsdy 2 -layers 3 -ncg 2
+//	senkf-cycle -cycles 20 -analyzer senkf -monitor -metrics-addr localhost:9464
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"senkf"
 )
@@ -46,6 +48,13 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the parallel analyses (senkf/penkf analyzers)")
 		counters = flag.Bool("counters", false, "print runtime counters after the experiment (senkf/penkf analyzers)")
 		profile  = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
+
+		monitorOn = flag.Bool("monitor", false, "attach the live plan-conformance monitor to every cycle's parallel analysis (senkf analyzer)")
+		metrAddr  = flag.String("metrics-addr", "", "with -monitor: serve Prometheus /metrics and JSON /status on this address while cycling")
+		flightOut = flag.String("flight-recorder", "", "with -monitor: write the anomaly flight-recorder dump (Chrome trace JSON) here")
+		stragSpec = flag.String("straggler", "", "inject one straggler into every cycle's analysis, proc:factor (e.g. io/g0/r0:30)")
+		resil     = flag.Bool("resilient", false, "with -analyzer senkf: drop unreadable members instead of aborting; per-cycle degraded-member counts feed the monitor")
+		linger    = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the experiment, so it can be scraped")
 	)
 	flag.Parse()
 	if *profile != "" {
@@ -76,18 +85,65 @@ func main() {
 	}
 
 	var buf *senkf.TraceBuffer
-	var sinks []senkf.TraceSink
+	var primary senkf.TraceSink
 	if *traceOut != "" {
 		buf = senkf.NewTraceBuffer()
-		sinks = append(sinks, buf)
+		primary = buf
+	}
+	reg := senkf.NewCounterRegistry()
+
+	// The monitor attaches as the secondary side of a tee: the primary
+	// Chrome-trace sink (when any) is untouched. Each cycle's parallel
+	// analysis is one monitored run (BeginRun/EndRun per cycle).
+	var mon *senkf.Monitor
+	if *monitorOn {
+		if *analyzer != "senkf" {
+			log.Fatal("-monitor needs -analyzer senkf (plan conformance is defined by the compiled S-EnKF plan)")
+		}
+		mon = senkf.NewMonitor(senkf.MonitorOptions{
+			DumpPath:    *flightOut,
+			RunRegistry: reg,
+		})
+		defer mon.Close()
+		primary = mon.Tee(primary)
 	}
 	var tr *senkf.Tracer
-	reg := senkf.NewCounterRegistry()
-	if *traceOut != "" || *counters {
+	if primary != nil || *counters {
+		var sinks []senkf.TraceSink
+		if primary != nil {
+			sinks = append(sinks, primary)
+		}
 		tr = senkf.NewWallTracer(sinks...)
 		tr.SetCounters(reg)
 	}
+	if *metrAddr != "" {
+		if mon == nil {
+			log.Fatal("-metrics-addr needs -monitor")
+		}
+		srv, err := senkf.StartProfiling(*metrAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		srv.Handle("/metrics", mon.MetricsHandler())
+		srv.Handle("/status", mon.StatusHandler())
+		fmt.Printf("monitor: http://%s/metrics and /status\n", srv.Addr())
+	}
+	var fp *senkf.FaultPlan
+	if *stragSpec != "" {
+		s, err := senkf.ParseStraggler(*stragSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fp = &senkf.FaultPlan{Stragglers: []senkf.Straggler{s}}
+	}
+	if *resil && *analyzer != "senkf" {
+		log.Fatalf("-resilient only applies to -analyzer senkf (got -analyzer %s)", *analyzer)
+	}
 
+	// lastDegraded carries each cycle's dropped-member count from the
+	// resilient analyzer to the monitor's per-cycle series.
+	lastDegraded := 0
 	var an senkf.Analyzer
 	switch *analyzer {
 	case "serial":
@@ -106,7 +162,28 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		if *analyzer == "senkf" {
-			an = senkf.SEnKFAnalyzerObserved(dir, dec, *layers, *ncg, nil, tr)
+			tpl := senkf.Problem{Tr: tr, Faults: fp}
+			if mon != nil {
+				tpl.Obs = mon
+			}
+			if *resil {
+				pl := senkf.Plan{Dec: dec, L: *layers, NCg: *ncg}
+				an = func(cfg senkf.Config, background [][]float64, net *senkf.Network) ([][]float64, error) {
+					if _, err := senkf.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
+						return nil, err
+					}
+					p := tpl
+					p.Cfg, p.Dir, p.Net = cfg, dir, net
+					res, err := senkf.RunSEnKFResilient(p, pl, senkf.Resilience{})
+					if err != nil {
+						return nil, err
+					}
+					lastDegraded = cfg.N - len(res.Survivors)
+					return res.Fields, nil
+				}
+			} else {
+				an = senkf.SEnKFAnalyzerHooked(dir, dec, *layers, *ncg, tpl)
+			}
 		} else {
 			an = senkf.PEnKFAnalyzerObserved(dir, dec, nil, tr)
 		}
@@ -123,7 +200,20 @@ func main() {
 		ModelErrorSD: *modelErr,
 		Seed:         *seed,
 	}
-	history, err := senkf.RunCycles(cfg, truth, ensemble, *cycles, an)
+	var onCycle func(senkf.CycleStats)
+	if mon != nil {
+		onCycle = func(st senkf.CycleStats) {
+			mon.RecordCycle(senkf.CycleSample{
+				Cycle:           st.Cycle,
+				BackgroundRMSE:  st.BackgroundRMSE,
+				AnalysisRMSE:    st.AnalysisRMSE,
+				FreeRMSE:        st.FreeRMSE,
+				Spread:          st.Spread,
+				DegradedMembers: lastDegraded,
+			})
+		}
+	}
+	history, err := senkf.RunCyclesObserved(cfg, truth, ensemble, *cycles, an, onCycle)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -154,6 +244,21 @@ func main() {
 		fmt.Println("\nruntime counters:")
 		if err := reg.WriteTable(os.Stdout); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if mon != nil {
+		st := mon.Status()
+		fmt.Printf("monitor: %d cycles published, %d events, %d divergences, %d watchdog verdicts\n",
+			len(st.Cycles), st.Events, st.Conformance.DivergenceCount, len(st.Verdicts))
+		for _, v := range st.Verdicts {
+			fmt.Printf("  watchdog: %s\n", v)
+		}
+		if st.FlightDump != "" {
+			fmt.Printf("  flight recorder dumped to %s\n", st.FlightDump)
+		}
+		if *metrAddr != "" && *linger > 0 {
+			fmt.Printf("monitor: serving metrics for another %s\n", *linger)
+			time.Sleep(*linger)
 		}
 	}
 }

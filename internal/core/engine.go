@@ -39,6 +39,36 @@ func observe(p plan.Problem, proc string, ph metrics.Phase, t0, from, to time.Ti
 	}
 }
 
+// stretch dilates a straggling rank's just-finished busy phase on the wall
+// clock: it sleeps (factor−1)× the elapsed time, so the phase span —
+// measured after the sleep by observe() — is factor× its natural duration.
+// The dilation beat is announced as a fault instant so a monitor can
+// attribute the slowdown to the injection rather than to real contention.
+// factor <= 1 (the nil-Faults case) is an exact no-op.
+func stretch(p plan.Problem, proc string, t0, start time.Time, factor float64) {
+	if factor <= 1 {
+		return
+	}
+	time.Sleep(time.Duration(float64(time.Since(start)) * (factor - 1)))
+	if p.Tr.Enabled() {
+		p.Tr.Instant(proc, trace.CatFault, "straggle", time.Since(t0).Seconds(),
+			trace.Arg{Key: "factor", Val: factor})
+	}
+}
+
+// announceFaults emits one fault instant per injected straggler before the
+// ranks start, mirroring the simulated substrate's announcement, so a
+// monitor can distinguish injected slowdowns from organic ones.
+func announceFaults(p plan.Problem) {
+	if p.Faults == nil || !p.Tr.Enabled() {
+		return
+	}
+	for _, s := range p.Faults.Stragglers {
+		p.Tr.Instant(s.Proc, trace.CatFault, "straggler", 0,
+			trace.Arg{Key: "factor", Val: s.Factor})
+	}
+}
+
 // addIOStats feeds one member file's addressing counters into the tracer's
 // registry so real runs expose the same accounting the cost model predicts.
 func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
@@ -79,6 +109,10 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 		return nil, err
 	}
 	w.SetTracer(p.Tr)
+	if p.Obs != nil {
+		p.Obs.BeginRun(c)
+	}
+	announceFaults(p)
 	var fields [][]float64
 	t0 := time.Now()
 	err = w.Run(func(comm *mpi.Comm) error {
@@ -94,6 +128,9 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 		}
 		return engineIO(comm, p, c, c.IO[comm.Rank()-c.NumCompute()], t0)
 	})
+	if p.Obs != nil {
+		err = p.Obs.EndRun(err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +143,7 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t0 time.Time) error {
 	staged := c.Staged()
 	nx := p.Cfg.Mesh.NX
+	slow := p.Faults.SlowdownFor(r.Name)
 
 	// Keep the rank's member files open across stages — each stage reads a
 	// different region of the same files.
@@ -145,6 +183,7 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 			}
 			bars[mi] = bar
 		}
+		stretch(p, r.Name, t0, readStart, slow)
 		observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), tag)
 
 		// Comm phase: every destination gets its stage box of every member.
@@ -159,6 +198,7 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 				}
 			}
 		}
+		stretch(p, r.Name, t0, commStart, slow)
 		observe(p, r.Name, metrics.PhaseComm, t0, commStart, time.Now(), tag)
 	}
 	return nil
@@ -172,6 +212,7 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time) ([][]float64, error) {
 	staged := c.Staged()
 	n := c.Spec.N
+	slow := p.Faults.SlowdownFor(r.Name)
 
 	type stageData struct {
 		blk *enkf.Block
@@ -259,6 +300,7 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 					return nil, err
 				}
 				blk.Data[k] = data
+				stretch(p, r.Name, t0, readStart, slow)
 				observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
 			}
 		}
@@ -275,6 +317,7 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 				}
 			}
 		}
+		stretch(p, r.Name, t0, compStart, slow)
 		observe(p, r.Name, metrics.PhaseCompute, t0, compStart, time.Now(), tag)
 		if staged && p.Tr.Enabled() {
 			p.Tr.Instant(r.Name, trace.CatStage, "computed", time.Since(t0).Seconds(),

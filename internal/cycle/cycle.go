@@ -119,6 +119,13 @@ func spread(fields [][]float64) float64 {
 // copy of the ensemble (never assimilating) is propagated alongside as the
 // control experiment.
 func Run(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze Analyzer) ([]Stats, error) {
+	return RunObserved(c, truth0, ensemble0, cycles, analyze, nil)
+}
+
+// RunObserved is Run with a per-cycle callback: onCycle (may be nil) fires
+// after each cycle's statistics are recorded, so a live monitor can
+// publish per-cycle series while the experiment is still running.
+func RunObserved(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze Analyzer, onCycle func(Stats)) ([]Stats, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,6 +189,9 @@ func Run(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze 
 		st.AnalysisRMSE = enkf.RMSE(enkf.EnsembleMean(ensemble), truth)
 		st.Spread = spread(ensemble)
 		history = append(history, st)
+		if onCycle != nil {
+			onCycle(st)
+		}
 	}
 	return history, nil
 }
@@ -217,14 +227,21 @@ func SEnKFAnalyzer(dir string, dec grid.Decomposition, layers, ncg int) Analyzer
 // cycle's parallel run records phase intervals into rec and emits trace
 // events through tr (either may be nil).
 func SEnKFAnalyzerObserved(dir string, dec grid.Decomposition, layers, ncg int, rec *metrics.Recorder, tr *trace.Tracer) Analyzer {
+	return SEnKFAnalyzerHooked(dir, dec, layers, ncg, core.Problem{Rec: rec, Tr: tr})
+}
+
+// SEnKFAnalyzerHooked is SEnKFAnalyzerObserved with the full hook set: the
+// template problem's Rec, Tr, Obs and Faults are carried into every
+// cycle's parallel run (so a monitor sees BeginRun/EndRun per cycle, and
+// injected faults recur each cycle); Cfg, Dir and Net are filled per cycle.
+func SEnKFAnalyzerHooked(dir string, dec grid.Decomposition, layers, ncg int, tpl core.Problem) Analyzer {
 	return func(cfg enkf.Config, background [][]float64, net *obs.Network) ([][]float64, error) {
 		if _, err := ensio.WriteEnsemble(dir, cfg.Mesh, background); err != nil {
 			return nil, err
 		}
-		return core.RunSEnKF(
-			core.Problem{Cfg: cfg, Dir: dir, Net: net, Rec: rec, Tr: tr},
-			core.Plan{Dec: dec, L: layers, NCg: ncg},
-		)
+		p := tpl
+		p.Cfg, p.Dir, p.Net = cfg, dir, net
+		return core.RunSEnKF(p, core.Plan{Dec: dec, L: layers, NCg: ncg})
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // FileFaultKind classifies a member-file fault.
@@ -81,6 +83,24 @@ type OSTWindow struct {
 type Straggler struct {
 	Proc   string // processor name (metrics.IOName / metrics.ComputeName)
 	Factor float64
+}
+
+// ParseStraggler parses a "proc:factor" flag value (e.g. "io/g0/r0:30")
+// into a Straggler. The factor is taken after the last colon, so processor
+// names containing colons would still parse.
+func ParseStraggler(spec string) (Straggler, error) {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 || i == len(spec)-1 {
+		return Straggler{}, fmt.Errorf("faults: straggler %q: want proc:factor", spec)
+	}
+	f, err := strconv.ParseFloat(spec[i+1:], 64)
+	if err != nil {
+		return Straggler{}, fmt.Errorf("faults: straggler %q: %w", spec, err)
+	}
+	if f <= 1 {
+		return Straggler{}, fmt.Errorf("faults: straggler %q: factor must be > 1", spec)
+	}
+	return Straggler{Proc: spec[:i], Factor: f}, nil
 }
 
 // RankDeath kills the I/O rank (Group, Reader) of the S-EnKF schedule.

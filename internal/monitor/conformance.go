@@ -1,0 +1,300 @@
+// Incremental plan conformance: fold each phase span / release instant
+// into the per-track structural signature as it arrives and diff against
+// the compiled plan's ExpectedDAG — the streaming version of
+// plan.StructuralDAG + plan.DiffDAG.
+//
+// Spans and release instants advance two separate cursors per track: on
+// the real substrate the helper goroutine emits "ready" concurrently with
+// the main thread's spans on the same track, so only the per-kind order
+// is guaranteed (and is: spans are program order; a mailbox is FIFO, so a
+// group's stage-l notification precedes its stage-l+1 one).
+
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"senkf/internal/metrics"
+	"senkf/internal/plan"
+	"senkf/internal/trace"
+)
+
+// trackState is the live cursor pair of one processor track.
+type trackState struct {
+	exp      *plan.TrackDAG
+	spanCur  int // next expected index into exp.Spans
+	readyCur int // next expected index into exp.Ready
+	unknown  bool
+}
+
+// stageFeed names the I/O ranks whose sends release one compute stage.
+type stageFeed struct {
+	stage  int
+	expect int
+	srcs   []string
+}
+
+func (m *Monitor) divergeLocked(format string, args ...interface{}) {
+	m.divCount++
+	m.reg.Inc("monitor/divergences")
+	if len(m.divergences) < 32 {
+		m.divergences = append(m.divergences, fmt.Sprintf(format, args...))
+	}
+	if m.divCount == 1 {
+		m.incidentLocked(Incident{
+			Kind:   "divergence",
+			Detail: fmt.Sprintf(format, args...),
+		}, true)
+	}
+}
+
+// stateFor returns the track's cursor state, flagging tracks the plan
+// does not know as a divergence (once).
+func (m *Monitor) stateFor(track string) *trackState {
+	st := m.tracks[track]
+	if st == nil {
+		st = &trackState{exp: &plan.TrackDAG{}, unknown: true}
+		m.tracks[track] = st
+		if m.cp != nil {
+			m.divergeLocked("unexpected track %s (not in the compiled plan)", track)
+		}
+	}
+	return st
+}
+
+// foldSpanLocked advances the span cursor with one busy span and feeds
+// the watchdog + streaming latency histograms. Wait spans are timing, not
+// structure (plan.StructuralDAG skips them too), but they are exactly
+// where a starved compute rank shows, so they get the watchdog treatment
+// with the stage derived from the pending release cursor.
+func (m *Monitor) foldSpanLocked(ev trace.Event) {
+	st := m.stateFor(ev.Track)
+	stage := -1
+	if v, ok := ev.ArgValue(trace.ArgStage); ok {
+		stage = int(v)
+	}
+	isIO := strings.HasPrefix(ev.Track, metrics.IOPrefix+"/")
+
+	if ev.Name == metrics.PhaseWait.String() {
+		// The stage being awaited is the first of the plan's expected
+		// releases that had not yet arrived when the wait began. (The
+		// release cursor is no use here: on the real substrate the helper
+		// goroutine may deliver several "ready" instants before the main
+		// thread's wait span is emitted.)
+		waitStage := -1
+		arrived := m.readyTs[ev.Track]
+		for _, stg := range st.exp.Ready {
+			if at, ok := arrived[stg]; !ok || at > ev.Ts {
+				waitStage = stg
+				break
+			}
+		}
+		m.reg.Observe("monitor/scatter_wait", ev.Dur)
+		if waitStage >= 0 {
+			// A wait that began after every expected release had already
+			// arrived is not starving on stage data (a terminal barrier,
+			// say) — there is no plan edge to budget it against.
+			m.checkBudgetLocked(ev.Track, "wait", waitStage, ev)
+		}
+		return
+	}
+
+	m.spans++
+	switch ev.Name {
+	case metrics.PhaseRead.String():
+		if isIO {
+			m.reg.Observe("monitor/read_latency", ev.Dur)
+		} else {
+			m.reg.Observe("monitor/self_read_latency", ev.Dur)
+		}
+	case metrics.PhaseComm.String():
+		m.reg.Observe("monitor/comm_latency", ev.Dur)
+	case metrics.PhaseCompute.String():
+		m.reg.Observe("monitor/compute_latency", ev.Dur)
+		if stage >= 0 {
+			// Stage data lead: how long before this stage's compute began
+			// was its last block already there — the overlap headroom.
+			if ts, ok := m.readyTs[ev.Track][stage]; ok {
+				m.reg.Observe("monitor/stage_lead", ev.Ts-ts)
+			}
+		}
+	}
+
+	if !st.unknown {
+		got := plan.DAGNode{Phase: ev.Name, Stage: stage}
+		if st.spanCur >= len(st.exp.Spans) {
+			m.divergeLocked("track %s: extra span %v beyond the %d planned", ev.Track, got, len(st.exp.Spans))
+		} else if want := st.exp.Spans[st.spanCur]; got != want {
+			m.divergeLocked("track %s span %d: got %v, plan says %v", ev.Track, st.spanCur, got, want)
+		}
+		st.spanCur++
+	}
+	m.checkBudgetLocked(ev.Track, ev.Name, stage, ev)
+}
+
+// foldReadyLocked advances the release cursor with one "ready" instant.
+func (m *Monitor) foldReadyLocked(ev trace.Event) {
+	st := m.stateFor(ev.Track)
+	stage := -1
+	if v, ok := ev.ArgValue(trace.ArgStage); ok {
+		stage = int(v)
+	}
+	if ts := m.readyTs[ev.Track]; ts == nil {
+		m.readyTs[ev.Track] = map[int]float64{stage: ev.Ts}
+	} else if _, dup := ts[stage]; !dup {
+		ts[stage] = ev.Ts
+	}
+	if st.unknown {
+		return
+	}
+	if st.readyCur >= len(st.exp.Ready) {
+		m.divergeLocked("track %s: extra release instant (stage %d) beyond the %d planned", ev.Track, stage, len(st.exp.Ready))
+	} else if want := st.exp.Ready[st.readyCur]; stage != want {
+		m.divergeLocked("track %s release %d: got stage %d, plan says stage %d", ev.Track, st.readyCur, stage, want)
+	}
+	st.readyCur++
+}
+
+// blamedEdgeLocked names the plan edge a compute track is (or was)
+// waiting on: the I/O ranks whose stage-l sends release it, derived from
+// the plan's Expect counts and comm destinations.
+func (m *Monitor) blamedEdgeLocked(track string, stage int) string {
+	feeds := m.feeders[track]
+	if len(feeds) == 0 {
+		return ""
+	}
+	feed := feeds[0]
+	found := false
+	for _, f := range feeds {
+		if f.stage == stage {
+			feed, found = f, true
+			break
+		}
+	}
+	if !found {
+		// No stage known (an untagged wait before any release): blame the
+		// first stage whose release has not arrived.
+		if st := m.tracks[track]; st != nil && st.readyCur < len(st.exp.Ready) {
+			want := st.exp.Ready[st.readyCur]
+			for _, f := range feeds {
+				if f.stage == want {
+					feed = f
+					break
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%s -> %s (stage %d, %d member blocks expected)",
+		compactNames(feed.srcs), track, feed.stage, feed.expect)
+}
+
+// ioEdgeLocked names the forward edge of an I/O rank: the compute ranks
+// its pending stage feeds — who starves if this rank stalls or dies.
+func (m *Monitor) ioEdgeLocked(track string) string {
+	if m.cp == nil {
+		return ""
+	}
+	for q := range m.cp.IO {
+		r := &m.cp.IO[q]
+		if r.Name != track {
+			continue
+		}
+		st := m.tracks[track]
+		stageIdx := 0
+		if st != nil {
+			// Two spans (read, comm) per I/O stage.
+			stageIdx = st.spanCur / 2
+			if stageIdx >= len(r.Stages) {
+				stageIdx = len(r.Stages) - 1
+			}
+		}
+		ios := r.Stages[stageIdx]
+		dsts := make([]string, 0, len(ios.Comm.Dsts))
+		for _, d := range ios.Comm.Dsts {
+			dsts = append(dsts, m.rankName[d])
+		}
+		return fmt.Sprintf("%s -> %s (stage %d)", track, compactNames(dsts), ios.Stage)
+	}
+	return ""
+}
+
+// compactNames renders a source list, eliding long ones.
+func compactNames(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	if len(sorted) <= 4 {
+		return strings.Join(sorted, ",")
+	}
+	return fmt.Sprintf("%s,... (%d ranks)", strings.Join(sorted[:3], ","), len(sorted))
+}
+
+// classifyErrorLocked maps a run error onto plan edges by duck-typing the
+// substrate error shapes: a simulated deadlock exposes BlockedOn() (proc →
+// synchronization object), a real-world abort exposes FailedRank().
+func (m *Monitor) classifyErrorLocked(err error) []string {
+	var edges []string
+	seen := map[string]bool{}
+	addEdge := func(e string) {
+		if e != "" && !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for e := err; e != nil; e = unwrap(e) {
+		if b, ok := e.(interface{ BlockedOn() map[string]string }); ok {
+			procs := make([]string, 0, len(b.BlockedOn()))
+			blocked := b.BlockedOn()
+			for p := range blocked {
+				procs = append(procs, p)
+			}
+			sort.Strings(procs)
+			for i, p := range procs {
+				var edge string
+				if strings.HasPrefix(p, metrics.ComputePrefix+"/") {
+					edge = m.blamedEdgeLocked(p, -1)
+				} else {
+					edge = m.ioEdgeLocked(p)
+				}
+				addEdge(edge)
+				if i < 8 {
+					m.incidentLocked(Incident{
+						Kind: "deadlock", Proc: p,
+						Detail: "blocked on " + blocked[p],
+						Edge:   edge,
+					}, false)
+				}
+			}
+			m.reg.Inc("monitor/deadlocks")
+		}
+		if f, ok := e.(interface{ FailedRank() int }); ok {
+			name := m.rankName[f.FailedRank()]
+			if name == "" {
+				name = fmt.Sprintf("rank %d", f.FailedRank())
+			}
+			var edge string
+			if strings.HasPrefix(name, metrics.IOPrefix+"/") {
+				edge = m.ioEdgeLocked(name)
+			} else {
+				edge = m.blamedEdgeLocked(name, -1)
+			}
+			addEdge(edge)
+			m.incidentLocked(Incident{
+				Kind: "rank-death", Proc: name,
+				Detail: fmt.Sprintf("world rank %d failed", f.FailedRank()),
+				Edge:   edge,
+			}, false)
+			m.reg.Inc("monitor/rank_deaths")
+		}
+	}
+	return edges
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}

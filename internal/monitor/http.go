@@ -1,0 +1,144 @@
+// The monitor's HTTP surface: Prometheus text metrics at /metrics and the
+// live JSON conformance summary at /status, both mountable on the
+// existing internal/profiling server.
+
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// RankProgress is one rank's live pipeline position.
+type RankProgress struct {
+	Proc     string `json:"proc"`
+	Stage    int    `json:"stage"`  // stage l the rank is in (−1 pre-plan)
+	Stages   int    `json:"stages"` // of L
+	Spans    int    `json:"spans_done"`
+	Expected int    `json:"spans_expected"`
+}
+
+// Conformance summarizes the live structural diff against ExpectedDAG.
+type Conformance struct {
+	Tracks          int            `json:"tracks"`
+	MatchedSpans    int64          `json:"matched_spans"`
+	ExpectedSpans   int64          `json:"expected_spans"`
+	MatchedReady    int64          `json:"matched_ready"`
+	ExpectedReady   int64          `json:"expected_ready"`
+	DivergenceCount int            `json:"divergence_count"`
+	Divergences     []string       `json:"divergences"`
+	Laggards        []RankProgress `json:"laggards,omitempty"`
+}
+
+// Status is the live run summary served at /status.
+type Status struct {
+	Algorithm   string             `json:"algorithm"`
+	WorldSize   int                `json:"world_size"`
+	Stages      int                `json:"stages"`
+	Events      int64              `json:"events"`
+	Spans       int64              `json:"spans"`
+	Complete    bool               `json:"complete"`
+	Conformance Conformance        `json:"conformance"`
+	Tolerance   float64            `json:"tolerance"`
+	Budgets     map[string]float64 `json:"budgets_s,omitempty"`
+	Verdicts    []Verdict          `json:"watchdog_verdicts"`
+	Incidents   []Incident         `json:"incidents"`
+	FlightDump  string             `json:"flight_dump,omitempty"`
+	Cycles      []CycleSample      `json:"cycles,omitempty"`
+}
+
+// Status snapshots the monitor.
+func (m *Monitor) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Status{
+		Events:      m.events,
+		Spans:       m.spans,
+		Tolerance:   m.opts.Tolerance,
+		Verdicts:    append([]Verdict{}, m.verdicts...),
+		Incidents:   append([]Incident{}, m.incidents...),
+		FlightDump:  m.dumpPath,
+		Cycles:      append([]CycleSample(nil), m.cycles...),
+		Conformance: Conformance{Divergences: append([]string{}, m.divergences...)},
+	}
+	if m.cp != nil {
+		s.Algorithm = string(m.cp.Spec.Algorithm)
+		s.WorldSize = m.cp.WorldSize()
+		s.Stages = m.cp.Spec.L
+	}
+	if len(m.budgets) > 0 {
+		s.Budgets = make(map[string]float64, len(m.budgets))
+		for k, v := range m.budgets {
+			s.Budgets[k] = v
+		}
+	}
+	c := &s.Conformance
+	c.DivergenceCount = m.divCount
+	complete := m.finished
+	var laggards []RankProgress
+	for name, st := range m.tracks {
+		if st.unknown {
+			continue
+		}
+		c.Tracks++
+		c.ExpectedSpans += int64(len(st.exp.Spans))
+		c.ExpectedReady += int64(len(st.exp.Ready))
+		done, ready := st.spanCur, st.readyCur
+		if done > len(st.exp.Spans) {
+			done = len(st.exp.Spans)
+		}
+		if ready > len(st.exp.Ready) {
+			ready = len(st.exp.Ready)
+		}
+		c.MatchedSpans += int64(done)
+		c.MatchedReady += int64(ready)
+		if st.spanCur < len(st.exp.Spans) && !m.dead[name] {
+			complete = false
+			stage := st.exp.Spans[st.spanCur].Stage
+			laggards = append(laggards, RankProgress{
+				Proc: name, Stage: stage, Stages: s.Stages,
+				Spans: st.spanCur, Expected: len(st.exp.Spans),
+			})
+		}
+	}
+	// Bound the per-rank list: the furthest-behind ranks are the story.
+	sort.Slice(laggards, func(i, j int) bool {
+		fi := float64(laggards[i].Spans) / float64(laggards[i].Expected)
+		fj := float64(laggards[j].Spans) / float64(laggards[j].Expected)
+		if fi != fj {
+			return fi < fj
+		}
+		return laggards[i].Proc < laggards[j].Proc
+	})
+	if len(laggards) > 8 {
+		laggards = laggards[:8]
+	}
+	c.Laggards = laggards
+	s.Complete = complete && m.divCount == 0
+	return s
+}
+
+// MetricsHandler serves the monitor's registry — and the run's registry,
+// when Options.RunRegistry was set — in Prometheus text format.
+func (m *Monitor) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := m.reg.WritePrometheus(w, "senkf_"); err != nil {
+			return
+		}
+		if m.opts.RunRegistry != nil {
+			_ = m.opts.RunRegistry.WritePrometheus(w, "senkf_")
+		}
+	})
+}
+
+// StatusHandler serves the live conformance summary as indented JSON.
+func (m *Monitor) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Status())
+	})
+}

@@ -1,0 +1,403 @@
+// Package monitor is the live observability layer: it consumes the trace
+// event stream of a running plan execution *online* (as the secondary
+// side of a trace.Tee, so Chrome-trace emission is untouched) and
+// maintains, per run:
+//
+//   - live plan conformance — every phase span and "ready" release
+//     instant is folded incrementally into the same structural signature
+//     plan.StructuralDAG extracts post-hoc, and diffed on arrival against
+//     the compiled plan's ExpectedDAG: missing/extra spans, out-of-order
+//     release edges, and per-rank stage progress are visible while the
+//     run executes;
+//   - budget watchdogs — per-stage expected durations from the Eq. 7–10
+//     cost-model terms (the model/t_* counters the simulated substrate
+//     already emits, or costmodel directly via SetBudgets), with a
+//     straggler/stall verdict when a stage exceeds budget × tolerance.
+//     Real runs without a model prediction fall back to peer-median
+//     budgets per (phase, stage);
+//   - streaming metrics — read/comm/compute latencies, scatter wait,
+//     stage data lead (overlap headroom), and per-OST bytes in a
+//     trace.Registry, rendered in Prometheus text format at /metrics and
+//     as a JSON conformance summary at /status;
+//   - a flight recorder — a fixed-size ring of the most recent trace
+//     events, dumped automatically (file + attached to the error) on
+//     deadlock, watchdog trip, rank death, or plan divergence.
+//
+// The package is substrate-free by construction: it depends on plan,
+// trace, costmodel and metrics (naming), and duck-types the substrate
+// errors (sim.DeadlockError's BlockedOn, mpi.RankFailedError's
+// FailedRank) instead of importing sim or mpi. CI enforces the layering.
+package monitor
+
+import (
+	"strings"
+	"sync"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/metrics"
+	"senkf/internal/plan"
+	"senkf/internal/trace"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Tolerance is the watchdog multiplier: a phase tripping exceeds
+	// budget × Tolerance. Zero means DefaultTolerance.
+	Tolerance float64
+	// FlightSize is the flight-recorder ring capacity in events. Zero
+	// means DefaultFlightSize.
+	FlightSize int
+	// DumpPath, when set, is the file the flight recorder writes (Chrome
+	// trace-event JSON, replayable through trace.ReadChrome and
+	// plan.StructuralDAG) on the first anomaly.
+	DumpPath string
+	// RunRegistry, when set, is the run's own counter registry, rendered
+	// after the monitor's registry at /metrics so one scrape carries both.
+	RunRegistry *trace.Registry
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultTolerance  = 3.0
+	DefaultFlightSize = 512
+)
+
+// Monitor consumes trace events (as a trace.Sink) and observes run
+// boundaries (as a plan.RunObserver). All methods are safe for concurrent
+// use: events arrive from the tee's drain goroutine while HTTP handlers
+// read state.
+type Monitor struct {
+	opts Options
+	reg  *trace.Registry
+
+	mu  sync.Mutex
+	tee *trace.Tee
+
+	// Per-run state, reset by BeginRun.
+	cp       *plan.Compiled
+	expected map[string]*plan.TrackDAG
+	tracks   map[string]*trackState
+	feeders  map[string][]stageFeed
+	rankName map[int]string
+	readyTs  map[string]map[int]float64
+	finished bool
+
+	// Watchdog state.
+	budgets  map[string]float64 // phase name -> expected seconds per stage
+	peers    map[peerKey][]float64
+	tripped  map[tripKey]bool
+	verdicts []Verdict
+	injected map[string]float64 // announced straggler proc -> factor
+
+	// Conformance bookkeeping.
+	events      int64
+	spans       int64
+	divergences []string
+	divCount    int
+	dead        map[string]bool
+
+	// Incidents + flight recorder.
+	incidents     []Incident
+	incidentCount int
+	ring          *ring
+	dumped        bool
+	dumpPath      string
+	lastDump      []trace.Event
+
+	// Per-cycle series (senkf-cycle).
+	cycles []CycleSample
+}
+
+// New returns a monitor with its own streaming-metrics registry.
+func New(opts Options) *Monitor {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = DefaultTolerance
+	}
+	if opts.FlightSize <= 0 {
+		opts.FlightSize = DefaultFlightSize
+	}
+	return &Monitor{
+		opts:     opts,
+		reg:      trace.NewRegistry(),
+		tracks:   map[string]*trackState{},
+		budgets:  map[string]float64{},
+		peers:    map[peerKey][]float64{},
+		tripped:  map[tripKey]bool{},
+		injected: map[string]float64{},
+		dead:     map[string]bool{},
+		readyTs:  map[string]map[int]float64{},
+		ring:     newRing(opts.FlightSize),
+	}
+}
+
+// Registry returns the monitor's streaming-metrics registry.
+func (m *Monitor) Registry() *trace.Registry { return m.reg }
+
+// Tee wraps the given primary sink (nil for monitor-only tracing) in a
+// fan-out tee whose secondary is this monitor, remembers the tee so
+// EndRun can drain it, and returns it for use as a tracer sink.
+func (m *Monitor) Tee(primary trace.Sink) trace.Sink {
+	t := trace.NewTee(primary, m)
+	m.mu.Lock()
+	m.tee = t
+	m.mu.Unlock()
+	return t
+}
+
+// Close stops the tee's drain goroutine (no-op without one).
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	t := m.tee
+	m.mu.Unlock()
+	if t != nil {
+		t.Close()
+	}
+}
+
+// SetBudgets derives the per-stage watchdog budgets directly from the
+// Eq. 7–10 cost model — the real substrate's counterpart of the model/t_*
+// counter events a simulated run streams.
+func (m *Monitor) SetBudgets(p costmodel.Params, ch costmodel.Choice) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.setBudgetLocked("read", p.TRead(ch))
+	m.setBudgetLocked("comm", p.TComm(ch))
+	m.setBudgetLocked("compute", p.TComp(ch))
+}
+
+func (m *Monitor) setBudgetLocked(phase string, v float64) {
+	if v <= 0 {
+		return
+	}
+	m.budgets[phase] = v
+	// A stage's data cannot be awaited longer than it takes to produce
+	// and ship it: the wait budget is read + comm.
+	if r, ok := m.budgets["read"]; ok {
+		if c, ok := m.budgets["comm"]; ok {
+			m.budgets["wait"] = r + c
+		}
+	}
+}
+
+// BeginRun resets per-run state and derives the expected structure from
+// the compiled plan: ExpectedDAG per track, and the release-edge sources
+// (which I/O ranks feed which compute rank at which stage, with the
+// plan's Expect counts) used to blame plan edges on stalls.
+func (m *Monitor) BeginRun(c *plan.Compiled) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cp = c
+	m.expected = c.ExpectedDAG()
+	m.tracks = make(map[string]*trackState, len(m.expected))
+	for name, exp := range m.expected {
+		m.tracks[name] = &trackState{exp: exp}
+	}
+	m.feeders = map[string][]stageFeed{}
+	m.rankName = map[int]string{}
+	m.readyTs = map[string]map[int]float64{}
+	m.finished = false
+	m.budgets = map[string]float64{}
+	m.peers = map[peerKey][]float64{}
+	m.tripped = map[tripKey]bool{}
+	m.injected = map[string]float64{}
+	m.dead = map[string]bool{}
+	m.divergences = nil
+	m.divCount = 0
+	m.spans = 0
+
+	for q := range c.Compute {
+		m.rankName[c.Compute[q].Rank] = c.Compute[q].Name
+	}
+	for q := range c.IO {
+		m.rankName[c.IO[q].Rank] = c.IO[q].Name
+	}
+	// Invert the comm plans: feeders[compute name][stage index] = the I/O
+	// ranks whose sends release that stage, plus the plan's Expect count.
+	type key struct {
+		dst, stage int
+	}
+	srcs := map[key][]string{}
+	for q := range c.IO {
+		r := &c.IO[q]
+		for _, st := range r.Stages {
+			for _, dst := range st.Comm.Dsts {
+				k := key{dst, st.Stage}
+				srcs[k] = append(srcs[k], r.Name)
+			}
+		}
+	}
+	for q := range c.Compute {
+		r := &c.Compute[q]
+		feeds := make([]stageFeed, 0, len(r.Stages))
+		for _, st := range r.Stages {
+			if st.Expect == 0 {
+				continue
+			}
+			feeds = append(feeds, stageFeed{
+				stage:  st.Stage,
+				expect: st.Expect,
+				srcs:   srcs[key{r.Rank, st.Stage}],
+			})
+		}
+		m.feeders[r.Name] = feeds
+	}
+	m.reg.Inc("monitor/runs")
+}
+
+// EndRun drains the tee (so the monitor's view is complete), finalizes
+// conformance, and — on error — classifies the failure, blames the plan
+// edges involved, triggers the flight recorder, and wraps the error with
+// the context. A nil error is always returned as nil.
+func (m *Monitor) EndRun(err error) error {
+	m.mu.Lock()
+	t := m.tee
+	m.mu.Unlock()
+	if t != nil {
+		t.Flush()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = true
+	if err == nil {
+		// Healthy completion: every live track must have run its full
+		// expected chain. Tracks whose rank death was announced are
+		// exempt — truncation is their expected structure.
+		for name, st := range m.tracks {
+			if m.dead[name] {
+				continue
+			}
+			if st.spanCur < len(st.exp.Spans) {
+				m.divergeLocked("track %s incomplete: %d of %d busy spans", name, st.spanCur, len(st.exp.Spans))
+			}
+			if st.readyCur < len(st.exp.Ready) {
+				m.divergeLocked("track %s incomplete: %d of %d release instants", name, st.readyCur, len(st.exp.Ready))
+			}
+		}
+		return nil
+	}
+
+	edges := m.classifyErrorLocked(err)
+	m.dumpLocked("run error")
+	return &RunError{
+		Err:        err,
+		Edges:      edges,
+		DumpPath:   m.dumpPath,
+		DumpEvents: len(m.lastDump),
+	}
+}
+
+// Emit consumes one trace event (trace.Sink). Called from the tee's drain
+// goroutine — or directly, when the monitor is used as a plain sink.
+func (m *Monitor) Emit(ev trace.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+	m.ring.add(ev)
+
+	onProc := strings.HasPrefix(ev.Track, metrics.IOPrefix+"/") ||
+		strings.HasPrefix(ev.Track, metrics.ComputePrefix+"/")
+	switch {
+	case ev.Ph == trace.PhaseSpan && ev.Cat == trace.CatPhase && onProc:
+		m.foldSpanLocked(ev)
+	case ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatStage && ev.Name == "ready" && onProc:
+		m.foldReadyLocked(ev)
+	case ev.Ph == trace.PhaseCounter && ev.Track == trace.ModelTrack:
+		m.foldModelLocked(ev)
+	case ev.Cat == trace.CatOST:
+		m.foldOSTLocked(ev)
+	case ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatFault:
+		m.foldFaultLocked(ev)
+	}
+}
+
+// foldModelLocked absorbs a model/t_* counter sample into the budgets.
+func (m *Monitor) foldModelLocked(ev trace.Event) {
+	v, ok := ev.ArgValue("value")
+	if !ok {
+		return
+	}
+	switch ev.Name {
+	case "model/t_read":
+		m.setBudgetLocked("read", v)
+	case "model/t_comm":
+		m.setBudgetLocked("comm", v)
+	case "model/t_comp":
+		m.setBudgetLocked("compute", v)
+	}
+}
+
+// foldOSTLocked folds file-system service activity into per-OST byte and
+// queue-wait metrics.
+func (m *Monitor) foldOSTLocked(ev trace.Event) {
+	switch {
+	case ev.Ph == trace.PhaseSpan && ev.Name == "service":
+		if b, ok := ev.ArgValue("bytes"); ok {
+			m.reg.Add("monitor/"+ev.Track+"/bytes", b)
+		}
+		m.reg.Inc("monitor/" + ev.Track + "/requests")
+	case ev.Ph == trace.PhaseInstant && ev.Name == "queued":
+		if w, ok := ev.ArgValue("wait"); ok {
+			m.reg.Observe("monitor/ost_wait", w)
+		}
+	}
+}
+
+// foldFaultLocked turns injected-fault events into incidents, so every
+// injection is correlatable with the watchdog verdict that should follow.
+func (m *Monitor) foldFaultLocked(ev trace.Event) {
+	m.reg.Inc("monitor/faults/" + ev.Name)
+	switch ev.Name {
+	case "straggler", "straggle":
+		// Announcement of an injected straggler: remember the factor so
+		// the verdict can mark the trip as expected.
+		if f, ok := ev.ArgValue("factor"); ok {
+			m.injected[ev.Track] = f
+		}
+		if ev.Name == "straggle" {
+			return // per-phase dilation beat, not worth an incident each
+		}
+	case "rank-death":
+		m.dead[ev.Track] = true
+		m.reg.Inc("monitor/rank_deaths")
+		m.incidentLocked(Incident{
+			Kind: "rank-death", Proc: ev.Track, Time: ev.Ts,
+			Detail: "announced rank death",
+			Edge:   m.ioEdgeLocked(ev.Track),
+		}, true)
+		return
+	}
+	m.incidentLocked(Incident{Kind: "fault", Proc: ev.Track, Time: ev.Ts, Detail: ev.Name}, false)
+}
+
+// CycleSample is one assimilation cycle's outcome, published by
+// senkf-cycle so a multi-cycle run reads like a long-lived service.
+type CycleSample struct {
+	Cycle           int     `json:"cycle"`
+	BackgroundRMSE  float64 `json:"background_rmse"`
+	AnalysisRMSE    float64 `json:"analysis_rmse"`
+	FreeRMSE        float64 `json:"free_rmse"`
+	Spread          float64 `json:"spread"`
+	DegradedMembers int     `json:"degraded_members"`
+}
+
+// RecordCycle publishes one cycle's statistics as gauges (current cycle
+// series) and histograms (distribution over the run so far).
+func (m *Monitor) RecordCycle(s CycleSample) {
+	m.mu.Lock()
+	m.cycles = append(m.cycles, s)
+	if len(m.cycles) > 4096 {
+		m.cycles = m.cycles[len(m.cycles)-4096:]
+	}
+	m.mu.Unlock()
+	m.reg.SetGauge("cycle/index", float64(s.Cycle))
+	m.reg.SetGauge("cycle/rmse_background", s.BackgroundRMSE)
+	m.reg.SetGauge("cycle/rmse_analysis", s.AnalysisRMSE)
+	m.reg.SetGauge("cycle/rmse_free", s.FreeRMSE)
+	m.reg.SetGauge("cycle/spread", s.Spread)
+	m.reg.SetGauge("cycle/degraded_members", float64(s.DegradedMembers))
+	m.reg.Observe("cycle/analysis_rmse_hist", s.AnalysisRMSE)
+}
+
+var _ trace.Sink = (*Monitor)(nil)
+var _ plan.RunObserver = (*Monitor)(nil)

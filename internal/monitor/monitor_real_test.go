@@ -1,0 +1,113 @@
+// Real-substrate monitor tests: the same monitor watches a wall-clocked
+// core.ExecutePlan run. Without a cost model it falls back to peer-median
+// budgets, so an injected wall-clock straggler is caught by comparison
+// with its peers.
+
+package monitor_test
+
+import (
+	"testing"
+
+	"senkf/internal/core"
+	"senkf/internal/enkf"
+	"senkf/internal/ensio"
+	"senkf/internal/faults"
+	"senkf/internal/grid"
+	"senkf/internal/monitor"
+	"senkf/internal/obs"
+	"senkf/internal/trace"
+	"senkf/internal/workload"
+)
+
+// realProblem builds a tiny on-disk ensemble problem (workload.TestScale).
+func realProblem(t *testing.T) (core.Problem, grid.Decomposition) {
+	t.Helper()
+	ps := workload.TestScale
+	m, err := ps.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := workload.Truth(m, workload.DefaultFieldSpec, ps.Seed)
+	bg, err := workload.Ensemble(m, truth, ps.Members, ps.Spread, ps.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := ensio.WriteEnsemble(dir, m, bg); err != nil {
+		t.Fatal(err)
+	}
+	net, err := obs.StridedNetwork(m, truth, ps.ObsStride, ps.ObsStride, ps.ObsVar, ps.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := enkf.Config{Mesh: m, Radius: ps.Radius(), N: ps.Members, Seed: ps.Seed}
+	dec, err := grid.NewDecomposition(m, 4, 2, cfg.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Problem{Cfg: cfg, Dir: dir, Net: net}, dec
+}
+
+func TestMonitorRealRunConformance(t *testing.T) {
+	p, dec := realProblem(t)
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	p.Tr = trace.New(nil, m.Tee(buf))
+	p.Obs = m
+
+	if _, err := core.RunSEnKF(p, core.Plan{Dec: dec, L: 3, NCg: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if !st.Complete {
+		t.Errorf("real run not complete: %+v", st.Conformance)
+	}
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("real run diverged: %v", st.Conformance.Divergences)
+	}
+	if st.Conformance.MatchedSpans == 0 {
+		t.Error("no spans folded from the real run")
+	}
+}
+
+// TestRealStragglerCaughtByPeerMedian dilates one compute rank's busy
+// phases on the wall clock (plan-driven fault injection on the real
+// substrate) and expects a peer-mode watchdog verdict against it —
+// without any cost-model budgets.
+func TestRealStragglerCaughtByPeerMedian(t *testing.T) {
+	p, dec := realProblem(t)
+	const proc = "comp/x0y0"
+	p.Faults = &faults.Plan{Stragglers: []faults.Straggler{{Proc: proc, Factor: 100}}}
+
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	p.Tr = trace.New(nil, m.Tee(buf))
+	p.Obs = m
+
+	if _, err := core.RunSEnKF(p, core.Plan{Dec: dec, L: 3, NCg: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	var hit *monitor.Verdict
+	for i := range st.Verdicts {
+		if st.Verdicts[i].Proc == proc {
+			hit = &st.Verdicts[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("peer-median watchdog missed %s; verdicts: %+v", proc, st.Verdicts)
+	}
+	if hit.Mode != "peer" {
+		t.Errorf("real run without a model should trip in peer mode, got %q", hit.Mode)
+	}
+	if hit.Injected != 100 {
+		t.Errorf("verdict not correlated with the announced injection: %+v", hit)
+	}
+	// Dilation stretches time, not structure.
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("straggler produced plan divergence: %v", st.Conformance.Divergences)
+	}
+}

@@ -1,0 +1,235 @@
+// End-to-end monitor tests on the simulated substrate: the monitor tees
+// off a live SimulateSEnKF event stream and must report clean conformance
+// on a healthy run, catch injected stragglers against the Eq. 7–10
+// budgets, blame plan edges on starvation, and leave the primary trace
+// bit-identical to an unmonitored run.
+
+package monitor_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/faults"
+	"senkf/internal/monitor"
+	"senkf/internal/parfs"
+	"senkf/internal/plan"
+	"senkf/internal/schedule"
+	"senkf/internal/trace"
+)
+
+func simConfig() (schedule.Config, costmodel.Choice) {
+	cfg := schedule.Config{
+		P: costmodel.Params{
+			N: 24, NX: 360, NY: 180,
+			A: 2e-6, B: 2e-10, C: 2e-3,
+			Theta: 0.5e-9, Xi: 8, Eta: 4, H: 240,
+		},
+		FS: parfs.Config{
+			OSTs:              8,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          0.5e-9,
+			BackboneStreams:   12,
+		},
+	}
+	// 4x3 sub-domains, 6 layers, 4 concurrent groups: multi-stage and
+	// multi-group, so every monitor dimension is exercised.
+	return cfg, costmodel.Choice{NSdx: 4, NSdy: 3, L: 6, NCg: 4}
+}
+
+// attach wires a monitor into the config: the tracer's single sink is a
+// tee whose primary is buf (the unchanged Chrome-trace path) and whose
+// secondary is the monitor.
+func attach(cfg *schedule.Config, m *monitor.Monitor, buf *trace.Buffer) {
+	cfg.Tracer = trace.New(nil, m.Tee(buf))
+	cfg.Obs = m
+}
+
+func TestMonitorCleanSimulatedRun(t *testing.T) {
+	cfg, ch := simConfig()
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	attach(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if !st.Complete {
+		t.Errorf("healthy run not complete: %+v", st.Conformance)
+	}
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("healthy run diverged: %v", st.Conformance.Divergences)
+	}
+	if st.Conformance.MatchedSpans == 0 || st.Conformance.MatchedSpans != st.Conformance.ExpectedSpans {
+		t.Errorf("spans %d/%d", st.Conformance.MatchedSpans, st.Conformance.ExpectedSpans)
+	}
+	if st.Conformance.MatchedReady != st.Conformance.ExpectedReady {
+		t.Errorf("ready %d/%d", st.Conformance.MatchedReady, st.Conformance.ExpectedReady)
+	}
+	if len(st.Verdicts) != 0 {
+		t.Errorf("healthy run tripped the watchdog: %+v", st.Verdicts)
+	}
+	// The model/t_* counters of the simulated run must have become budgets.
+	for _, k := range []string{"read", "comm", "compute", "wait"} {
+		if st.Budgets[k] <= 0 {
+			t.Errorf("budget %q not derived from the model counters: %v", k, st.Budgets)
+		}
+	}
+	if st.Algorithm != "senkf" && st.Algorithm != "S-EnKF" {
+		t.Logf("algorithm: %q", st.Algorithm) // informational: naming comes from plan.Spec
+	}
+}
+
+// TestWatchdogCatchesInjectedStraggler is the acceptance e2e: a seeded
+// straggler injected through internal/faults into a monitored run must be
+// flagged by the watchdog on the right processor within budget × tolerance,
+// conformance must report no plan divergence (a slow rank is late, not
+// wrong), and the flight-recorder dump must replay into a valid
+// structural DAG.
+func TestWatchdogCatchesInjectedStraggler(t *testing.T) {
+	cfg, ch := simConfig()
+	const proc = "io/g0/r0"
+	const factor = 12.0
+	cfg.Faults = &faults.Plan{Stragglers: []faults.Straggler{{Proc: proc, Factor: factor}}}
+
+	dump := filepath.Join(t.TempDir(), "flight.json")
+	m := monitor.New(monitor.Options{DumpPath: dump})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	attach(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+
+	var hit *monitor.Verdict
+	for i := range st.Verdicts {
+		if st.Verdicts[i].Proc == proc {
+			hit = &st.Verdicts[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("watchdog missed the injected straggler %s; verdicts: %+v", proc, st.Verdicts)
+	}
+	if hit.Observed <= hit.Budget*hit.Tolerance {
+		t.Errorf("verdict not beyond budget x tolerance: %+v", hit)
+	}
+	if hit.Mode != "model" {
+		t.Errorf("simulated run should use model budgets, got %q", hit.Mode)
+	}
+	if hit.Injected != factor {
+		t.Errorf("verdict not correlated with the announced injection: %+v", hit)
+	}
+	// A straggler is late, not structurally wrong: conformance stays clean.
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("straggler produced plan divergence: %v", st.Conformance.Divergences)
+	}
+	if m.Registry().CounterValue("monitor/watchdog_trips") == 0 {
+		t.Error("monitor/watchdog_trips counter not incremented")
+	}
+
+	// The flight recorder fired and its dump replays into a structural DAG.
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	defer f.Close()
+	evs, err := trace.ReadChrome(f)
+	if err != nil {
+		t.Fatalf("flight dump is not valid Chrome trace JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("flight dump is empty")
+	}
+	dag := plan.StructuralDAG(evs)
+	if len(dag) == 0 {
+		t.Error("flight dump replays into an empty structural DAG")
+	}
+	if st.FlightDump != dump {
+		t.Errorf("status flight_dump = %q, want %q", st.FlightDump, dump)
+	}
+}
+
+// TestWaitTripBlamesPlanEdge injects an OST slowdown (every storage target
+// degraded) so compute processors starve on their scatter waits: the wait
+// verdicts must name the plan edge — which I/O ranks owe which stage.
+func TestWaitTripBlamesPlanEdge(t *testing.T) {
+	cfg, ch := simConfig()
+	pl := &faults.Plan{}
+	for ost := 0; ost < cfg.FS.OSTs; ost++ {
+		pl.OSTWindows = append(pl.OSTWindows, faults.OSTWindow{
+			OST: ost, Start: 0, End: 1e9, Factor: 30,
+		})
+	}
+	cfg.Faults = pl
+
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	attach(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	var wait *monitor.Verdict
+	for i := range st.Verdicts {
+		if st.Verdicts[i].Phase == "wait" && st.Verdicts[i].Edge != "" {
+			wait = &st.Verdicts[i]
+			break
+		}
+	}
+	if wait == nil {
+		t.Fatalf("no edge-blaming wait verdict; verdicts: %+v", st.Verdicts)
+	}
+	for _, frag := range []string{"io/", "-> comp/", "member blocks expected"} {
+		if !strings.Contains(wait.Edge, frag) {
+			t.Errorf("blamed edge %q missing %q", wait.Edge, frag)
+		}
+	}
+}
+
+// TestMonitoredRunIsBitIdentical pins the observation-only contract: with
+// no faults, a monitored run must produce the identical primary trace and
+// the identical result as an unmonitored run.
+func TestMonitoredRunIsBitIdentical(t *testing.T) {
+	cfg, ch := simConfig()
+
+	plain := trace.NewBuffer()
+	cfgPlain := cfg
+	cfgPlain.Tracer = trace.New(nil, plain)
+	base, err := schedule.SimulateSEnKF(cfgPlain, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	teed := trace.NewBuffer()
+	cfgMon := cfg
+	attach(&cfgMon, m, teed)
+	mon, err := schedule.SimulateSEnKF(cfgMon, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Events(), teed.Events()) {
+		t.Errorf("monitored run changed the primary trace: %d vs %d events",
+			plain.Len(), teed.Len())
+	}
+	// Mean breakdowns sum map-ordered floats, so compare the structural
+	// quantities exactly.
+	if base.Runtime != mon.Runtime || !reflect.DeepEqual(base.FSStats, mon.FSStats) {
+		t.Errorf("monitored run changed the result: %+v vs %+v", base, mon)
+	}
+}
+

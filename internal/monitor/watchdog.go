@@ -1,0 +1,129 @@
+// Budget watchdog: every completed phase span is checked against its
+// per-stage expected duration. Budgets come from the Eq. 7–10 cost-model
+// terms when available (model/t_* counter events of a simulated run, or
+// SetBudgets on a real one); without a model the watchdog falls back to
+// the peer median per (phase, stage) — a straggler is whoever takes
+// tolerance × longer than its peers. Durations are in the trace's own
+// clock: virtual seconds in the simulation, wall seconds on the real
+// substrate.
+
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"senkf/internal/metrics"
+	"senkf/internal/trace"
+)
+
+type peerKey struct {
+	io    bool
+	phase string
+	stage int
+}
+
+type tripKey struct {
+	proc  string
+	phase string
+	stage int
+}
+
+// peerMinSamples is the minimum population before peer-median verdicts
+// fire, and peerMinSlack the absolute wall-clock floor that keeps
+// micro-jitter on very short phases from tripping.
+const (
+	peerMinSamples = 4
+	peerMinSlack   = 1e-3
+)
+
+// Verdict is one watchdog trip: a (proc, phase, stage) that exceeded
+// budget × tolerance.
+type Verdict struct {
+	Proc      string  `json:"proc"`
+	Phase     string  `json:"phase"`
+	Stage     int     `json:"stage"`
+	Observed  float64 `json:"observed_s"`
+	Budget    float64 `json:"budget_s"`
+	Tolerance float64 `json:"tolerance"`
+	// Mode is "model" (cost-model budget) or "peer" (peer-median budget).
+	Mode string `json:"mode"`
+	// Injected is the announced straggler factor when the trip matches a
+	// fault injection (0 otherwise) — the watchdog caught the injection.
+	Injected float64 `json:"injected_factor,omitempty"`
+	// Edge is the blamed plan edge for starved compute phases.
+	Edge string `json:"edge,omitempty"`
+	At   float64 `json:"at_s"`
+}
+
+func (v Verdict) String() string {
+	s := fmt.Sprintf("%s %s stage %d: %.3gs > %g x %.3gs budget (%s)",
+		v.Proc, v.Phase, v.Stage, v.Observed, v.Tolerance, v.Budget, v.Mode)
+	if v.Edge != "" {
+		s += " awaiting " + v.Edge
+	}
+	return s
+}
+
+// checkBudgetLocked evaluates one completed span against its budget and
+// records a verdict + incident (+ flight dump) on the first trip of each
+// (proc, phase, stage).
+func (m *Monitor) checkBudgetLocked(track, phase string, stage int, ev trace.Event) {
+	v := Verdict{
+		Proc: track, Phase: phase, Stage: stage,
+		Observed: ev.Dur, Tolerance: m.opts.Tolerance,
+		At: ev.Ts + ev.Dur,
+	}
+	if b, ok := m.budgets[phase]; ok && b > 0 {
+		if ev.Dur <= b*m.opts.Tolerance {
+			return
+		}
+		v.Budget, v.Mode = b, "model"
+	} else {
+		// Peer-median fallback: compare against the population of the
+		// same phase at the same stage across ranks of the same class.
+		k := peerKey{io: strings.HasPrefix(track, metrics.IOPrefix+"/"), phase: phase, stage: stage}
+		m.peers[k] = append(m.peers[k], ev.Dur)
+		if len(m.peers[k]) < peerMinSamples {
+			return
+		}
+		med := median(m.peers[k])
+		if med <= 0 || ev.Dur <= med*m.opts.Tolerance || ev.Dur <= med+peerMinSlack {
+			return
+		}
+		v.Budget, v.Mode = med, "peer"
+	}
+
+	tk := tripKey{proc: track, phase: phase, stage: stage}
+	if m.tripped[tk] {
+		return
+	}
+	m.tripped[tk] = true
+	v.Injected = m.injected[track]
+	if strings.HasPrefix(track, metrics.ComputePrefix+"/") && phase == "wait" {
+		v.Edge = m.blamedEdgeLocked(track, stage)
+	}
+	if len(m.verdicts) < 256 {
+		m.verdicts = append(m.verdicts, v)
+	}
+	m.reg.Inc("monitor/watchdog_trips")
+	m.incidentLocked(Incident{
+		Kind: "watchdog", Proc: track, Time: v.At,
+		Detail: v.String(),
+		Edge:   v.Edge,
+	}, true)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -74,6 +74,12 @@ func (e *RankFailedError) Error() string {
 
 func (e *RankFailedError) Unwrap() error { return e.Cause }
 
+// FailedRank returns the world rank that failed. The method (rather than
+// the Rank field) is the contract a plan-layer observer duck-types
+// against, so internal/monitor can name the dead rank's plan position
+// without importing this package.
+func (e *RankFailedError) FailedRank() int { return e.Rank }
+
 // Is makes errors.Is(err, ErrAborted) keep working for callers written
 // against the pre-cause abort error.
 func (e *RankFailedError) Is(target error) bool { return target == ErrAborted }

@@ -1,0 +1,21 @@
+// RunObserver is the plan layer's hook for live observability: a monitor
+// (internal/monitor) attaches here without either substrate knowing its
+// concrete type, and without the monitor importing a substrate. The
+// contract is substrate-agnostic, like the plan itself.
+
+package plan
+
+// RunObserver observes one execution of a compiled plan. Both substrates
+// call BeginRun with the compiled plan immediately after compilation (so
+// the observer can derive ExpectedDAG, release counts, and rank naming),
+// stream trace events to the observer out of band (via a trace.Tee sink),
+// and call EndRun exactly once with the run's outcome.
+//
+// EndRun may decorate a non-nil error with observed context (e.g. the
+// plan edge a deadlocked rank was waiting on, plus a flight-recorder
+// dump) and must return nil when given nil: observation never fails a
+// healthy run.
+type RunObserver interface {
+	BeginRun(c *Compiled)
+	EndRun(err error) error
+}

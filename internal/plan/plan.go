@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"senkf/internal/enkf"
+	"senkf/internal/faults"
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
@@ -42,6 +43,16 @@ type Problem struct {
 	Rec *metrics.Recorder
 	// Tr, when non-nil and enabled, receives phase spans per rank.
 	Tr *trace.Tracer
+	// Obs, when non-nil, observes the run: BeginRun with the compiled
+	// plan before ranks start, EndRun with the outcome (see RunObserver).
+	Obs RunObserver
+	// Faults, when non-nil, injects deterministic anomalies into the real
+	// substrate: straggler ranks have each busy phase dilated to
+	// Factor × its real duration (the wall-clock mirror of the simulated
+	// machine's Sleep dilation), announced as fault trace events so a
+	// live monitor can correlate injections with watchdog verdicts. Nil
+	// is the exact pre-fault execution.
+	Faults *faults.Plan
 }
 
 // Validate checks the problem's internal consistency.

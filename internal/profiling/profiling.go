@@ -23,6 +23,7 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -31,6 +32,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the endpoint down.
 func (s *Server) Close() error {
 	return s.srv.Close()
+}
+
+// Handle mounts an extra handler on the server's mux — the monitor uses
+// this to expose /metrics and /status next to the pprof endpoints.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // Serve starts the pprof HTTP endpoint on addr (e.g. "localhost:6060").
@@ -52,7 +59,7 @@ func Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profiling: %w", err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, mux: mux}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -1,0 +1,104 @@
+package schedule
+
+import (
+	"testing"
+
+	"senkf/internal/costmodel"
+	"senkf/internal/parfs"
+)
+
+// quickReadOnlyConfig mirrors figures.QuickOptions' machine so the pins
+// below cover the exact geometries Figures 5 and 10 sweep in tests.
+func quickReadOnlyConfig() Config {
+	return Config{
+		P: costmodel.Params{
+			N: 24, NX: 360, NY: 180,
+			A: 2e-6, B: 2e-10, C: 2e-3,
+			Theta: 0.5e-9, Xi: 8, Eta: 4, H: 240,
+		},
+		FS: parfs.Config{
+			OSTs:              8,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          0.5e-9,
+			BackboneStreams:   12,
+		},
+	}
+}
+
+// TestReadOnlyBlockPinned pins the Figure 5 read-only times to the values
+// the pre-plan (ad-hoc expansion geometry) implementation returned. The
+// port onto compiled plans must keep them bit-identical: the plan's
+// nominal addressing ops and point counts are exactly the old geometry.
+func TestReadOnlyBlockPinned(t *testing.T) {
+	quick := quickReadOnlyConfig()
+	paper := DefaultConfig()
+	cases := []struct {
+		name   string
+		cfg    Config
+		nsdx   int
+		nsdy   int
+		nFiles int
+		want   float64
+	}{
+		{"quick/nsdx=10", quick, 10, 5, 24, 0.4955033599999995},
+		{"quick/nsdx=20", quick, 20, 5, 24, 0.9433811199999953},
+		{"quick/nsdx=30", quick, 30, 5, 24, 1.3916390400000049},
+		{"quick/nsdx=40", quick, 40, 5, 24, 1.8399919999999934},
+		{"paper/nsdx=100", paper, 100, 10, 100, 63.596998079993142},
+		{"paper/nsdx=200", paper, 200, 10, 100, 119.97316800003667},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReadOnlyBlock(tc.cfg, tc.nsdx, tc.nsdy, tc.nFiles)
+			if err != nil {
+				t.Fatalf("ReadOnlyBlock: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("ReadOnlyBlock = %.17g, pinned %.17g", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadOnlyConcurrentPinned pins the Figure 10 concurrent-access times
+// the same way.
+func TestReadOnlyConcurrentPinned(t *testing.T) {
+	quick := quickReadOnlyConfig()
+	paper := DefaultConfig()
+	cases := []struct {
+		name   string
+		cfg    Config
+		nsdy   int
+		ncg    int
+		nFiles int
+		want   float64
+	}{
+		{"quick/ncg=1", quick, 5, 1, 24, 0.14405759999999984},
+		{"quick/ncg=2", quick, 5, 2, 24, 0.072028799999999948},
+		{"quick/ncg=4", quick, 5, 4, 24, 0.036014399999999995},
+		{"quick/ncg=8", quick, 5, 8, 24, 0.020008000000000001},
+		{"quick/ncg=12", quick, 5, 12, 24, 0.022008800000000002},
+		{"paper/ncg=1", paper, 10, 1, 120, 50.821200000000026},
+		{"paper/ncg=8", paper, 10, 8, 120, 8.5549020000000038},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReadOnlyConcurrent(tc.cfg, tc.nsdy, tc.ncg, tc.nFiles)
+			if err != nil {
+				t.Fatalf("ReadOnlyConcurrent: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("ReadOnlyConcurrent = %.17g, pinned %.17g", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadOnlyConcurrentRejectsIndivisibleGroups keeps the pre-plan error
+// contract: group count must divide the file count.
+func TestReadOnlyConcurrentRejectsIndivisibleGroups(t *testing.T) {
+	if _, err := ReadOnlyConcurrent(quickReadOnlyConfig(), 5, 7, 24); err == nil {
+		t.Fatal("ReadOnlyConcurrent accepted 24 files in 7 groups")
+	}
+}

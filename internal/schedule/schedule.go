@@ -56,6 +56,35 @@ type Config struct {
 	// of SimulateSEnKF. Nil (the default) simulates a healthy machine with
 	// the exact pre-fault event structure.
 	Faults *faults.Plan
+
+	// Obs, when non-nil, observes each simulated run: BeginRun with the
+	// compiled plan before any event executes, EndRun with the outcome —
+	// the hook a live monitor (internal/monitor) attaches through,
+	// alongside a Tracer teeing events to it.
+	Obs plan.RunObserver
+}
+
+// observe wraps an execution outcome through the configured RunObserver
+// (nil-safe): a monitor may decorate err with blamed plan edges and a
+// flight-recorder dump.
+func (c Config) observe(err error) error {
+	if c.Obs == nil {
+		return err
+	}
+	return c.Obs.EndRun(err)
+}
+
+// announceFaults emits one fault instant per injected straggler so the
+// injections are visible in the event stream (and to a live monitor)
+// before their effects are.
+func (c Config) announceFaults(tr *trace.Tracer) {
+	if c.Faults == nil || !tr.Enabled() {
+		return
+	}
+	for _, s := range c.Faults.Stragglers {
+		tr.Instant(s.Proc, trace.CatFault, "straggler", 0,
+			trace.Arg{Key: "factor", Val: s.Factor})
+	}
 }
 
 // installFaults wires the plan into the simulation substrate (straggler
@@ -221,14 +250,6 @@ func ChooseDecomposition(p costmodel.Params, np int) (nsdx, nsdy int, err error)
 	return nsdx, nsdy, nil
 }
 
-// expansionGeometry returns the nominal expansion rows, cols, and per-file
-// block bytes for a (nsdx, nsdy) decomposition.
-func expansionGeometry(p costmodel.Params, nsdx, nsdy int) (rows, cols int, bytes float64) {
-	rows = p.NY/nsdy + 2*p.Eta
-	cols = p.NX/nsdx + 2*p.Xi
-	return rows, cols, float64(rows) * float64(cols) * float64(p.H)
-}
-
 // decompose builds the mesh decomposition the plan compiler works on: the
 // cost model's localization radius (ξ, η) becomes the decomposition radius,
 // so the plan's nominal addressing-op and point counts are exactly the
@@ -277,6 +298,10 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
+	if cfg.Obs != nil {
+		cfg.Obs.BeginRun(cp)
+	}
+	cfg.announceFaults(tr)
 
 	for q := range cp.Compute {
 		cr := &cp.Compute[q]
@@ -299,7 +324,7 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		})
 	}
 	end, err := env.Run()
-	if err != nil {
+	if err = cfg.observe(err); err != nil {
 		return Result{}, err
 	}
 	return Result{
@@ -341,6 +366,10 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
+	if cfg.Obs != nil {
+		cfg.Obs.BeginRun(cp)
+	}
+	cfg.announceFaults(tr)
 
 	boxes := make([]*sim.Mailbox, cp.NumCompute())
 	for r := range boxes {
@@ -382,7 +411,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		})
 	}
 	end, err := env.Run()
-	if err != nil {
+	if err = cfg.observe(err); err != nil {
 		return Result{}, err
 	}
 	return Result{
@@ -431,7 +460,11 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	cfg.installFaults(env, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
+	if cfg.Obs != nil {
+		cfg.Obs.BeginRun(cp)
+	}
 	emitModelPrediction(tr, p, ch)
+	cfg.announceFaults(tr)
 
 	// One mailbox per compute processor, indexed by compute rank. The plan
 	// orders ranks row-major, so creation order is unchanged (j outer, i
@@ -620,7 +653,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	}
 
 	end, err := env.Run()
-	if err != nil {
+	if err = cfg.observe(err); err != nil {
 		return Result{}, err
 	}
 	ioSpans := rec.Spans(metrics.IOPrefix, metrics.PhaseRead, metrics.PhaseComm)
@@ -656,9 +689,20 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 }
 
 // ReadOnlyBlock simulates just the block-reading phase (no compute) of
-// P-EnKF over nFiles member files — the measurement behind Figure 5.
+// P-EnKF over nFiles member files — the measurement behind Figure 5. The
+// read geometry (one addressing operation per expansion row, the full
+// nominal expansion block per file) comes from the compiled P-EnKF plan,
+// the same source the full schedule interprets.
 func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	dec, err := decompose(cfg.P, nsdx, nsdy)
+	if err != nil {
+		return 0, err
+	}
+	cp, err := plan.Compile(plan.PEnKF(dec, nFiles))
+	if err != nil {
 		return 0, err
 	}
 	env := sim.NewEnv()
@@ -666,12 +710,13 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	rows, _, blockBytes := expansionGeometry(cfg.P, nsdx, nsdy)
-	np := nsdx * nsdy
-	for r := 0; r < np; r++ {
-		env.Go(metrics.ComputePrefix, func(p *sim.Proc) {
-			for k := 0; k < nFiles; k++ {
-				fs.Read(p, k, rows, blockBytes)
+	for q := range cp.Compute {
+		cr := &cp.Compute[q]
+		st := cr.Stages[0]
+		blockBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+		env.Go(cr.Name, func(p *sim.Proc) {
+			for _, k := range st.SelfMembers {
+				fs.Read(p, k, st.Read.AddrOps, blockBytes)
 			}
 		})
 	}
@@ -680,7 +725,10 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 
 // ReadOnlyConcurrent simulates just the concurrent-access reading of
 // nFiles member files with the bar approach in ncg groups of nsdy readers
-// each — the measurement behind Figure 10.
+// each — the measurement behind Figure 10. A single-stage S-EnKF plan
+// (n_sdx = 1, L = 1) prescribes the geometry: each reader's bar is the
+// full-width sub-domain expansion at one addressing operation per file,
+// and the group's members are the files k ≡ g (mod n_cg).
 func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
@@ -688,26 +736,34 @@ func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
 	if nFiles%ncg != 0 {
 		return 0, fmt.Errorf("schedule: %d files do not divide into %d groups", nFiles, ncg)
 	}
+	dec, err := decompose(cfg.P, 1, nsdy)
+	if err != nil {
+		return 0, err
+	}
+	cp, err := plan.Compile(plan.SEnKF(dec, nFiles, 1, ncg))
+	if err != nil {
+		return 0, err
+	}
 	env := sim.NewEnv()
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return 0, err
 	}
-	barBytes := (float64(cfg.P.NY)/float64(nsdy) + 2*float64(cfg.P.Eta)) * float64(cfg.P.NX) * float64(cfg.P.H)
 	barriers := make([]*sim.Barrier, ncg)
 	for g := range barriers {
 		barriers[g] = sim.NewBarrier(env, fmt.Sprintf("grp%d", g), nsdy)
 	}
-	for g := 0; g < ncg; g++ {
-		for j := 0; j < nsdy; j++ {
-			g := g
-			env.Go("io", func(p *sim.Proc) {
-				for f := 0; f < nFiles/ncg; f++ {
-					fs.Read(p, g+f*ncg, 1, barBytes)
-					barriers[g].Wait(p)
-				}
-			})
-		}
+	for q := range cp.IO {
+		r := &cp.IO[q]
+		st := r.Stages[0]
+		barBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+		g := r.Group
+		env.Go(r.Name, func(p *sim.Proc) {
+			for _, k := range st.Members {
+				fs.Read(p, k, st.Read.AddrOps, barBytes)
+				barriers[g].Wait(p)
+			}
+		})
 	}
 	return env.Run()
 }

@@ -175,6 +175,18 @@ func (d *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at t=%g with %d blocked processes (e.g. %v)", d.Time, len(d.Waiting), examples)
 }
 
+// BlockedOn returns proc name → synchronization object for every parked
+// process. The method (rather than the Blocked field) is the contract a
+// plan-layer observer duck-types against, so internal/monitor can blame
+// the plan edge behind a deadlock without importing this package.
+func (d *DeadlockError) BlockedOn() map[string]string {
+	m := make(map[string]string, len(d.Blocked))
+	for _, b := range d.Blocked {
+		m[b.Name] = b.WaitingOn
+	}
+	return m
+}
+
 // Run drives the simulation until no events remain. It returns the final
 // virtual time, or a DeadlockError if processes remain blocked on resources
 // or mailboxes with an empty event queue.

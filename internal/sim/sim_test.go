@@ -496,6 +496,17 @@ func TestDeadlockErrorListsAllBlockedProcesses(t *testing.T) {
 			t.Errorf("finished process listed as blocked: %+v", b)
 		}
 	}
+	// BlockedOn is the duck-typed map contract the plan-layer observer
+	// consumes; it must mirror Blocked exactly.
+	m := d.BlockedOn()
+	if len(m) != len(want) {
+		t.Fatalf("BlockedOn = %v", m)
+	}
+	for _, w := range want {
+		if m[w.Name] != w.WaitingOn {
+			t.Errorf("BlockedOn[%s] = %q, want %q", w.Name, m[w.Name], w.WaitingOn)
+		}
+	}
 }
 
 func TestDeadlockErrorTruncatesMessageNotList(t *testing.T) {

@@ -20,6 +20,26 @@ if bad=$(grep -E "$forbidden" <<<"$deps"); then
     exit 1
 fi
 
+# internal/monitor is the live observability layer: it folds the trace
+# stream against compiled plans and Eq. 7-10 budgets, so it must build on
+# plan, trace and costmodel — but it watches both substrates through the
+# event stream alone, duck-typing their error shapes, so it must never
+# import one (or it could only monitor that substrate).
+deps=$(go list -deps senkf/internal/monitor)
+
+if bad=$(grep -E "$forbidden" <<<"$deps"); then
+    echo "FAIL: senkf/internal/monitor must not depend on any substrate package:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel; do
+    if ! grep -qx "$need" <<<"$deps"; then
+        echo "FAIL: senkf/internal/monitor no longer builds on $need" >&2
+        exit 1
+    fi
+done
+
 # The engines must sit above the plan layer, not beside it: core and
 # schedule each depend on plan, and plan on neither.
 for eng in senkf/internal/core senkf/internal/schedule; do
