@@ -22,7 +22,6 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"time"
 
 	"senkf"
 )
@@ -36,34 +35,23 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the co-design ablation ladder instead of the figures")
 		epsSweep  = flag.Bool("eps-sweep", false, "run the auto-tuner ε-sensitivity sweep instead of the figures")
 		csvDir    = flag.String("csv", "", "also write each figure as CSV into this directory")
-		traceOut  = flag.String("trace", "", "trace one simulated S-EnKF run into this Chrome trace JSON file (open in Perfetto) instead of the figures")
 		traceNP   = flag.Int("trace-np", 0, "processor budget for the traced run (default: largest configured count)")
 		detail    = flag.Bool("trace-detail", false, "include high-volume detail events (park/wake, queue depths) in the trace")
-		counters  = flag.Bool("counters", false, "run one simulated S-EnKF run and print its counters/gauges/histograms")
 		faultsRun = flag.Bool("faults", false, "run the fault-injection resilience sweep instead of the figures")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plans (with -faults)")
 		record    = flag.String("record", "", "run the bench suite and write the next versioned BENCH_<n>.json into this directory")
 		recordVer = flag.Int("record-version", 0, "with -record: force the record's version number (0 = latest+1)")
 		check     = flag.String("check", "", "run the bench suite and compare against the latest BENCH_<n>.json in this directory; exit 1 on regression")
 		benchTol  = flag.Float64("bench-tol", 0.15, "relative wall-time regression tolerance for -check")
-		countCSV  = flag.String("counters-csv", "", "with -trace/-counters: also write the counter registry as CSV to this file")
-		profile   = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
-
-		monitorOn = flag.Bool("monitor", false, "attach the live plan-conformance monitor to one simulated S-EnKF run (implies the traced-run path)")
-		metrAddr  = flag.String("metrics-addr", "", "with -monitor: serve Prometheus /metrics and JSON /status on this address")
-		flightOut = flag.String("flight-recorder", "", "with -monitor: write the anomaly flight-recorder dump (Chrome trace JSON) here")
-		linger    = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the run, so it can be scraped")
 	)
+	obs := senkf.RegisterRunFlags(flag.CommandLine, "senkf-bench")
 	flag.Parse()
 
-	if *profile != "" {
-		srv, err := senkf.StartProfiling(*profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	sess, err := obs.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
+
 	suite := senkf.PaperFigures()
 	scale := "paper"
 	if *quick {
@@ -71,49 +59,52 @@ func main() {
 		scale = "quick"
 	}
 	if *record != "" || *check != "" {
-		benchPipeline(suite, scale, *record, *recordVer, *check, *benchTol)
+		benchPipeline(sess, suite, scale, *record, *recordVer, *check, *benchTol)
 		return
 	}
-	if *traceOut != "" || *counters || *countCSV != "" || *monitorOn {
-		tracedRun(suite, *traceOut, *traceNP, *detail, *counters, *countCSV,
-			monitorConfig{on: *monitorOn, metricsAddr: *metrAddr, flightOut: *flightOut, linger: *linger})
+	if obs.TraceOut() != "" || obs.CountersOn() || obs.CountersCSV() != "" || obs.MonitorOn() {
+		tracedRun(sess, suite, *traceNP, *detail)
 		return
-	}
-	if *metrAddr != "" {
-		log.Fatal("-metrics-addr needs -monitor")
 	}
 	if *faultsRun {
+		sess.Describe("resilience-sweep", "simulated", nil)
 		f, err := suite.Resilience(*faultSeed, nil)
 		if err != nil {
-			log.Fatalf("resilience sweep: %v", err)
+			sess.Fatal(fmt.Errorf("resilience sweep: %w", err))
 		}
 		if err := f.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
+		finish(sess)
 		return
 	}
 	if *epsSweep {
+		sess.Describe("eps-sweep", "simulated", nil)
 		np := suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 		f, err := suite.EpsilonSweep(np, []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1})
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		if err := f.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
+		finish(sess)
 		return
 	}
 	if *ablations {
+		sess.Describe("ablations", "simulated", nil)
 		np := suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 		abs, err := suite.Ablations(np)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		if err := senkf.WriteAblations(os.Stdout, np, abs); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
+		finish(sess)
 		return
 	}
+	sess.Describe("figures", "simulated", nil)
 	type job struct {
 		id int
 		fn func() (senkf.Figure, error)
@@ -129,66 +120,83 @@ func main() {
 		}
 		f, err := j.fn()
 		if err != nil {
-			log.Fatalf("figure %d: %v", j.id, err)
+			sess.Fatal(fmt.Errorf("figure %d: %w", j.id, err))
 		}
 		if err := f.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				log.Fatal(err)
+				sess.Fatal(err)
 			}
 			path := filepath.Join(*csvDir, fmt.Sprintf("fig%02d.csv", j.id))
 			cf, err := os.Create(path)
 			if err != nil {
-				log.Fatal(err)
+				sess.Fatal(err)
 			}
 			if err := f.WriteCSV(cf); err != nil {
 				cf.Close()
-				log.Fatal(err)
+				sess.Fatal(err)
 			}
 			if err := cf.Close(); err != nil {
-				log.Fatal(err)
+				sess.Fatal(err)
 			}
 		}
 		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
-		log.Fatalf("unknown figure %d (have 1, 5, 9, 10, 11, 12, 13)", *figure)
+		sess.Fatal(fmt.Errorf("unknown figure %d (have 1, 5, 9, 10, 11, 12, 13)", *figure))
+	}
+	finish(sess)
+}
+
+func finish(sess *senkf.RunSession) {
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
 	}
 }
 
 // benchPipeline runs the deterministic bench suite and either records it
 // as the next BENCH_<n>.json version or checks it against the latest
 // committed record, exiting non-zero when any run's wall time regressed
-// beyond the tolerance.
-func benchPipeline(suite *senkf.FigureSuite, scale, record string, recordVer int, check string, tol float64) {
-	rec, err := senkf.CollectBenchRecord(suite, scale)
+// beyond the tolerance. With -archive, the record is collected through
+// the run ledger: every suite cell lands as its own archived run and the
+// BENCH_<n>.json cells carry their run IDs.
+func benchPipeline(sess *senkf.RunSession, suite *senkf.FigureSuite, scale, record string, recordVer int, check string, tol float64) {
+	sess.Describe("bench-suite", "simulated", nil)
+	var rec senkf.BenchRecord
+	var err error
+	if a := sess.Archive(); a != nil {
+		rec, err = senkf.CollectBenchRecordArchived(suite, scale, a, sess.Log)
+	} else {
+		rec, err = senkf.CollectBenchRecord(suite, scale)
+	}
 	if err != nil {
-		log.Fatalf("bench suite: %v", err)
+		sess.Fatal(fmt.Errorf("bench suite: %w", err))
 	}
 	rec.Version = recordVer
 	if record != "" {
 		path, err := senkf.WriteBenchRecord(record, rec)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d runs at %s scale)\n", path, len(rec.Runs), scale)
 	}
 	if check == "" {
+		finish(sess)
 		return
 	}
 	prev, path, ok, err := senkf.LatestBenchRecord(check)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	if !ok {
-		log.Fatalf("no BENCH_<n>.json in %s to check against (record one with -record)", check)
+		sess.Fatal(fmt.Errorf("no BENCH_<n>.json in %s to check against (record one with -record)", check))
 	}
 	deltas, err := senkf.CompareBenchRecords(prev, rec, tol)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	fmt.Printf("checked against %s (tolerance %.0f%%):\n", path, 100*tol)
 	for _, d := range deltas {
@@ -200,17 +208,10 @@ func benchPipeline(suite *senkf.FigureSuite, scale, record string, recordVer int
 			d.Algorithm, d.NP, d.Prev, d.Cur, 100*d.Delta, verdict)
 	}
 	if reg := senkf.BenchRegressions(deltas); len(reg) > 0 {
-		log.Fatalf("%d run(s) regressed beyond %.0f%% vs %s", len(reg), 100*tol, path)
+		sess.Fatal(fmt.Errorf("%d run(s) regressed beyond %.0f%% vs %s", len(reg), 100*tol, path))
 	}
 	fmt.Println("no regressions")
-}
-
-// monitorConfig carries the live-monitor flags into the traced run.
-type monitorConfig struct {
-	on          bool
-	metricsAddr string
-	flightOut   string
-	linger      time.Duration
+	finish(sess)
 }
 
 // tracedRun auto-tunes and simulates one S-EnKF run at np processors with
@@ -221,111 +222,26 @@ type monitorConfig struct {
 // event stream, checks plan conformance against the compiled plan, and
 // judges every stage against the Eq. 7–10 model budgets (the simulated
 // substrate streams them as model/t_* counters).
-func tracedRun(suite *senkf.FigureSuite, traceOut string, np int, detail, counters bool, countCSV string, mc monitorConfig) {
+func tracedRun(sess *senkf.RunSession, suite *senkf.FigureSuite, np int, detail bool) {
 	if np == 0 {
 		np = suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 	}
-	var buf *senkf.TraceBuffer
-	var primary senkf.TraceSink
-	if traceOut != "" {
-		buf = senkf.NewTraceBuffer()
-		primary = buf
-	}
-	reg := senkf.NewCounterRegistry()
-	var mon *senkf.Monitor
-	if mc.on {
-		mon = senkf.NewMonitor(senkf.MonitorOptions{
-			DumpPath:    mc.flightOut,
-			RunRegistry: reg,
-		})
-		defer mon.Close()
-		primary = mon.Tee(primary)
-	} else if mc.metricsAddr != "" {
-		log.Fatal("-metrics-addr needs -monitor")
-	}
+	sess.Describe("senkf", "simulated", nil)
 	// The simulated schedules stamp every event with explicit virtual
 	// timestamps; the tracer's own clock is never consulted.
-	var sinks []senkf.TraceSink
-	if primary != nil {
-		sinks = append(sinks, primary)
-	}
-	tr := senkf.NewWallTracer(sinks...)
-	tr.SetDetail(detail)
-	tr.SetCounters(reg)
-	suite.O.Cfg.Tracer = tr
-	if mon != nil {
-		suite.O.Cfg.Obs = mon
-		if mc.metricsAddr != "" {
-			srv, err := senkf.StartProfiling(mc.metricsAddr)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer srv.Close()
-			srv.Handle("/metrics", mon.MetricsHandler())
-			srv.Handle("/status", mon.StatusHandler())
-			fmt.Printf("monitor: http://%s/metrics and /status\n", srv.Addr())
-		}
-	}
+	sess.Tracer.SetDetail(detail)
+	suite.O.Cfg.Tracer = sess.Tracer
+	suite.O.Cfg.Obs = sess.Observer()
 
 	res, tuned, err := suite.SEnKFAt(np)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
+	sess.Note("tuned", fmt.Sprintf("nsdx=%d nsdy=%d L=%d ncg=%d",
+		tuned.Choice.NSdx, tuned.Choice.NSdy, tuned.Choice.L, tuned.Choice.NCg))
 	fmt.Printf("S-EnKF at %d processors: nsdx=%d nsdy=%d L=%d ncg=%d\n",
 		np, tuned.Choice.NSdx, tuned.Choice.NSdy, tuned.Choice.L, tuned.Choice.NCg)
 	fmt.Printf("runtime %.3fs, first stage %.3fs, overlapped share of I/O+comm %.1f%%\n",
 		res.Runtime, res.FirstStage, 100*res.OverlapFraction)
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := buf.WriteChrome(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d trace events to %s\n", buf.Len(), traceOut)
-	}
-	if counters {
-		fmt.Println("\nsimulation counters:")
-		if err := reg.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if countCSV != "" {
-		f, err := os.Create(countCSV)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := reg.WriteCSV(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote counters CSV to %s\n", countCSV)
-	}
-	if mon != nil {
-		st := mon.Status()
-		fmt.Printf("monitor: %d events, %d/%d spans conformant, %d divergences, %d watchdog verdicts\n",
-			st.Events, st.Conformance.MatchedSpans, st.Conformance.ExpectedSpans,
-			st.Conformance.DivergenceCount, len(st.Verdicts))
-		for _, v := range st.Verdicts {
-			fmt.Printf("  watchdog: %s\n", v)
-		}
-		for _, d := range st.Conformance.Divergences {
-			fmt.Printf("  divergence: %s\n", d)
-		}
-		if st.FlightDump != "" {
-			fmt.Printf("  flight recorder dumped to %s\n", st.FlightDump)
-		}
-		if mc.metricsAddr != "" && mc.linger > 0 {
-			fmt.Printf("monitor: serving metrics for another %s\n", mc.linger)
-			time.Sleep(mc.linger)
-		}
-	}
+	finish(sess)
 }

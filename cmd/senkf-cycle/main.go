@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
 	"senkf"
 )
@@ -45,127 +44,88 @@ func main() {
 		layers   = flag.Int("layers", 3, "S-EnKF stages L")
 		ncg      = flag.Int("ncg", 2, "S-EnKF concurrent groups")
 		seed     = flag.Uint64("seed", 2019, "experiment seed")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the parallel analyses (senkf/penkf analyzers)")
-		counters = flag.Bool("counters", false, "print runtime counters after the experiment (senkf/penkf analyzers)")
-		profile  = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 
-		monitorOn = flag.Bool("monitor", false, "attach the live plan-conformance monitor to every cycle's parallel analysis (senkf analyzer)")
-		metrAddr  = flag.String("metrics-addr", "", "with -monitor: serve Prometheus /metrics and JSON /status on this address while cycling")
-		flightOut = flag.String("flight-recorder", "", "with -monitor: write the anomaly flight-recorder dump (Chrome trace JSON) here")
 		stragSpec = flag.String("straggler", "", "inject one straggler into every cycle's analysis, proc:factor (e.g. io/g0/r0:30)")
 		resil     = flag.Bool("resilient", false, "with -analyzer senkf: drop unreadable members instead of aborting; per-cycle degraded-member counts feed the monitor")
-		linger    = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the experiment, so it can be scraped")
 	)
+	obs := senkf.RegisterRunFlags(flag.CommandLine, "senkf-cycle")
 	flag.Parse()
-	if *profile != "" {
-		srv, err := senkf.StartProfiling(*profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	if obs.MonitorOn() && *analyzer != "senkf" {
+		log.Fatal("-monitor needs -analyzer senkf (plan conformance is defined by the compiled S-EnKF plan)")
 	}
-
-	mesh, err := senkf.NewMesh(*nx, *ny)
-	if err != nil {
-		log.Fatal(err)
-	}
-	radius, err := senkf.NewRadius(*xi, *eta)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fm, err := senkf.NewForwardModel(mesh, *cx, *cy, *nu, 1.0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
-	ensemble, err := senkf.GenerateEnsemble(mesh, truth, *members, 1.5, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var buf *senkf.TraceBuffer
-	var primary senkf.TraceSink
-	if *traceOut != "" {
-		buf = senkf.NewTraceBuffer()
-		primary = buf
-	}
-	reg := senkf.NewCounterRegistry()
-
-	// The monitor attaches as the secondary side of a tee: the primary
-	// Chrome-trace sink (when any) is untouched. Each cycle's parallel
-	// analysis is one monitored run (BeginRun/EndRun per cycle).
-	var mon *senkf.Monitor
-	if *monitorOn {
-		if *analyzer != "senkf" {
-			log.Fatal("-monitor needs -analyzer senkf (plan conformance is defined by the compiled S-EnKF plan)")
-		}
-		mon = senkf.NewMonitor(senkf.MonitorOptions{
-			DumpPath:    *flightOut,
-			RunRegistry: reg,
-		})
-		defer mon.Close()
-		primary = mon.Tee(primary)
-	}
-	var tr *senkf.Tracer
-	if primary != nil || *counters {
-		var sinks []senkf.TraceSink
-		if primary != nil {
-			sinks = append(sinks, primary)
-		}
-		tr = senkf.NewWallTracer(sinks...)
-		tr.SetCounters(reg)
-	}
-	if *metrAddr != "" {
-		if mon == nil {
-			log.Fatal("-metrics-addr needs -monitor")
-		}
-		srv, err := senkf.StartProfiling(*metrAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		srv.Handle("/metrics", mon.MetricsHandler())
-		srv.Handle("/status", mon.StatusHandler())
-		fmt.Printf("monitor: http://%s/metrics and /status\n", srv.Addr())
-	}
-	var fp *senkf.FaultPlan
-	if *stragSpec != "" {
-		s, err := senkf.ParseStraggler(*stragSpec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fp = &senkf.FaultPlan{Stragglers: []senkf.Straggler{s}}
+	if (obs.TraceOut() != "" || obs.CountersOn() || obs.CountersCSV() != "") && *analyzer == "serial" {
+		log.Fatal("-trace/-counters need a parallel analyzer (senkf or penkf)")
 	}
 	if *resil && *analyzer != "senkf" {
 		log.Fatalf("-resilient only applies to -analyzer senkf (got -analyzer %s)", *analyzer)
 	}
 
+	sess, err := obs.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mesh, err := senkf.NewMesh(*nx, *ny)
+	if err != nil {
+		sess.Fatal(err)
+	}
+	radius, err := senkf.NewRadius(*xi, *eta)
+	if err != nil {
+		sess.Fatal(err)
+	}
+	fm, err := senkf.NewForwardModel(mesh, *cx, *cy, *nu, 1.0)
+	if err != nil {
+		sess.Fatal(err)
+	}
+	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
+	ensemble, err := senkf.GenerateEnsemble(mesh, truth, *members, 1.5, *seed)
+	if err != nil {
+		sess.Fatal(err)
+	}
+
+	var fp *senkf.FaultPlan
+	if *stragSpec != "" {
+		s, err := senkf.ParseStraggler(*stragSpec)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		fp = &senkf.FaultPlan{Stragglers: []senkf.Straggler{s}}
+		sess.SetFaults(fp)
+	}
+
 	// lastDegraded carries each cycle's dropped-member count from the
-	// resilient analyzer to the monitor's per-cycle series.
+	// resilient analyzer to the per-cycle series.
 	lastDegraded := 0
 	var an senkf.Analyzer
 	switch *analyzer {
 	case "serial":
-		if *traceOut != "" || *counters {
-			log.Fatal("-trace/-counters need a parallel analyzer (senkf or penkf)")
-		}
+		sess.Describe("serial", "real", nil)
 		an = senkf.SerialAnalyzer()
 	case "senkf", "penkf":
 		dec, err := senkf.NewDecomposition(mesh, *nsdx, *nsdy, radius)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
+		}
+		// Describe the per-cycle analysis plan to the ledger (every cycle
+		// executes the same compiled plan).
+		var spec senkf.AlgorithmSpec
+		if *analyzer == "senkf" {
+			spec = senkf.SEnKFSpec(dec, *members, *layers, *ncg)
+		} else {
+			spec = senkf.PEnKFSpec(dec, *members)
+		}
+		if cp, err := senkf.CompilePlan(spec); err == nil {
+			sess.Describe(*analyzer, "real", cp)
+		} else {
+			sess.Fatal(err)
 		}
 		dir, err := os.MkdirTemp("", "senkf-cycle")
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		defer os.RemoveAll(dir)
 		if *analyzer == "senkf" {
-			tpl := senkf.Problem{Tr: tr, Faults: fp}
-			if mon != nil {
-				tpl.Obs = mon
-			}
+			tpl := senkf.Problem{Tr: sess.Tracer, Obs: sess.Observer(), Faults: fp}
 			if *resil {
 				pl := senkf.Plan{Dec: dec, L: *layers, NCg: *ncg}
 				an = func(cfg senkf.Config, background [][]float64, net *senkf.Network) ([][]float64, error) {
@@ -185,10 +145,10 @@ func main() {
 				an = senkf.SEnKFAnalyzerHooked(dir, dec, *layers, *ncg, tpl)
 			}
 		} else {
-			an = senkf.PEnKFAnalyzerObserved(dir, dec, nil, tr)
+			an = senkf.PEnKFAnalyzerObserved(dir, dec, nil, sess.Tracer)
 		}
 	default:
-		log.Fatalf("unknown analyzer %q", *analyzer)
+		sess.Fatal(fmt.Errorf("unknown analyzer %q", *analyzer))
 	}
 
 	cfg := senkf.CycleConfig{
@@ -200,22 +160,21 @@ func main() {
 		ModelErrorSD: *modelErr,
 		Seed:         *seed,
 	}
-	var onCycle func(senkf.CycleStats)
-	if mon != nil {
-		onCycle = func(st senkf.CycleStats) {
-			mon.RecordCycle(senkf.CycleSample{
-				Cycle:           st.Cycle,
-				BackgroundRMSE:  st.BackgroundRMSE,
-				AnalysisRMSE:    st.AnalysisRMSE,
-				FreeRMSE:        st.FreeRMSE,
-				Spread:          st.Spread,
-				DegradedMembers: lastDegraded,
-			})
-		}
+	// Every cycle's outcome feeds the run ledger's per-cycle series (and,
+	// when monitored, the monitor's live series).
+	onCycle := func(st senkf.CycleStats) {
+		sess.RecordCycle(senkf.CycleSample{
+			Cycle:           st.Cycle,
+			BackgroundRMSE:  st.BackgroundRMSE,
+			AnalysisRMSE:    st.AnalysisRMSE,
+			FreeRMSE:        st.FreeRMSE,
+			Spread:          st.Spread,
+			DegradedMembers: lastDegraded,
+		})
 	}
 	history, err := senkf.RunCyclesObserved(cfg, truth, ensemble, *cycles, an, onCycle)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	fmt.Println("cycle | background RMSE | analysis RMSE | free-run RMSE | spread")
 	for _, st := range history {
@@ -226,39 +185,7 @@ func main() {
 	fmt.Printf("\nassimilation %.4f vs free run %.4f after %d cycles (%.1fx better)\n",
 		last.AnalysisRMSE, last.FreeRMSE, *cycles, last.FreeRMSE/last.AnalysisRMSE)
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := buf.WriteChrome(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d trace events to %s\n", buf.Len(), *traceOut)
-	}
-	if *counters {
-		fmt.Println("\nruntime counters:")
-		if err := reg.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if mon != nil {
-		st := mon.Status()
-		fmt.Printf("monitor: %d cycles published, %d events, %d divergences, %d watchdog verdicts\n",
-			len(st.Cycles), st.Events, st.Conformance.DivergenceCount, len(st.Verdicts))
-		for _, v := range st.Verdicts {
-			fmt.Printf("  watchdog: %s\n", v)
-		}
-		if st.FlightDump != "" {
-			fmt.Printf("  flight recorder dumped to %s\n", st.FlightDump)
-		}
-		if *metrAddr != "" && *linger > 0 {
-			fmt.Printf("monitor: serving metrics for another %s\n", *linger)
-			time.Sleep(*linger)
-		}
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -28,39 +28,38 @@ func main() {
 		members = flag.Int("members", senkf.LaptopScale.Members, "ensemble size N")
 		spread  = flag.Float64("spread", senkf.LaptopScale.Spread, "background ensemble spread")
 		seed    = flag.Uint64("seed", senkf.LaptopScale.Seed, "generation seed")
-		profile = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
+	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-gen")
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		log.Fatal("missing -dir")
 	}
-	if *profile != "" {
-		srv, err := senkf.StartProfiling(*profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
-	}
-	mesh, err := senkf.NewMesh(*nx, *ny)
+	sess, err := obs.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
+	mesh, err := senkf.NewMesh(*nx, *ny)
+	if err != nil {
+		sess.Fatal(err)
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		log.Fatalf("creating output directory: %v", err)
+		sess.Fatal(fmt.Errorf("creating output directory: %w", err))
 	}
 	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
 	fields, err := senkf.GenerateEnsemble(mesh, truth, *members, *spread, *seed)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	paths, err := senkf.WriteEnsemble(*dir, mesh, fields)
 	if err != nil {
-		log.Fatalf("writing member files (is %s writable, with enough space?): %v", *dir, err)
+		sess.Fatal(fmt.Errorf("writing member files (is %s writable, with enough space?): %w", *dir, err))
 	}
 	fmt.Printf("wrote %d members (%dx%d grid) to %s\n", len(paths), *nx, *ny, *dir)
 	fmt.Printf("first file: %s\n", paths[0])
 	before := senkf.RMSE(senkf.EnsembleMean(fields), truth)
 	fmt.Printf("background ensemble-mean RMSE vs truth: %.4f\n", before)
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
+	}
 }

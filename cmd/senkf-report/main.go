@@ -1,20 +1,32 @@
-// Command senkf-report turns a traced run into a performance report: the
-// critical path with per-phase attribution, per-class phase breakdowns and
-// overlap shares recomputed from the raw events, per-stage pipeline
-// efficiency against the ideal multi-stage overlap, and — when the trace
-// carries the tuner's prediction — model-vs-measured drift of every cost
-// term plus whether the auto-tuner would decide differently under the
-// measured coefficients.
+// Command senkf-report turns a traced run into a performance report and
+// fronts the run ledger's cross-run analytics.
+//
+// Single-run mode (the original): the critical path with per-phase
+// attribution, per-class phase breakdowns and overlap shares recomputed
+// from the raw events, per-stage pipeline efficiency against the ideal
+// multi-stage overlap, and — when the trace carries the tuner's
+// prediction — model-vs-measured drift of every cost term plus whether
+// the auto-tuner would decide differently under the measured
+// coefficients.
+//
+// Ledger mode: list, diff and trend query the archive that senkf-run,
+// senkf-cycle and senkf-bench populate via -archive.
 //
 // Usage:
 //
 //	senkf-bench -quick -trace trace.json -counters-csv counters.csv
 //	senkf-report -trace trace.json -counters counters.csv -json report.json
+//
+//	senkf-run -dir /tmp/ens -algo senkf -archive ledger
+//	senkf-report list -archive ledger
+//	senkf-report diff -archive ledger <runA> <runB>
+//	senkf-report trend -archive ledger -metric runtime
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
@@ -24,58 +36,188 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("senkf-report: ")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "list":
+			runList(os.Args[2:])
+			return
+		case "diff":
+			runDiff(os.Args[2:])
+			return
+		case "trend":
+			runTrend(os.Args[2:])
+			return
+		}
+	}
+	runSingle()
+}
+
+// runSingle is the original single-trace report mode.
+func runSingle() {
 	var (
 		traceIn  = flag.String("trace", "", "Chrome trace-event JSON file of the run (required)")
 		counters = flag.String("counters", "", "optional counters CSV (from -counters-csv) to attach")
 		jsonOut  = flag.String("json", "", "write the structured report as JSON to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the text summary (useful with -json)")
 	)
+	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-report")
 	flag.Parse()
 	if *traceIn == "" {
 		flag.Usage()
+		fmt.Fprintln(os.Stderr, "subcommands: list | diff | trend (cross-run ledger queries; see -h of each)")
 		log.Fatal("missing -trace (point it at a trace file from senkf-run/senkf-bench/senkf-cycle)")
+	}
+	sess, err := obs.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	tf, err := os.Open(*traceIn)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	events, err := senkf.ReadChromeTrace(tf)
 	tf.Close()
 	if err != nil {
-		log.Fatalf("%s: %v", *traceIn, err)
+		sess.Fatal(fmt.Errorf("%s: %v", *traceIn, err))
 	}
 
 	var cmap map[string]float64
 	if *counters != "" {
 		cf, err := os.Open(*counters)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		cmap, err = senkf.ParseCountersCSV(cf)
 		cf.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", *counters, err)
+			sess.Fatal(fmt.Errorf("%s: %v", *counters, err))
 		}
 	}
 
 	rep, err := senkf.BuildRunReport(events, cmap)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 
 	if !*quiet {
 		if err := rep.WriteText(os.Stdout); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
+		writeJSON(*jsonOut, rep)
+	}
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ledgerFlags are the flags every ledger subcommand shares.
+type ledgerFlags struct {
+	fs      *flag.FlagSet
+	archive *string
+	jsonOut *string
+}
+
+func newLedgerFlags(name string) *ledgerFlags {
+	fs := flag.NewFlagSet("senkf-report "+name, flag.ExitOnError)
+	return &ledgerFlags{
+		fs:      fs,
+		archive: fs.String("archive", "", "run-ledger directory (required; the -archive of senkf-run/senkf-cycle/senkf-bench)"),
+		jsonOut: fs.String("json", "", "write the structured result as JSON to this file instead of text to stdout"),
+	}
+}
+
+func (lf *ledgerFlags) open(args []string) *senkf.RunArchive {
+	lf.fs.Parse(args)
+	if *lf.archive == "" {
+		lf.fs.Usage()
+		log.Fatal("missing -archive (the run-ledger directory)")
+	}
+	a, err := senkf.OpenRunArchive(*lf.archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+func filterFlags(fs *flag.FlagSet) (binary, algo, substrate, outcome *string) {
+	binary = fs.String("binary", "", "only runs of this binary (e.g. senkf-run)")
+	algo = fs.String("algo", "", "only runs of this algorithm (e.g. senkf)")
+	substrate = fs.String("substrate", "", "only runs on this substrate: real | simulated")
+	outcome = fs.String("outcome", "", "only runs with this outcome: ok | error")
+	return
+}
+
+func runList(args []string) {
+	lf := newLedgerFlags("list")
+	binary, algo, substrate, outcome := filterFlags(lf.fs)
+	a := lf.open(args)
+	rows, err := a.List(senkf.RunFilter{
+		Binary: *binary, Algorithm: *algo, Substrate: *substrate, Outcome: *outcome,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lf.jsonOut != "" {
+		writeJSON(*lf.jsonOut, rows)
+		return
+	}
+	if err := senkf.WriteRunListTable(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runDiff(args []string) {
+	lf := newLedgerFlags("diff")
+	a := lf.open(args)
+	rest := lf.fs.Args()
+	if len(rest) != 2 {
+		log.Fatal("usage: senkf-report diff -archive <dir> <runA> <runB> (unique run-ID prefixes are accepted)")
+	}
+	d, err := a.DiffRuns(rest[0], rest[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lf.jsonOut != "" {
+		writeJSON(*lf.jsonOut, d)
+		return
+	}
+	if err := d.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runTrend(args []string) {
+	lf := newLedgerFlags("trend")
+	metric := lf.fs.String("metric", "runtime", "metric to trend: runtime | duration | verdicts | divergences | cycles | pipeline-efficiency | stage<N>-efficiency | a counter or gauge name")
+	tol := lf.fs.Float64("tol", 0.15, "relative regression tolerance (last run vs median of its predecessors)")
+	gate := lf.fs.Bool("gate", false, "exit non-zero when the trend regressed (for CI)")
+	binary, algo, substrate, outcome := filterFlags(lf.fs)
+	a := lf.open(args)
+	t, err := a.TrendMetric(*metric, senkf.RunFilter{
+		Binary: *binary, Algorithm: *algo, Substrate: *substrate, Outcome: *outcome,
+	}, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lf.jsonOut != "" {
+		writeJSON(*lf.jsonOut, t)
+	} else if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *gate && t.Regressed {
+		log.Fatalf("metric %s regressed beyond %.0f%%", t.Metric, 100*t.Tolerance)
+	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -32,22 +32,18 @@ func main() {
 		intensity = flag.Float64("fault-intensity", 0, "with -simulate: re-simulate the tuned schedule under a generated fault plan of this intensity (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plan")
 		explain   = flag.Bool("explain", false, "print the full Algorithm 1/2 search table: every curve, the Eq. 13 earnings rates and the ε stopping point")
-		profile   = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
+	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-tune")
 	flag.Parse()
-	if *profile != "" {
-		srv, err := senkf.StartProfiling(*profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
-	}
 	if *intensity > 0 && !*simulate {
 		log.Fatal("-fault-intensity needs -simulate (the plan is injected into the simulated schedule)")
 	}
 	if *intensity < 0 {
 		log.Fatalf("-fault-intensity must be non-negative, got %g", *intensity)
+	}
+	sess, err := obs.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	machine := senkf.DefaultMachine()
@@ -62,16 +58,16 @@ func main() {
 		var st *senkf.TuneSearchTrace
 		tuned, st, ok = senkf.AutoTuneExplained(p, *np, *eps, tc)
 		if !ok {
-			log.Fatalf("no feasible configuration for np=%d", *np)
+			sess.Fatal(fmt.Errorf("no feasible configuration for np=%d", *np))
 		}
 		if err := st.WriteTable(os.Stdout); err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		fmt.Println()
 	} else {
 		tuned, ok = senkf.AutoTuneConstrained(p, *np, *eps, tc)
 		if !ok {
-			log.Fatalf("no feasible configuration for np=%d", *np)
+			sess.Fatal(fmt.Errorf("no feasible configuration for np=%d", *np))
 		}
 	}
 	fmt.Printf("tuned for np=%d (ε=%g):\n", *np, *eps)
@@ -81,22 +77,25 @@ func main() {
 		tuned.C1, tuned.C2, tuned.C1+tuned.C2, *np)
 	fmt.Printf("  model time (Eq. 10): %.2fs\n", tuned.TTotal)
 
+	sess.Note("tuned", fmt.Sprintf("nsdx=%d nsdy=%d L=%d ncg=%d",
+		tuned.Choice.NSdx, tuned.Choice.NSdy, tuned.Choice.L, tuned.Choice.NCg))
 	if !*simulate {
+		finish(sess)
 		return
 	}
 	sres, err := senkf.SimulateSEnKF(machine, tuned.Choice)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	fmt.Printf("simulated S-EnKF: %.2fs (first stage %.2fs, %.0f%% of I/O overlapped)\n",
 		sres.Runtime, sres.FirstStage, 100*sres.OverlapFraction)
 	nsdx, nsdy, err := senkf.ChooseDecomposition(p, *np)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	pres, err := senkf.SimulatePEnKF(machine, nsdx, nsdy)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	fmt.Printf("simulated P-EnKF at np=%d: %.2fs (I/O share %.0f%%)\n",
 		*np, pres.Runtime, pres.IOPercent())
@@ -110,10 +109,17 @@ func main() {
 		})
 		fres, err := senkf.SimulateSEnKF(fm, tuned.Choice)
 		if err != nil {
-			log.Fatalf("faulted simulation: %v", err)
+			sess.Fatal(fmt.Errorf("faulted simulation: %w", err))
 		}
 		fmt.Printf("under faults (intensity %g, seed %d): %.2fs (%+.0f%%), %d member(s) dropped, %d failover(s), %d rank death(s)\n",
 			*intensity, *faultSeed, fres.Runtime, 100*(fres.Runtime/sres.Runtime-1),
 			len(fres.DroppedMembers), fres.Failovers, fres.RankDeaths)
+	}
+	finish(sess)
+}
+
+func finish(sess *senkf.RunSession) {
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -34,38 +34,34 @@ func main() {
 		ncg     = flag.Int("ncg", 2, "S-EnKF concurrent groups")
 		offGrid = flag.Bool("off-grid", false, "use off-grid (bilinear) observations")
 		seed    = flag.Uint64("seed", 7, "generation seed")
-		profile = flag.String("profile", "", "serve /debug/pprof/ on this address (e.g. localhost:6060) while running")
 	)
+	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-verify")
 	flag.Parse()
-	if *profile != "" {
-		srv, err := senkf.StartProfiling(*profile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer srv.Close()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", srv.Addr())
+	sess, err := obs.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	mesh, err := senkf.NewMesh(*nx, *ny)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	radius, err := senkf.NewRadius(*xi, *eta)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
 	bg, err := senkf.GenerateEnsemble(mesh, truth, *members, 1.5, *seed)
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	dir, err := os.MkdirTemp("", "senkf-verify")
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
 	if _, err := senkf.WriteEnsemble(dir, mesh, bg); err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 	var net *senkf.Network
 	if *offGrid {
@@ -74,7 +70,7 @@ func main() {
 		net, err = senkf.NewStridedNetwork(mesh, truth, 3, 3, 0.01, *seed)
 	}
 	if err != nil {
-		log.Fatal(err)
+		sess.Fatal(err)
 	}
 
 	failures := 0
@@ -82,11 +78,11 @@ func main() {
 		cfg := senkf.Config{Mesh: mesh, Radius: radius, N: *members, Seed: *seed, Solver: solver}
 		dec, err := senkf.NewDecomposition(mesh, *nsdx, *nsdy, radius)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		ref, err := senkf.SerialReference(cfg, bg, net)
 		if err != nil {
-			log.Fatal(err)
+			sess.Fatal(err)
 		}
 		problem := senkf.Problem{Cfg: cfg, Dir: dir, Net: net}
 
@@ -135,7 +131,10 @@ func main() {
 		})
 	}
 	if failures > 0 {
-		log.Fatalf("%d check(s) failed", failures)
+		sess.Fatal(fmt.Errorf("%d check(s) failed", failures))
 	}
 	fmt.Println("all implementations agree with the serial reference")
+	if err := sess.Finish(nil); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -41,6 +41,9 @@ func (m *Monitor) divergeLocked(format string, args ...interface{}) {
 	m.reg.Inc("monitor/divergences")
 	if len(m.divergences) < 32 {
 		m.divergences = append(m.divergences, fmt.Sprintf(format, args...))
+		if m.opts.Logger != nil {
+			m.opts.Logger.Warn("monitor: plan divergence", "detail", m.divergences[len(m.divergences)-1])
+		}
 	}
 	if m.divCount == 1 {
 		m.incidentLocked(Incident{

@@ -61,6 +61,10 @@ func (m *Monitor) incidentLocked(inc Incident, dump bool) {
 	m.incidentCount++
 	if len(m.incidents) < 64 {
 		m.incidents = append(m.incidents, inc)
+		if m.opts.Logger != nil {
+			m.opts.Logger.Warn("monitor: incident",
+				"kind", inc.Kind, "proc", inc.Proc, "detail", inc.Detail, "edge", inc.Edge)
+		}
 	}
 	m.reg.Inc("monitor/incidents")
 	if dump {
@@ -78,6 +82,11 @@ func (m *Monitor) dumpLocked(reason string) {
 	m.dumped = true
 	m.lastDump = m.ring.events()
 	m.reg.Inc("monitor/flight_dumps")
+	if m.opts.AnomalyHook != nil {
+		// On its own goroutine: the hook (pprof capture, archival) must
+		// not run under the monitor lock in the tee's drain path.
+		go m.opts.AnomalyHook(reason)
+	}
 	if m.opts.DumpPath == "" {
 		return
 	}

@@ -30,6 +30,7 @@
 package monitor
 
 import (
+	"log/slog"
 	"strings"
 	"sync"
 
@@ -54,6 +55,17 @@ type Options struct {
 	// RunRegistry, when set, is the run's own counter registry, rendered
 	// after the monitor's registry at /metrics so one scrape carries both.
 	RunRegistry *trace.Registry
+	// RunID, when set, labels the monitor's outputs with the invocation's
+	// run-ledger identity: /status carries it and /metrics exports it as
+	// the senkf_run_info{run_id="..."} info metric.
+	RunID string
+	// Logger, when set, receives structured log lines for run boundaries,
+	// incidents, watchdog verdicts and divergences.
+	Logger *slog.Logger
+	// AnomalyHook, when set, fires (once, on its own goroutine) when the
+	// flight recorder dumps — the run ledger uses it to capture pprof
+	// snapshots into the archive while the anomaly is fresh.
+	AnomalyHook func(kind string)
 }
 
 // Defaults for Options zero values.
@@ -242,6 +254,11 @@ func (m *Monitor) BeginRun(c *plan.Compiled) {
 		m.feeders[r.Name] = feeds
 	}
 	m.reg.Inc("monitor/runs")
+	if m.opts.Logger != nil {
+		m.opts.Logger.Info("monitor: run begin",
+			"algorithm", string(c.Spec.Algorithm),
+			"world_size", c.WorldSize(), "stages", c.Spec.L)
+	}
 }
 
 // EndRun drains the tee (so the monitor's view is complete), finalizes
@@ -274,9 +291,17 @@ func (m *Monitor) EndRun(err error) error {
 				m.divergeLocked("track %s incomplete: %d of %d release instants", name, st.readyCur, len(st.exp.Ready))
 			}
 		}
+		if m.opts.Logger != nil {
+			m.opts.Logger.Info("monitor: run end",
+				"events", m.events, "spans", m.spans,
+				"verdicts", len(m.verdicts), "divergences", m.divCount)
+		}
 		return nil
 	}
 
+	if m.opts.Logger != nil {
+		m.opts.Logger.Error("monitor: run failed", "err", err.Error())
+	}
 	edges := m.classifyErrorLocked(err)
 	m.dumpLocked("run error")
 	return &RunError{

@@ -1,0 +1,41 @@
+// One-shot in-process profile capture: the run ledger attaches pprof
+// snapshots to a run's archive record when the monitor's flight recorder
+// trips, so anomalies come with profiles even when nobody had a pprof
+// client attached at the time.
+
+package profiling
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// CaptureHeapProfile returns the current heap profile in pprof format
+// (after a GC, so the live set is accurate).
+func CaptureHeapProfile() ([]byte, error) {
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		return nil, fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// CaptureCPUProfile samples the CPU for d (default 500ms) and returns the
+// profile in pprof format. Errors if CPU profiling is already running —
+// e.g. a concurrent /debug/pprof/profile request.
+func CaptureCPUProfile(d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		d = 500 * time.Millisecond
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("profiling: cpu profile: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}

@@ -1,12 +1,18 @@
-// Versioned bench records and the regression gate. senkf-bench -record
-// writes BENCH_<n>.json — the deterministic virtual-clock outcomes of the
-// P-EnKF/S-EnKF suite (config, wall times, phase breakdowns, model drift)
-// — and senkf-bench -check compares a fresh run against the latest
-// committed record, failing when any run's wall time regresses beyond the
-// tolerance. Simulated runtimes are exact virtual seconds, so records are
-// machine-independent and the gate can run in CI without noise margins.
+// Package bench holds the versioned bench records and the regression
+// gate. senkf-bench -record writes BENCH_<n>.json — the deterministic
+// virtual-clock outcomes of the P-EnKF/S-EnKF suite (config, wall times,
+// phase breakdowns, model drift) — and senkf-bench -check compares a
+// fresh run against the latest committed record, failing when any run's
+// wall time regresses beyond the tolerance. Simulated runtimes are exact
+// virtual seconds, so records are machine-independent and the gate can
+// run in CI without noise margins.
+//
+// The package sits above internal/report (which stays substrate-free for
+// the run ledger's sake) because assembling a record means running the
+// simulated suite: it imports internal/figures and, through it, the
+// sim/parfs substrate.
 
-package report
+package bench
 
 import (
 	"encoding/json"
@@ -21,11 +27,11 @@ import (
 	"senkf/internal/metrics"
 )
 
-// BenchSchema is the BENCH_<n>.json schema version.
-const BenchSchema = 1
+// Schema is the BENCH_<n>.json schema version.
+const Schema = 1
 
-// BenchRun is one (algorithm, processor count) cell of a bench record.
-type BenchRun struct {
+// Run is one (algorithm, processor count) cell of a bench record.
+type Run struct {
 	Algorithm string  `json:"algorithm"`
 	NP        int     `json:"np"`
 	Runtime   float64 `json:"runtime"` // virtual seconds
@@ -38,40 +44,43 @@ type BenchRun struct {
 	Tuned *costmodel.Tuned `json:"tuned,omitempty"`
 	// Drift holds the per-term model-vs-measured comparison (S-EnKF only).
 	Drift []costmodel.TermDrift `json:"drift,omitempty"`
+	// RunID names the archived run-ledger record this cell was derived
+	// from (empty when the record was collected without an archive).
+	RunID string `json:"run_id,omitempty"`
 }
 
-func (r BenchRun) key() string { return fmt.Sprintf("%s/np%d", r.Algorithm, r.NP) }
+func (r Run) key() string { return fmt.Sprintf("%s/np%d", r.Algorithm, r.NP) }
 
-// BenchRecord is the content of one BENCH_<n>.json.
-type BenchRecord struct {
-	Version int    `json:"version"`
-	Schema  int    `json:"schema"`
+// Record is the content of one BENCH_<n>.json.
+type Record struct {
+	Version int `json:"version"`
+	Schema  int `json:"schema"`
 	// Scale names the option set ("quick" or "paper"); records of different
 	// scales are not comparable.
-	Scale string     `json:"scale"`
-	Eps   float64    `json:"eps"`
-	Runs  []BenchRun `json:"runs"`
+	Scale string  `json:"scale"`
+	Eps   float64 `json:"eps"`
+	Runs  []Run   `json:"runs"`
 }
 
-// BenchFromSuite runs the P-EnKF and S-EnKF suite at every configured
+// FromSuite runs the P-EnKF and S-EnKF suite at every configured
 // processor count and assembles the record (Version is assigned by
 // WriteRecord).
-func BenchFromSuite(s *figures.Suite, scale string) (BenchRecord, error) {
-	rec := BenchRecord{Schema: BenchSchema, Scale: scale, Eps: s.O.Eps}
+func FromSuite(s *figures.Suite, scale string) (Record, error) {
+	rec := Record{Schema: Schema, Scale: scale, Eps: s.O.Eps}
 	for _, np := range s.O.ProcCounts {
 		pres, err := s.PEnKFAt(np)
 		if err != nil {
-			return BenchRecord{}, err
+			return Record{}, err
 		}
-		rec.Runs = append(rec.Runs, BenchRun{
+		rec.Runs = append(rec.Runs, Run{
 			Algorithm: pres.Algorithm, NP: pres.NP, Runtime: pres.Runtime,
 			IO: pres.IO, Compute: pres.Compute,
 		})
 		sres, tuned, err := s.SEnKFAt(np)
 		if err != nil {
-			return BenchRecord{}, err
+			return Record{}, err
 		}
-		run := BenchRun{
+		run := Run{
 			Algorithm: sres.Algorithm, NP: sres.NP, Runtime: sres.Runtime,
 			FirstStage: sres.FirstStage, OverlapFraction: sres.OverlapFraction,
 			IO: sres.IO, Compute: sres.Compute,
@@ -94,10 +103,10 @@ func BenchFromSuite(s *figures.Suite, scale string) (BenchRecord, error) {
 	return rec, nil
 }
 
-var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+var recordName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-// benchVersions lists the record versions present in dir, ascending.
-func benchVersions(dir string) ([]int, error) {
+// versions lists the record versions present in dir, ascending.
+func versions(dir string) ([]int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -107,7 +116,7 @@ func benchVersions(dir string) ([]int, error) {
 	}
 	var vs []int
 	for _, e := range entries {
-		if m := benchName.FindStringSubmatch(e.Name()); m != nil {
+		if m := recordName.FindStringSubmatch(e.Name()); m != nil {
 			var v int
 			fmt.Sscanf(m[1], "%d", &v)
 			vs = append(vs, v)
@@ -117,26 +126,26 @@ func benchVersions(dir string) ([]int, error) {
 	return vs, nil
 }
 
-// BenchPath returns dir/BENCH_<version>.json.
-func BenchPath(dir string, version int) string {
+// Path returns dir/BENCH_<version>.json.
+func Path(dir string, version int) string {
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", version))
 }
 
 // LatestRecord loads the highest-versioned record in dir. ok is false when
 // the directory holds no records.
-func LatestRecord(dir string) (BenchRecord, string, bool, error) {
-	vs, err := benchVersions(dir)
+func LatestRecord(dir string) (Record, string, bool, error) {
+	vs, err := versions(dir)
 	if err != nil || len(vs) == 0 {
-		return BenchRecord{}, "", false, err
+		return Record{}, "", false, err
 	}
-	path := BenchPath(dir, vs[len(vs)-1])
+	path := Path(dir, vs[len(vs)-1])
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return BenchRecord{}, "", false, err
+		return Record{}, "", false, err
 	}
-	var rec BenchRecord
+	var rec Record
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return BenchRecord{}, "", false, fmt.Errorf("report: %s: %w", path, err)
+		return Record{}, "", false, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	return rec, path, true, nil
 }
@@ -144,9 +153,9 @@ func LatestRecord(dir string) (BenchRecord, string, bool, error) {
 // WriteRecord stores rec in dir as the next version (latest+1, or 1 in an
 // empty directory) unless rec.Version is already set, and returns the
 // written path.
-func WriteRecord(dir string, rec BenchRecord) (string, error) {
+func WriteRecord(dir string, rec Record) (string, error) {
 	if rec.Version == 0 {
-		vs, err := benchVersions(dir)
+		vs, err := versions(dir)
 		if err != nil {
 			return "", err
 		}
@@ -162,7 +171,7 @@ func WriteRecord(dir string, rec BenchRecord) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	path := BenchPath(dir, rec.Version)
+	path := Path(dir, rec.Version)
 	return path, os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
@@ -181,11 +190,11 @@ type RunDelta struct {
 // matched by (algorithm, np) and flagged when its wall time exceeds the
 // previous one by more than tol (relative). Records of different scales
 // are an error — their runtimes are not comparable.
-func Compare(prev, cur BenchRecord, tol float64) ([]RunDelta, error) {
+func Compare(prev, cur Record, tol float64) ([]RunDelta, error) {
 	if prev.Scale != cur.Scale {
-		return nil, fmt.Errorf("report: cannot compare scale %q against %q", cur.Scale, prev.Scale)
+		return nil, fmt.Errorf("bench: cannot compare scale %q against %q", cur.Scale, prev.Scale)
 	}
-	old := map[string]BenchRun{}
+	old := map[string]Run{}
 	for _, r := range prev.Runs {
 		old[r.key()] = r
 	}
@@ -203,7 +212,7 @@ func Compare(prev, cur BenchRecord, tol float64) ([]RunDelta, error) {
 		out = append(out, d)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("report: records share no (algorithm, np) runs")
+		return nil, fmt.Errorf("bench: records share no (algorithm, np) runs")
 	}
 	return out, nil
 }

@@ -1,4 +1,4 @@
-package report
+package bench
 
 import (
 	"testing"
@@ -16,14 +16,14 @@ func quickBenchSuite() *figures.Suite {
 
 func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 	s := quickBenchSuite()
-	rec, err := BenchFromSuite(s, "quick")
+	rec, err := FromSuite(s, "quick")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rec.Runs) != 2 {
 		t.Fatalf("got %d runs, want 2 (P-EnKF + S-EnKF)", len(rec.Runs))
 	}
-	var senkfRun *BenchRun
+	var senkfRun *Run
 	for i := range rec.Runs {
 		if rec.Runs[i].Tuned != nil {
 			senkfRun = &rec.Runs[i]
@@ -71,7 +71,7 @@ func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 
 	// A slowed-down run must trip the gate.
 	slow := rec
-	slow.Runs = append([]BenchRun(nil), rec.Runs...)
+	slow.Runs = append([]Run(nil), rec.Runs...)
 	for i := range slow.Runs {
 		slow.Runs[i].Runtime *= 1.2
 	}
@@ -84,7 +84,7 @@ func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 	}
 	// But stay quiet inside the tolerance.
 	slight := rec
-	slight.Runs = append([]BenchRun(nil), rec.Runs...)
+	slight.Runs = append([]Run(nil), rec.Runs...)
 	for i := range slight.Runs {
 		slight.Runs[i].Runtime *= 1.05
 	}
@@ -98,13 +98,13 @@ func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 }
 
 func TestCompareRejectsScaleMismatch(t *testing.T) {
-	a := BenchRecord{Scale: "quick", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
-	b := BenchRecord{Scale: "paper", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
+	a := Record{Scale: "quick", Runs: []Run{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
+	b := Record{Scale: "paper", Runs: []Run{{Algorithm: "S-EnKF", NP: 60, Runtime: 1}}}
 	if _, err := Compare(a, b, 0.15); err == nil {
 		t.Fatal("want error comparing quick against paper records")
 	}
 	// And disjoint run sets are an error, not a silent pass.
-	c := BenchRecord{Scale: "quick", Runs: []BenchRun{{Algorithm: "S-EnKF", NP: 999, Runtime: 1}}}
+	c := Record{Scale: "quick", Runs: []Run{{Algorithm: "S-EnKF", NP: 999, Runtime: 1}}}
 	if _, err := Compare(a, c, 0.15); err == nil {
 		t.Fatal("want error on records sharing no runs")
 	}

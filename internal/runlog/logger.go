@@ -1,0 +1,36 @@
+// Structured logging: one log/slog text logger per invocation, stamped
+// with the run ID, replacing the binaries' ad-hoc stderr prints so log
+// lines correlate with traces, metrics and archive records on one key.
+
+package runlog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog level. Empty means
+// info; "off" disables logging entirely (used with a Discard handler).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("runlog: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger returns a text slog.Logger on w at the given level, with
+// every line carrying the run ID.
+func NewLogger(w io.Writer, level slog.Level, runID string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("run_id", runID)
+}

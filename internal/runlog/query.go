@@ -1,0 +1,569 @@
+// Cross-run analytics over the archive: list (filterable table of
+// archived runs), diff (config/plan-hash/counter/critical-path deltas
+// with per-term Eq. 7–10 drift attribution) and trend (time-ordered
+// series of one metric across matching runs, with a regression flag like
+// the bench gate). senkf-report fronts all three.
+
+package runlog
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Filter selects archived runs for list/trend.
+type Filter struct {
+	// Binary, Algorithm, Substrate and Outcome match exactly when
+	// non-empty.
+	Binary    string
+	Algorithm string
+	Substrate string
+	Outcome   string
+}
+
+func (f Filter) match(m *Manifest) bool {
+	if f.Binary != "" && m.Binary != f.Binary {
+		return false
+	}
+	if f.Algorithm != "" && (m.Spec == nil || m.Spec.Algorithm != f.Algorithm) {
+		return false
+	}
+	if f.Substrate != "" && m.Substrate != f.Substrate {
+		return false
+	}
+	if f.Outcome != "" && m.Outcome != f.Outcome {
+		return false
+	}
+	return true
+}
+
+// Summary is one run's list row, derived from its manifest alone.
+type Summary struct {
+	RunID       string  `json:"run_id"`
+	Start       string  `json:"start_utc"`
+	Binary      string  `json:"binary"`
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Substrate   string  `json:"substrate,omitempty"`
+	Outcome     string  `json:"outcome"`
+	Runtime     float64 `json:"runtime_s,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Verdicts    int     `json:"verdicts"`
+	Divergences int     `json:"divergences"`
+	Cycles      int     `json:"cycles,omitempty"`
+}
+
+func summarize(m *Manifest) Summary {
+	s := Summary{
+		RunID: m.RunID, Start: m.Start, Binary: m.Binary,
+		Substrate: m.Substrate, Outcome: m.Outcome,
+		Runtime: m.Runtime, DurationS: m.DurationS,
+		Verdicts: m.Verdicts, Divergences: m.Divergences, Cycles: m.Cycles,
+	}
+	if m.Spec != nil {
+		s.Algorithm = m.Spec.Algorithm
+	}
+	return s
+}
+
+// List returns the filtered archived runs, ordered by start time.
+func (a *Archive) List(f Filter) ([]Summary, error) {
+	ids, err := a.IDs()
+	if err != nil {
+		return nil, err
+	}
+	var out []Summary
+	for _, id := range ids {
+		rec, err := a.Load(id)
+		if err != nil {
+			return nil, err
+		}
+		if f.match(&rec.Manifest) {
+			out = append(out, summarize(&rec.Manifest))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].RunID < out[j].RunID
+	})
+	return out, nil
+}
+
+// WriteListTable renders list rows as an aligned table.
+func WriteListTable(w io.Writer, rows []Summary) error {
+	if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-7s %9s %8s %5s\n",
+		"RUN ID", "START (UTC)", "BINARY", "ALGO", "SUBSTRATE", "OUTCOME", "RUNTIME", "VERDICTS", "DIVS"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		runtime := "-"
+		if r.Runtime > 0 {
+			runtime = fmt.Sprintf("%.3fs", r.Runtime)
+		}
+		binary := strings.TrimPrefix(r.Binary, "senkf-")
+		if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-7s %9s %8d %5d\n",
+			r.RunID, r.Start, binary, orDash(r.Algorithm), orDash(r.Substrate),
+			r.Outcome, runtime, r.Verdicts, r.Divergences); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d run(s)\n", len(rows))
+	return err
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// ConfigDelta is one differing config entry across two runs.
+type ConfigDelta struct {
+	Key string `json:"key"`
+	A   string `json:"a"`
+	B   string `json:"b"`
+}
+
+// ValueDelta is one differing numeric series across two runs.
+type ValueDelta struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"` // B − A
+}
+
+// DriftDelta compares one Eq. 7–10 drift term across two runs.
+type DriftDelta struct {
+	Term      string  `json:"term"`
+	MeasuredA float64 `json:"measured_a"`
+	MeasuredB float64 `json:"measured_b"`
+	RelErrA   float64 `json:"rel_err_a"`
+	RelErrB   float64 `json:"rel_err_b"`
+}
+
+// Diff is the structured comparison of two archived runs.
+type Diff struct {
+	RunA      string `json:"run_a"`
+	RunB      string `json:"run_b"`
+	PlanHashA string `json:"plan_hash_a,omitempty"`
+	PlanHashB string `json:"plan_hash_b,omitempty"`
+	// PlanEqual is true when both runs executed structurally identical
+	// compiled plans (equal content hashes).
+	PlanEqual bool          `json:"plan_equal"`
+	Config    []ConfigDelta `json:"config,omitempty"`
+	RuntimeA  float64       `json:"runtime_a,omitempty"`
+	RuntimeB  float64       `json:"runtime_b,omitempty"`
+	// CriticalPath holds the per-"class/phase" critical-path attribution
+	// deltas (seconds).
+	CriticalPath []ValueDelta `json:"critical_path,omitempty"`
+	// Efficiency compares the §4.2 pipeline efficiencies.
+	Efficiency *ValueDelta `json:"pipeline_efficiency,omitempty"`
+	// Drift attributes the runtime delta to the Eq. 7–10 terms.
+	Drift []DriftDelta `json:"drift,omitempty"`
+	// Counters holds the largest counter deltas (histogram buckets
+	// excluded), CountersElided the number beyond the cap.
+	Counters       []ValueDelta `json:"counters,omitempty"`
+	CountersElided int          `json:"counters_elided,omitempty"`
+}
+
+// maxCounterDeltas caps the diff's counter section.
+const maxCounterDeltas = 12
+
+// DiffRuns compares two archived runs (IDs may be unique prefixes).
+func (a *Archive) DiffRuns(idA, idB string) (*Diff, error) {
+	fullA, err := a.Resolve(idA)
+	if err != nil {
+		return nil, err
+	}
+	fullB, err := a.Resolve(idB)
+	if err != nil {
+		return nil, err
+	}
+	ra, err := a.Load(fullA)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := a.Load(fullB)
+	if err != nil {
+		return nil, err
+	}
+	ma, mb := &ra.Manifest, &rb.Manifest
+	d := &Diff{
+		RunA: fullA, RunB: fullB,
+		PlanHashA: ma.PlanHash, PlanHashB: mb.PlanHash,
+		PlanEqual: ma.PlanHash != "" && ma.PlanHash == mb.PlanHash,
+		RuntimeA:  ma.Runtime, RuntimeB: mb.Runtime,
+	}
+
+	// Config deltas over the union of keys.
+	keys := map[string]bool{}
+	for k := range ma.Config {
+		keys[k] = true
+	}
+	for k := range mb.Config {
+		keys[k] = true
+	}
+	for k := range keys {
+		va, vb := ma.Config[k], mb.Config[k]
+		if va != vb {
+			d.Config = append(d.Config, ConfigDelta{Key: k, A: va, B: vb})
+		}
+	}
+	sort.Slice(d.Config, func(i, j int) bool { return d.Config[i].Key < d.Config[j].Key })
+
+	// Report-level deltas: critical-path attribution, pipeline
+	// efficiency, per-term drift.
+	repA, err := ra.Report()
+	if err != nil {
+		return nil, err
+	}
+	repB, err := rb.Report()
+	if err != nil {
+		return nil, err
+	}
+	if repA != nil && repB != nil {
+		attr := map[string]bool{}
+		for k := range repA.CriticalPath.Attribution {
+			attr[k] = true
+		}
+		for k := range repB.CriticalPath.Attribution {
+			attr[k] = true
+		}
+		for k := range attr {
+			va, vb := repA.CriticalPath.Attribution[k], repB.CriticalPath.Attribution[k]
+			d.CriticalPath = append(d.CriticalPath, ValueDelta{Name: k, A: va, B: vb, Delta: vb - va})
+		}
+		sort.Slice(d.CriticalPath, func(i, j int) bool { return d.CriticalPath[i].Name < d.CriticalPath[j].Name })
+		d.Efficiency = &ValueDelta{
+			Name: "pipeline_efficiency",
+			A:    repA.PipelineEfficiency, B: repB.PipelineEfficiency,
+			Delta: repB.PipelineEfficiency - repA.PipelineEfficiency,
+		}
+		if repA.Model != nil && repB.Model != nil {
+			terms := map[string][2]int{}
+			for i, t := range repA.Model.Drift.Terms {
+				terms[t.Term] = [2]int{i, -1}
+			}
+			for i, t := range repB.Model.Drift.Terms {
+				if v, ok := terms[t.Term]; ok {
+					v[1] = i
+					terms[t.Term] = v
+				}
+			}
+			var names []string
+			for name, v := range terms {
+				if v[1] >= 0 {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				v := terms[name]
+				ta, tb := repA.Model.Drift.Terms[v[0]], repB.Model.Drift.Terms[v[1]]
+				d.Drift = append(d.Drift, DriftDelta{
+					Term: name, MeasuredA: ta.Measured, MeasuredB: tb.Measured,
+					RelErrA: ta.RelErr, RelErrB: tb.RelErr,
+				})
+			}
+		}
+	}
+
+	// Counter deltas, largest first, histogram buckets excluded.
+	ca, err := ra.Counters()
+	if err != nil {
+		return nil, err
+	}
+	cb, err := rb.Counters()
+	if err != nil {
+		return nil, err
+	}
+	ckeys := map[string]bool{}
+	for k := range ca {
+		ckeys[k] = true
+	}
+	for k := range cb {
+		ckeys[k] = true
+	}
+	var deltas []ValueDelta
+	for k := range ckeys {
+		if strings.Contains(k, "/le_") {
+			continue
+		}
+		va, vb := ca[k], cb[k]
+		if va != vb {
+			deltas = append(deltas, ValueDelta{Name: k, A: va, B: vb, Delta: vb - va})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		da, db := math.Abs(deltas[i].Delta), math.Abs(deltas[j].Delta)
+		if da != db {
+			return da > db
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	if len(deltas) > maxCounterDeltas {
+		d.CountersElided = len(deltas) - maxCounterDeltas
+		deltas = deltas[:maxCounterDeltas]
+	}
+	d.Counters = deltas
+	return d, nil
+}
+
+// WriteText renders the diff as a human-readable summary.
+func (d *Diff) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("diff %s -> %s\n", d.RunA, d.RunB); err != nil {
+		return err
+	}
+	switch {
+	case d.PlanEqual:
+		if err := p("  plan: identical (%s)\n", d.PlanHashA); err != nil {
+			return err
+		}
+	case d.PlanHashA != "" || d.PlanHashB != "":
+		if err := p("  plan: DIFFERENT\n    a: %s\n    b: %s\n", orDash(d.PlanHashA), orDash(d.PlanHashB)); err != nil {
+			return err
+		}
+	}
+	if d.RuntimeA > 0 && d.RuntimeB > 0 {
+		rel := (d.RuntimeB - d.RuntimeA) / d.RuntimeA
+		if err := p("  runtime: %.4gs -> %.4gs (%+.2f%%)\n", d.RuntimeA, d.RuntimeB, 100*rel); err != nil {
+			return err
+		}
+	}
+	if len(d.Config) > 0 {
+		if err := p("  config deltas:\n"); err != nil {
+			return err
+		}
+		for _, c := range d.Config {
+			if err := p("    %-18s %q -> %q\n", c.Key, c.A, c.B); err != nil {
+				return err
+			}
+		}
+	}
+	if len(d.CriticalPath) > 0 {
+		if err := p("  critical path attribution (s):\n"); err != nil {
+			return err
+		}
+		for _, v := range d.CriticalPath {
+			if err := p("    %-18s %10.4g -> %10.4g  (%+.4g)\n", v.Name, v.A, v.B, v.Delta); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Efficiency != nil {
+		if err := p("  pipeline efficiency: %.3f -> %.3f (%+.3f)\n",
+			d.Efficiency.A, d.Efficiency.B, d.Efficiency.Delta); err != nil {
+			return err
+		}
+	}
+	if len(d.Drift) > 0 {
+		if err := p("  model drift (Eq. 7-10 terms, measured s | rel err):\n"); err != nil {
+			return err
+		}
+		for _, t := range d.Drift {
+			if err := p("    %-8s %10.4g -> %10.4g | %+7.2f%% -> %+7.2f%%\n",
+				t.Term, t.MeasuredA, t.MeasuredB, 100*t.RelErrA, 100*t.RelErrB); err != nil {
+				return err
+			}
+		}
+	}
+	if len(d.Counters) > 0 {
+		if err := p("  largest counter deltas:\n"); err != nil {
+			return err
+		}
+		for _, v := range d.Counters {
+			if err := p("    %-40s %12.6g -> %12.6g  (%+.6g)\n", v.Name, v.A, v.B, v.Delta); err != nil {
+				return err
+			}
+		}
+		if d.CountersElided > 0 {
+			if err := p("    ... and %d more\n", d.CountersElided); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TrendPoint is one run's value of the trended metric.
+type TrendPoint struct {
+	RunID string  `json:"run_id"`
+	Start string  `json:"start_utc"`
+	Value float64 `json:"value"`
+}
+
+// Trend is the time-ordered series of one metric across matching runs,
+// with a simple regression verdict like the bench gate: the last run is
+// compared against the median of the preceding ones.
+type Trend struct {
+	Metric string       `json:"metric"`
+	Points []TrendPoint `json:"points"`
+	// HigherBetter flips the regression direction (efficiency metrics).
+	HigherBetter bool    `json:"higher_better"`
+	Baseline     float64 `json:"baseline"` // median of all but the last point
+	Last         float64 `json:"last"`
+	Tolerance    float64 `json:"tolerance"`
+	Regressed    bool    `json:"regressed"`
+	// Skipped counts matching runs that do not carry the metric.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// metricValue resolves one metric name against one record. ok is false
+// when the record does not carry it.
+func metricValue(rec *Record, metric string) (float64, bool, error) {
+	m := &rec.Manifest
+	switch metric {
+	case "runtime":
+		return m.Runtime, m.Runtime > 0, nil
+	case "duration":
+		return m.DurationS, true, nil
+	case "verdicts":
+		return float64(m.Verdicts), true, nil
+	case "divergences":
+		return float64(m.Divergences), true, nil
+	case "cycles":
+		return float64(m.Cycles), m.Cycles > 0, nil
+	case "pipeline-efficiency":
+		rep, err := rec.Report()
+		if err != nil || rep == nil {
+			return 0, false, err
+		}
+		return rep.PipelineEfficiency, true, nil
+	}
+	if rest, ok := strings.CutPrefix(metric, "stage"); ok {
+		if n, err := strconv.Atoi(strings.TrimSuffix(rest, "-efficiency")); err == nil {
+			rep, err := rec.Report()
+			if err != nil || rep == nil {
+				return 0, false, err
+			}
+			for _, s := range rep.Stages {
+				if s.Stage == n {
+					return s.Efficiency, true, nil
+				}
+			}
+			return 0, false, nil
+		}
+	}
+	// Counter metrics: exact flat key, or the counter/gauge shorthand.
+	counters, err := rec.Counters()
+	if err != nil || counters == nil {
+		return 0, false, err
+	}
+	for _, key := range []string{metric, "counter/" + metric + "/value", "gauge/" + metric + "/value"} {
+		if v, ok := counters[key]; ok {
+			return v, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// TrendMetric assembles the metric's series over the filtered runs and
+// flags a regression when the last run is worse than the median of its
+// predecessors by more than tol (relative). Metrics named *efficiency*
+// regress downward; everything else regresses upward.
+func (a *Archive) TrendMetric(metric string, f Filter, tol float64) (*Trend, error) {
+	if tol <= 0 {
+		tol = 0.15
+	}
+	rows, err := a.List(f)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trend{
+		Metric:       metric,
+		HigherBetter: strings.Contains(metric, "efficiency"),
+		Tolerance:    tol,
+	}
+	for _, row := range rows {
+		rec, err := a.Load(row.RunID)
+		if err != nil {
+			return nil, err
+		}
+		v, ok, err := metricValue(rec, metric)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			t.Skipped++
+			continue
+		}
+		t.Points = append(t.Points, TrendPoint{RunID: row.RunID, Start: row.Start, Value: v})
+	}
+	if len(t.Points) == 0 {
+		return nil, fmt.Errorf("runlog: no archived run carries metric %q", metric)
+	}
+	t.Last = t.Points[len(t.Points)-1].Value
+	if len(t.Points) >= 2 {
+		prev := make([]float64, len(t.Points)-1)
+		for i := range prev {
+			prev[i] = t.Points[i].Value
+		}
+		t.Baseline = median(prev)
+		if t.HigherBetter {
+			t.Regressed = t.Last < t.Baseline*(1-tol)
+		} else {
+			t.Regressed = t.Last > t.Baseline*(1+tol)
+		}
+	} else {
+		t.Baseline = t.Last
+	}
+	return t, nil
+}
+
+// WriteText renders the trend as a table plus the regression verdict.
+func (t *Trend) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trend of %s (%d runs", t.Metric, len(t.Points)); err != nil {
+		return err
+	}
+	if t.Skipped > 0 {
+		if _, err := fmt.Fprintf(w, ", %d without the metric", t.Skipped); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "):\n"); err != nil {
+		return err
+	}
+	for _, pnt := range t.Points {
+		if _, err := fmt.Fprintf(w, "  %-34s %-20s %12.6g\n", pnt.RunID, pnt.Start, pnt.Value); err != nil {
+			return err
+		}
+	}
+	if len(t.Points) < 2 {
+		_, err := fmt.Fprintln(w, "one run: no baseline to compare against")
+		return err
+	}
+	verdict := "ok"
+	if t.Regressed {
+		verdict = "REGRESSED"
+	}
+	dir := "above"
+	if t.HigherBetter {
+		dir = "below"
+	}
+	_, err := fmt.Fprintf(w, "last %.6g vs baseline median %.6g (tolerance %.0f%% %s): %s\n",
+		t.Last, t.Baseline, 100*t.Tolerance, dir, verdict)
+	return err
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,86 @@
+// Run-ledger facade: the persistent run archive, run identity, shared
+// observability flags and structured logging of internal/runlog
+// re-exported for the binaries and external users. Every invocation
+// mints a run ID; with -archive it lands a self-describing, content-
+// addressed record (manifest, counters, report, trace, monitor state,
+// per-cycle series, anomaly profiles) that senkf-report can list, diff
+// and trend across runs.
+
+package senkf
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+	"time"
+
+	"senkf/internal/report/bench"
+	"senkf/internal/runlog"
+)
+
+type (
+	// RunFlags is one binary's registered observability flag set; call
+	// Start after flag parsing to obtain the RunSession.
+	RunFlags = runlog.Flags
+	// RunSession is one invocation's observability context: run ID,
+	// structured logger, counter registry, tracer, monitor and archive.
+	RunSession = runlog.Session
+	// RunArchive is the content-addressed run ledger on disk.
+	RunArchive = runlog.Archive
+	// RunManifest is the self-describing header of one archived run.
+	RunManifest = runlog.Manifest
+	// RunRecord is one archived run loaded back from the ledger.
+	RunRecord = runlog.Record
+	// RunFilter selects archived runs for list/trend queries.
+	RunFilter = runlog.Filter
+	// RunSummary is one archived run's list row.
+	RunSummary = runlog.Summary
+	// RunDiff is the structured comparison of two archived runs.
+	RunDiff = runlog.Diff
+	// RunTrend is one metric's time-ordered series across archived runs.
+	RunTrend = runlog.Trend
+)
+
+// RegisterRunFlags installs the full observability flag set (-trace,
+// -counters, -counters-csv, -profile, -monitor, -metrics-addr,
+// -flight-recorder, -linger, -archive, -log-level) for the named binary.
+func RegisterRunFlags(fs *flag.FlagSet, binary string) *RunFlags {
+	return runlog.Register(fs, binary)
+}
+
+// RegisterBasicRunFlags installs the subset every binary carries:
+// -profile, -archive and -log-level.
+func RegisterBasicRunFlags(fs *flag.FlagSet, binary string) *RunFlags {
+	return runlog.RegisterBasic(fs, binary)
+}
+
+// OpenRunArchive opens (creating if needed) the run ledger at dir.
+func OpenRunArchive(dir string) (*RunArchive, error) { return runlog.Open(dir) }
+
+// NewRunID mints a run identity for the named binary.
+func NewRunID(binary string) string {
+	return runlog.NewRunID(binary, time.Now(), nil)
+}
+
+// NewRunLogger builds a structured logger whose every line carries the
+// run ID. level is debug | info | warn | error (empty means info).
+func NewRunLogger(w io.Writer, level string, runID string) (*slog.Logger, error) {
+	l, err := runlog.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return runlog.NewLogger(w, l, runID), nil
+}
+
+// WriteRunListTable renders archived-run list rows as an aligned table.
+func WriteRunListTable(w io.Writer, rows []RunSummary) error {
+	return runlog.WriteListTable(w, rows)
+}
+
+// CollectBenchRecordArchived is CollectBenchRecord through the run
+// ledger: every suite cell is archived as its own run record and the
+// returned bench record is reassembled from the archive, so each cell
+// carries the run ID it was derived from. log may be nil.
+func CollectBenchRecordArchived(s *FigureSuite, scale string, a *RunArchive, log *slog.Logger) (BenchRecord, error) {
+	return bench.FromSuiteArchived(s, scale, a, log)
+}

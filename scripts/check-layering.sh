@@ -40,6 +40,30 @@ for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel; d
     fi
 done
 
+# internal/runlog is the persistent run ledger: it archives what every
+# substrate produced (trace, counters, report, monitor state), so like the
+# monitor it must build on plan, trace, costmodel and report — and must
+# never import a substrate, or the ledger could only describe that
+# substrate's runs. internal/report stays substrate-free for the same
+# reason (the bench collector, which does need the simulator, lives in
+# report/bench above it).
+for pkg in senkf/internal/runlog senkf/internal/report; do
+    deps=$(go list -deps "$pkg")
+    if bad=$(grep -E "$forbidden" <<<"$deps"); then
+        echo "FAIL: $pkg must not depend on any substrate package:" >&2
+        echo "$bad" >&2
+        exit 1
+    fi
+done
+
+deps=$(go list -deps senkf/internal/runlog)
+for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel senkf/internal/report; do
+    if ! grep -qx "$need" <<<"$deps"; then
+        echo "FAIL: senkf/internal/runlog no longer builds on $need" >&2
+        exit 1
+    fi
+done
+
 # The engines must sit above the plan layer, not beside it: core and
 # schedule each depend on plan, and plan on neither.
 for eng in senkf/internal/core senkf/internal/schedule; do
@@ -49,4 +73,4 @@ for eng in senkf/internal/core senkf/internal/schedule; do
     fi
 done
 
-echo "OK: plan layer is substrate-free; core and schedule both build on it"
+echo "OK: plan, monitor, report and runlog layers are substrate-free; core and schedule build on plan"

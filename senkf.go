@@ -55,6 +55,7 @@ import (
 	"senkf/internal/plan"
 	"senkf/internal/profiling"
 	"senkf/internal/report"
+	"senkf/internal/report/bench"
 	"senkf/internal/schedule"
 	"senkf/internal/trace"
 	"senkf/internal/trace/critpath"
@@ -449,9 +450,9 @@ type (
 	// RunReport is the structured outcome of one traced run.
 	RunReport = report.Report
 	// BenchRecord is the content of one versioned BENCH_<n>.json.
-	BenchRecord = report.BenchRecord
+	BenchRecord = bench.Record
 	// BenchRunDelta compares one bench run across two records.
-	BenchRunDelta = report.RunDelta
+	BenchRunDelta = bench.RunDelta
 	// ProfileServer is a running pprof endpoint.
 	ProfileServer = profiling.Server
 )
@@ -508,29 +509,29 @@ func BuildRunReport(events []TraceEvent, counters map[string]float64) (*RunRepor
 // CollectBenchRecord runs the suite's P-EnKF/S-EnKF ladder and assembles
 // a bench record (Version is assigned when written).
 func CollectBenchRecord(s *FigureSuite, scale string) (BenchRecord, error) {
-	return report.BenchFromSuite(s, scale)
+	return bench.FromSuite(s, scale)
 }
 
 // LatestBenchRecord loads the highest-versioned BENCH_<n>.json in dir.
 func LatestBenchRecord(dir string) (BenchRecord, string, bool, error) {
-	return report.LatestRecord(dir)
+	return bench.LatestRecord(dir)
 }
 
 // WriteBenchRecord stores rec in dir as the next BENCH_<n>.json version
 // and returns the written path.
 func WriteBenchRecord(dir string, rec BenchRecord) (string, error) {
-	return report.WriteRecord(dir, rec)
+	return bench.WriteRecord(dir, rec)
 }
 
 // CompareBenchRecords matches runs by (algorithm, np) and flags wall-time
 // regressions beyond the relative tolerance.
 func CompareBenchRecords(prev, cur BenchRecord, tol float64) ([]BenchRunDelta, error) {
-	return report.Compare(prev, cur, tol)
+	return bench.Compare(prev, cur, tol)
 }
 
 // BenchRegressions filters compare deltas down to the failures.
 func BenchRegressions(deltas []BenchRunDelta) []BenchRunDelta {
-	return report.Regressions(deltas)
+	return bench.Regressions(deltas)
 }
 
 // StartProfiling serves the standard /debug/pprof/ endpoints (plus
