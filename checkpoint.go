@@ -1,0 +1,57 @@
+// Facade over internal/ckpt and internal/cycle's checkpoint machinery:
+// crash-consistent per-cycle checkpoints, resume (with fallback past
+// corrupted checkpoints), and elastic ensemble resizing between runs.
+package senkf
+
+import (
+	"senkf/internal/ckpt"
+	"senkf/internal/cycle"
+)
+
+// Checkpoint/restart types.
+type (
+	// CycleState is the complete between-cycles state of a cycled
+	// experiment; persisting it and resuming reproduces the uninterrupted
+	// run bit for bit.
+	CycleState = cycle.State
+	// CycleHook observes the state after each completed cycle.
+	CycleHook = cycle.Hook
+	// Checkpointer cuts crash-consistent checkpoints through the per-cycle
+	// hook.
+	Checkpointer = cycle.Checkpointer
+	// LoadedCheckpoint is one validated checkpoint read back from disk.
+	LoadedCheckpoint = ckpt.Loaded
+	// SkippedCheckpoint records a checkpoint rejected during Latest's scan
+	// (corrupt, truncated, or torn) and why.
+	SkippedCheckpoint = ckpt.Skipped
+)
+
+// RunCyclesFrom continues a cycled experiment from st until totalCycles
+// cycles have completed; hook (may be nil) fires after each cycle.
+func RunCyclesFrom(c CycleConfig, st CycleState, totalCycles int, analyze Analyzer, onCycle func(CycleStats), hook CycleHook) ([]CycleStats, error) {
+	return cycle.RunFrom(c, st, totalCycles, analyze, onCycle, hook)
+}
+
+// LatestCheckpoint scans dir for the newest valid checkpoint, falling back
+// past corrupted or torn ones (returned in skipped). A missing or empty
+// directory yields (nil, nil, nil).
+func LatestCheckpoint(dir string) (*LoadedCheckpoint, []SkippedCheckpoint, error) {
+	return ckpt.Latest(dir)
+}
+
+// RestoreCheckpoint converts a loaded checkpoint into a resumable state.
+func RestoreCheckpoint(l *LoadedCheckpoint) (CycleState, error) {
+	return cycle.Restore(l)
+}
+
+// ResizeEnsemble deterministically grows or shrinks an ensemble while
+// preserving its mean point-wise variance — the elastic-resume primitive.
+func ResizeEnsemble(m Mesh, fields [][]float64, newN int, seed uint64) ([][]float64, error) {
+	return ckpt.ResizeEnsemble(m, fields, newN, seed)
+}
+
+// DigestCheckpointConfig content-addresses a config map the way checkpoint
+// manifests do, so binaries can verify resume compatibility.
+func DigestCheckpointConfig(cfg map[string]string) string {
+	return ckpt.DigestConfig(cfg)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"senkf"
 )
@@ -47,6 +48,12 @@ func main() {
 
 		stragSpec = flag.String("straggler", "", "inject one straggler into every cycle's analysis, proc:factor (e.g. io/g0/r0:30)")
 		resil     = flag.Bool("resilient", false, "with -analyzer senkf: drop unreadable members instead of aborting; per-cycle degraded-member counts feed the monitor")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "cut crash-consistent checkpoints of the full cycled state into this directory")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every N cycles")
+		ckptKeep  = flag.Int("checkpoint-keep", 3, "retain the newest K checkpoints (0 keeps all)")
+		resume    = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (falls back past corrupted ones)")
+		killAfter = flag.Int("kill-after-cycle", -1, "fault injection: kill the process (exit 137, no graceful landing) right after this cycle's checkpoint")
 	)
 	obs := senkf.RegisterRunFlags(flag.CommandLine, "senkf-cycle")
 	flag.Parse()
@@ -58,6 +65,12 @@ func main() {
 	}
 	if *resil && *analyzer != "senkf" {
 		log.Fatalf("-resilient only applies to -analyzer senkf (got -analyzer %s)", *analyzer)
+	}
+	if (*resume || *killAfter >= 0) && *ckptDir == "" {
+		log.Fatal("-resume and -kill-after-cycle need -checkpoint-dir")
+	}
+	if *ckptEvery <= 0 {
+		log.Fatal("-checkpoint-every must be positive")
 	}
 
 	sess, err := obs.Start()
@@ -91,6 +104,70 @@ func main() {
 		}
 		fp = &senkf.FaultPlan{Stragglers: []senkf.Straggler{s}}
 		sess.SetFaults(fp)
+	}
+	if *killAfter >= 0 {
+		if fp == nil {
+			fp = &senkf.FaultPlan{}
+		}
+		fp.Crash = &senkf.CycleCrash{Cycle: *killAfter}
+		sess.SetFaults(fp)
+	}
+
+	// ckptCfg is the experiment identity a checkpoint must match to be
+	// resumable: the physics, geometry and seeding — deliberately NOT the
+	// member count (ensembles are elastic across resumes) and not the
+	// analyzer (all analyzers produce identical statistics).
+	ckptCfg := map[string]string{
+		"nx": strconv.Itoa(*nx), "ny": strconv.Itoa(*ny),
+		"xi": strconv.Itoa(*xi), "eta": strconv.Itoa(*eta),
+		"steps": strconv.Itoa(*steps),
+		"cx":    fmt.Sprintf("%g", *cx), "cy": fmt.Sprintf("%g", *cy),
+		"nu":      fmt.Sprintf("%g", *nu),
+		"obs-var": fmt.Sprintf("%g", *obsVar), "model-error": fmt.Sprintf("%g", *modelErr),
+		"inflation":    fmt.Sprintf("%g", *inflate),
+		"obs-stride-x": "2", "obs-stride-y": "2",
+		"seed": strconv.FormatUint(*seed, 10),
+	}
+
+	st := senkf.CycleState{Truth: truth, Ensemble: ensemble}
+	if *resume {
+		l, skipped, err := senkf.LatestCheckpoint(*ckptDir)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		for _, sk := range skipped {
+			sess.Log.Warn("skipped invalid checkpoint", "path", sk.Path, "err", sk.Err.Error())
+		}
+		if l == nil {
+			sess.Fatal(fmt.Errorf("no valid checkpoint in %s", *ckptDir))
+		}
+		if d := senkf.DigestCheckpointConfig(ckptCfg); l.Manifest.ConfigDigest != d {
+			sess.Fatal(fmt.Errorf("checkpoint %s was cut under a different experiment config (digest %s, flags give %s)",
+				l.Dir, l.Manifest.ConfigDigest, d))
+		}
+		st, err = senkf.RestoreCheckpoint(l)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		if st.NextCycle >= *cycles {
+			sess.Fatal(fmt.Errorf("checkpoint already covers cycle %d; -cycles %d leaves nothing to resume", st.NextCycle-1, *cycles))
+		}
+		// Elastic resume: a different -members resamples both ensembles
+		// deterministically, preserving the mean point-wise variance.
+		if *members != len(st.Ensemble) {
+			was := len(st.Ensemble)
+			st.Ensemble, err = senkf.ResizeEnsemble(mesh, st.Ensemble, *members, *seed^0xE15A57)
+			if err != nil {
+				sess.Fatal(err)
+			}
+			st.Free, err = senkf.ResizeEnsemble(mesh, st.Free, *members, *seed^0xF2EE)
+			if err != nil {
+				sess.Fatal(err)
+			}
+			sess.Note("resized-from", strconv.Itoa(was))
+			sess.Log.Info("elastic resume", "members_was", was, "members_now", *members)
+		}
+		sess.SetParent(l.State.RunID, st.NextCycle)
 	}
 
 	// lastDegraded carries each cycle's dropped-member count from the
@@ -172,7 +249,38 @@ func main() {
 			DegradedMembers: lastDegraded,
 		})
 	}
-	history, err := senkf.RunCyclesObserved(cfg, truth, ensemble, *cycles, an, onCycle)
+	// Checkpoint hook chain: cut checkpoints on cadence, then (fault
+	// injection) kill the process at the requested boundary — after the
+	// checkpoint, so the crash is exactly what resume must survive.
+	var hook senkf.CycleHook
+	if *ckptDir != "" {
+		cp := &senkf.Checkpointer{
+			Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep,
+			Seed: *seed, Config: ckptCfg,
+			PlanHash: sess.PlanHash(), RunID: sess.RunID,
+		}
+		cpHook := cp.Hook(cfg)
+		// A graceful SIGINT/SIGTERM cuts a final checkpoint before the
+		// session lands, so an interrupted run loses nothing.
+		sess.OnInterrupt(func() {
+			if err := cp.Flush(); err != nil {
+				sess.Log.Error("final checkpoint failed", "err", err.Error())
+			} else if c := cp.LastCycle(); c >= 0 {
+				sess.Log.Info("final checkpoint cut", "cycle", c)
+			}
+		})
+		hook = func(st senkf.CycleState) error {
+			if err := cpHook(st); err != nil {
+				return err
+			}
+			if fp.CrashAfter(st.NextCycle - 1) {
+				sess.Log.Error("fault injection: killing process", "cycle", st.NextCycle-1)
+				os.Exit(137) // no graceful landing — a real crash
+			}
+			return nil
+		}
+	}
+	history, err := senkf.RunCyclesFrom(cfg, st, *cycles, an, onCycle, hook)
 	if err != nil {
 		sess.Fatal(err)
 	}

@@ -1,0 +1,123 @@
+// Elastic ensembles: between cycles the member pool may grow or shrink
+// (Friedemann & Raffin's runners added and removed mid-study). Shrinking
+// drops the tail members and reweights the survivors' deviations by
+// sqrt((N−1)/(N'−1)) — the same variance-preserving inflation the
+// resilient S-EnKF applies when members are lost to faults. Growing
+// resamples: each new member clones an existing member's deviation and
+// adds an independent smooth perturbation (so the new deviations are not
+// rank-deficient copies), then ALL deviations are reweighted by one
+// global factor so the ensemble's mean point-wise variance is exactly
+// preserved — growth changes the sampling, not the spread. Both
+// directions are deterministic in (fields, newN, seed).
+
+package ckpt
+
+import (
+	"fmt"
+	"math"
+
+	"senkf/internal/grid"
+	"senkf/internal/workload"
+)
+
+// ResizeEnsemble returns a deterministic resampling of fields with newN
+// members. The input is never mutated; newN == len(fields) returns a deep
+// copy.
+func ResizeEnsemble(m grid.Mesh, fields [][]float64, newN int, seed uint64) ([][]float64, error) {
+	n := len(fields)
+	if n < 2 {
+		return nil, fmt.Errorf("ckpt: resize of %d-member ensemble", n)
+	}
+	if newN < 2 {
+		return nil, fmt.Errorf("ckpt: resize to %d members (need at least 2)", newN)
+	}
+	pts := m.Points()
+	for k, f := range fields {
+		if len(f) != pts {
+			return nil, fmt.Errorf("ckpt: member %d has %d points, mesh has %d", k, len(f), pts)
+		}
+	}
+	out := make([][]float64, newN)
+	for k := 0; k < min(n, newN); k++ {
+		out[k] = append([]float64(nil), fields[k]...)
+	}
+	if newN == n {
+		return out, nil
+	}
+
+	before := meanVariance(fields)
+	if newN < n {
+		// Shrink: drop the tail, reweight survivors about their own mean
+		// (PR 2's sqrt((N−1)/(N'−1)) unbiased-normalisation factor).
+		factor := math.Sqrt(float64(n-1) / float64(newN-1))
+		reweight(out, factor)
+		return out, nil
+	}
+
+	// Grow: resample deviations cyclically, perturb each clone with an
+	// independent smooth field scaled to the ensemble's own spread.
+	sd := math.Sqrt(before)
+	if sd == 0 {
+		sd = 1e-8 // degenerate spread: perturbations still break the ties
+	}
+	for k := n; k < newN; k++ {
+		base := fields[k%n]
+		noise := workload.SmoothNoise(m, 0.5*sd, seed, 0xE1A5, k)
+		f := make([]float64, pts)
+		for i := range f {
+			f[i] = base[i] + noise[i]
+		}
+		out[k] = f
+	}
+	// Inflation-reweight: one global factor restores the pre-resize mean
+	// point-wise variance exactly.
+	after := meanVariance(out)
+	if after > 0 && before > 0 {
+		reweight(out, math.Sqrt(before/after))
+	}
+	return out, nil
+}
+
+// ensembleMean returns the point-wise ensemble mean.
+func ensembleMean(fields [][]float64) []float64 {
+	mean := make([]float64, len(fields[0]))
+	for _, f := range fields {
+		for i, v := range f {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(fields))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	return mean
+}
+
+// meanVariance returns the mean point-wise unbiased sample variance.
+func meanVariance(fields [][]float64) float64 {
+	n := len(fields)
+	if n < 2 {
+		return 0
+	}
+	mean := ensembleMean(fields)
+	var total float64
+	for i := range mean {
+		var v float64
+		for k := 0; k < n; k++ {
+			d := fields[k][i] - mean[i]
+			v += d * d
+		}
+		total += v / float64(n-1)
+	}
+	return total / float64(len(mean))
+}
+
+// reweight scales every member's deviation about the ensemble mean.
+func reweight(fields [][]float64, factor float64) {
+	mean := ensembleMean(fields)
+	for _, f := range fields {
+		for i := range f {
+			f[i] = mean[i] + factor*(f[i]-mean[i])
+		}
+	}
+}

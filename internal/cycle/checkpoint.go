@@ -1,0 +1,135 @@
+package cycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"senkf/internal/ckpt"
+	"senkf/internal/grid"
+)
+
+// Checkpointer cuts crash-consistent checkpoints of a cycled experiment
+// through the per-cycle Hook. Every cycle's post-analysis state is held as
+// the pending snapshot; every Every cycles (default 1) it is written to Dir
+// via ckpt.Write and old checkpoints are pruned to the newest Keep (0 keeps
+// all). Flush writes the pending snapshot immediately — the graceful-
+// shutdown path, so an interrupted run loses at most the in-flight cycle.
+type Checkpointer struct {
+	Dir      string
+	Every    int
+	Keep     int
+	Seed     uint64
+	Config   map[string]string
+	PlanHash string
+	RunID    string
+
+	mu      sync.Mutex
+	mesh    grid.Mesh
+	pending *ckpt.State
+	written bool
+	last    int // cycle of the last written checkpoint
+}
+
+// snapshot deep-copies st into a checkpoint state: the run loop keeps
+// mutating the live slices, and Flush may fire from a signal handler.
+func (cp *Checkpointer) snapshot(st State) (*ckpt.State, error) {
+	hist, err := json.Marshal(st.History)
+	if err != nil {
+		return nil, fmt.Errorf("cycle: marshal history: %w", err)
+	}
+	s := &ckpt.State{
+		Cycle:    st.NextCycle - 1,
+		Truth:    append([]float64(nil), st.Truth...),
+		Ensemble: make([][]float64, len(st.Ensemble)),
+		Free:     make([][]float64, len(st.Free)),
+		History:  hist,
+		Seed:     cp.Seed,
+		Config:   cp.Config,
+		PlanHash: cp.PlanHash,
+		RunID:    cp.RunID,
+	}
+	for k := range st.Ensemble {
+		s.Ensemble[k] = append([]float64(nil), st.Ensemble[k]...)
+	}
+	for k := range st.Free {
+		s.Free[k] = append([]float64(nil), st.Free[k]...)
+	}
+	return s, nil
+}
+
+// Hook returns the per-cycle hook that drives this checkpointer.
+func (cp *Checkpointer) Hook(c Config) Hook {
+	cp.mu.Lock()
+	cp.mesh = c.Enkf.Mesh
+	cp.mu.Unlock()
+	return func(st State) error {
+		snap, err := cp.snapshot(st)
+		if err != nil {
+			return err
+		}
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		cp.pending = snap
+		every := cp.Every
+		if every <= 0 {
+			every = 1
+		}
+		if st.NextCycle%every != 0 {
+			return nil
+		}
+		return cp.writeLocked()
+	}
+}
+
+// Flush writes the pending snapshot if it is newer than the last checkpoint
+// on disk. Safe to call from a signal handler concurrently with the run.
+func (cp *Checkpointer) Flush() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.writeLocked()
+}
+
+// LastCycle returns the cycle of the most recent checkpoint written, or −1.
+func (cp *Checkpointer) LastCycle() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if !cp.written {
+		return -1
+	}
+	return cp.last
+}
+
+func (cp *Checkpointer) writeLocked() error {
+	if cp.pending == nil || (cp.written && cp.pending.Cycle == cp.last) {
+		return nil
+	}
+	if _, err := ckpt.Write(cp.Dir, cp.mesh, *cp.pending); err != nil {
+		return err
+	}
+	cp.written, cp.last = true, cp.pending.Cycle
+	if cp.Keep > 0 {
+		if err := ckpt.Prune(cp.Dir, cp.Keep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore converts a loaded checkpoint back into a resumable run state.
+// The returned state resumes at the cycle after the checkpointed one.
+func Restore(l *ckpt.Loaded) (State, error) {
+	var history []Stats
+	if len(l.State.History) > 0 {
+		if err := json.Unmarshal(l.State.History, &history); err != nil {
+			return State{}, fmt.Errorf("cycle: checkpoint history: %w", err)
+		}
+	}
+	return State{
+		NextCycle: l.State.Cycle + 1,
+		Truth:     l.State.Truth,
+		Ensemble:  l.State.Ensemble,
+		Free:      l.State.Free,
+		History:   history,
+	}, nil
+}

@@ -114,6 +114,27 @@ func spread(fields [][]float64) float64 {
 	return total / float64(pts)
 }
 
+// State is the complete between-cycles state of a cycled experiment: with
+// the Config it determines every remaining cycle exactly (all per-cycle
+// randomness is keyed by Config.Seed and the cycle index), so persisting a
+// State and resuming from it reproduces the uninterrupted run bit for bit.
+type State struct {
+	// NextCycle is the index of the first cycle still to run.
+	NextCycle int
+	Truth     []float64
+	Ensemble  [][]float64
+	// Free is the no-assimilation control ensemble; nil means "start a
+	// fresh control as a copy of Ensemble" (the cycle-0 convention).
+	Free    [][]float64
+	History []Stats
+}
+
+// Hook observes the state after each completed cycle — the checkpoint
+// cut-point. The State's slices are live; the hook must not mutate them. A
+// non-nil error aborts the run (so tests can simulate a crash at an exact
+// cycle boundary).
+type Hook func(State) error
+
 // Run performs the given number of forecast–analysis cycles starting from
 // truth0 and ensemble0, and returns per-cycle statistics. A free-running
 // copy of the ensemble (never assimilating) is propagated alongside as the
@@ -126,28 +147,47 @@ func Run(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze 
 // after each cycle's statistics are recorded, so a live monitor can
 // publish per-cycle series while the experiment is still running.
 func RunObserved(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, analyze Analyzer, onCycle func(Stats)) ([]Stats, error) {
+	st := State{Truth: truth0, Ensemble: ensemble0}
+	return RunFrom(c, st, cycles, analyze, onCycle, nil)
+}
+
+// RunFrom continues a cycled experiment from st until totalCycles cycles
+// have completed (totalCycles counts from the experiment's origin, not from
+// the resume point). The input state is never mutated. hook (may be nil)
+// fires after each cycle with the post-analysis state.
+func RunFrom(c Config, st State, totalCycles int, analyze Analyzer, onCycle func(Stats), hook Hook) ([]Stats, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	if cycles <= 0 {
-		return nil, fmt.Errorf("cycle: cycle count must be positive, got %d", cycles)
+	if totalCycles <= 0 {
+		return nil, fmt.Errorf("cycle: cycle count must be positive, got %d", totalCycles)
 	}
 	if analyze == nil {
 		return nil, fmt.Errorf("cycle: nil analyzer")
 	}
-	if len(ensemble0) != c.Enkf.N {
-		return nil, fmt.Errorf("cycle: ensemble has %d members, config says %d", len(ensemble0), c.Enkf.N)
+	if st.NextCycle < 0 || st.NextCycle >= totalCycles {
+		return nil, fmt.Errorf("cycle: resume cycle %d outside [0,%d)", st.NextCycle, totalCycles)
 	}
-	truth := append([]float64(nil), truth0...)
-	ensemble := make([][]float64, len(ensemble0))
-	free := make([][]float64, len(ensemble0))
-	for k := range ensemble0 {
-		ensemble[k] = append([]float64(nil), ensemble0[k]...)
-		free[k] = append([]float64(nil), ensemble0[k]...)
+	if len(st.Ensemble) != c.Enkf.N {
+		return nil, fmt.Errorf("cycle: ensemble has %d members, config says %d", len(st.Ensemble), c.Enkf.N)
+	}
+	if st.Free != nil && len(st.Free) != len(st.Ensemble) {
+		return nil, fmt.Errorf("cycle: control ensemble has %d members, assimilating has %d", len(st.Free), len(st.Ensemble))
+	}
+	truth := append([]float64(nil), st.Truth...)
+	ensemble := make([][]float64, len(st.Ensemble))
+	free := make([][]float64, len(st.Ensemble))
+	for k := range st.Ensemble {
+		ensemble[k] = append([]float64(nil), st.Ensemble[k]...)
+		src := st.Ensemble[k]
+		if st.Free != nil {
+			src = st.Free[k]
+		}
+		free[k] = append([]float64(nil), src...)
 	}
 
-	var history []Stats
-	for i := 0; i < cycles; i++ {
+	history := append([]Stats(nil), st.History...)
+	for i := st.NextCycle; i < totalCycles; i++ {
 		// Forecast: truth, assimilating ensemble, and the free control.
 		var err error
 		truth, err = c.Model.Run(truth, c.StepsPerCycle)
@@ -191,6 +231,11 @@ func RunObserved(c Config, truth0 []float64, ensemble0 [][]float64, cycles int, 
 		history = append(history, st)
 		if onCycle != nil {
 			onCycle(st)
+		}
+		if hook != nil {
+			if err := hook(State{NextCycle: i + 1, Truth: truth, Ensemble: ensemble, Free: free, History: history}); err != nil {
+				return history, fmt.Errorf("cycle %d: hook: %w", i, err)
+			}
 		}
 	}
 	return history, nil

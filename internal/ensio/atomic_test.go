@@ -1,0 +1,167 @@
+package ensio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"senkf/internal/grid"
+)
+
+// field returns a deterministic nx×ny test field keyed by k.
+func testField(nx, ny, k int) []float64 {
+	f := make([]float64, nx*ny)
+	for i := range f {
+		f[i] = float64(k*1000 + i)
+	}
+	return f
+}
+
+// TestWriteMemberAtomicReplace overwrites an existing member and checks
+// the new content landed and no staging temp files linger.
+func TestWriteMemberAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := MemberPath(dir, 0)
+	h := Header{NX: 6, NY: 4, Member: 0}
+	if err := WriteMember(path, h, testField(6, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := testField(6, 4, 2)
+	if err := WriteMember(path, h, want); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := OpenMemberOpts(path, OpenOptions{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	got, err := mf.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteMemberFailureLeavesNoTemp forces the final rename to fail (the
+// target path is a directory) and checks the staged temp file is cleaned
+// up — a failed write never litters the ensemble directory.
+func TestWriteMemberFailureLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := MemberPath(dir, 0)
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMember(path, Header{NX: 4, NY: 3, Member: 0}, testField(4, 3, 0)); err == nil {
+		t.Fatal("WriteMember over a directory succeeded")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteMemberLevelsAtomicReplace is the multi-level twin.
+func TestWriteMemberLevelsAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	m := grid.Mesh{NX: 5, NY: 3}
+	path := MemberPath(dir, 2)
+	h := Header{NX: m.NX, NY: m.NY, Member: 2}
+	if err := WriteMemberLevels(path, h, [][]float64{testField(5, 3, 0), testField(5, 3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{testField(5, 3, 7), testField(5, 3, 8)}
+	if err := WriteMemberLevels(path, h, want); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := OpenMemberOpts(path, OpenOptions{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	got, err := mf.ReadBarLevels(0, m.NY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range want {
+		for i := range want[l] {
+			if got[l][i] != want[l][i] {
+				t.Fatalf("level %d point %d: got %g want %g", l, i, got[l][i], want[l][i])
+			}
+		}
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if ok, _ := filepath.Match(".*.tmp-*", e.Name()); ok {
+			t.Fatalf("staging temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestRetryBackoffCap pins the capped exponential schedule: without
+// jitter the waits double up to MaxBackoff and stay there.
+func TestRetryBackoffCap(t *testing.T) {
+	r := RetryPolicy{Attempts: 8, Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := r.wait(0, i+1); got != w*time.Millisecond {
+			t.Errorf("retry %d: wait %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// The default cap bounds the former unbounded doubling at 8×Backoff.
+	def := RetryPolicy{Attempts: 32, Backoff: time.Millisecond}
+	if got, limit := def.wait(0, 30), 8*time.Millisecond; got != limit {
+		t.Errorf("default cap: wait %v, want %v", got, limit)
+	}
+}
+
+// TestRetryBackoffJitterDeterministic pins the seeded jitter: same seed
+// replays the same waits, every wait stays within [base/2, base), and
+// different members desynchronize.
+func TestRetryBackoffJitterDeterministic(t *testing.T) {
+	r := RetryPolicy{Attempts: 5, Backoff: 16 * time.Millisecond, MaxBackoff: 64 * time.Millisecond, JitterSeed: 42}
+	base := []time.Duration{16, 32, 64, 64}
+	var first []time.Duration
+	for i := range base {
+		d := r.wait(3, i+1)
+		lo, hi := base[i]*time.Millisecond/2, base[i]*time.Millisecond
+		if d < lo || d >= hi {
+			t.Errorf("retry %d: jittered wait %v outside [%v, %v)", i+1, d, lo, hi)
+		}
+		first = append(first, d)
+	}
+	for i := range base {
+		if d := r.wait(3, i+1); d != first[i] {
+			t.Errorf("retry %d: jitter not deterministic: %v then %v", i+1, first[i], d)
+		}
+	}
+	diverged := false
+	for i := range base {
+		if r.wait(4, i+1) != first[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("jitter identical across members — seed not keyed by member")
+	}
+}
+
+// TestRetryWaitZeroBackoff keeps the test-friendly zero policy waitless.
+func TestRetryWaitZeroBackoff(t *testing.T) {
+	r := RetryPolicy{Attempts: 5, JitterSeed: 9}
+	for i := 1; i < 5; i++ {
+		if d := r.wait(0, i); d != 0 {
+			t.Fatalf("zero backoff policy waited %v", d)
+		}
+	}
+}

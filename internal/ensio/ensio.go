@@ -96,7 +96,48 @@ func putHeader(h Header, levels int, checksum uint64) []byte {
 	return hdr
 }
 
-// WriteMember writes one background ensemble member to path.
+// atomicCreate writes a member file crash-consistently: the content is
+// staged into a hidden temp file in the same directory, synced to stable
+// storage, and renamed over path in one atomic step — a crash mid-write
+// can leave a stale temp file behind, but never a partial file behind a
+// valid member path. (Durability of the rename itself is the caller's
+// concern: checkpoint writers fsync the containing directory once after
+// staging a whole ensemble.)
+func atomicCreate(path string, write func(f *os.File) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ensio: create: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err := write(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("ensio: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ensio: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ensio: rename: %w", err)
+	}
+	tmp = ""
+	return nil
+}
+
+// WriteMember writes one background ensemble member to path. The write is
+// atomic: readers racing the writer (and crashes mid-write) see either the
+// previous complete file or the new one, never a torn member.
 func WriteMember(path string, h Header, field []float64) error {
 	if h.NX <= 0 || h.NY <= 0 {
 		return fmt.Errorf("ensio: invalid dimensions %dx%d", h.NX, h.NY)
@@ -104,37 +145,31 @@ func WriteMember(path string, h Header, field []float64) error {
 	if len(field) != h.NX*h.NY {
 		return fmt.Errorf("ensio: field has %d points, header says %d", len(field), h.NX*h.NY)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("ensio: create: %w", err)
-	}
-	defer f.Close()
-	// Header first with a zero checksum, patched after the payload has
-	// been streamed through the CRC.
-	if _, err := f.Write(putHeader(h, 1, 0)); err != nil {
-		return fmt.Errorf("ensio: write header: %w", err)
-	}
-	crc := crc64.New(crcTable)
-	buf := make([]byte, 8*h.NX)
-	for y := 0; y < h.NY; y++ {
-		row := field[y*h.NX : (y+1)*h.NX]
-		for i, v := range row {
-			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	return atomicCreate(path, func(f *os.File) error {
+		// Header first with a zero checksum, patched after the payload has
+		// been streamed through the CRC.
+		if _, err := f.Write(putHeader(h, 1, 0)); err != nil {
+			return fmt.Errorf("ensio: write header: %w", err)
 		}
-		crc.Write(buf)
-		if _, err := f.Write(buf); err != nil {
-			return fmt.Errorf("ensio: write row %d: %w", y, err)
+		crc := crc64.New(crcTable)
+		buf := make([]byte, 8*h.NX)
+		for y := 0; y < h.NY; y++ {
+			row := field[y*h.NX : (y+1)*h.NX]
+			for i, v := range row {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			crc.Write(buf)
+			if _, err := f.Write(buf); err != nil {
+				return fmt.Errorf("ensio: write row %d: %w", y, err)
+			}
 		}
-	}
-	var sum [8]byte
-	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
-	if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
-		return fmt.Errorf("ensio: write checksum: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("ensio: sync: %w", err)
-	}
-	return nil
+		var sum [8]byte
+		binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+		if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
+			return fmt.Errorf("ensio: write checksum: %w", err)
+		}
+		return nil
+	})
 }
 
 // WriteEnsemble writes all members of an ensemble into dir using the
@@ -162,9 +197,20 @@ type RetryPolicy struct {
 	// Attempts is the total attempt budget per operation (first try
 	// included); values below 1 mean a single attempt (no retry).
 	Attempts int
-	// Backoff is the wait before the first retry; it doubles per retry.
-	// Zero disables waiting (useful in tests).
+	// Backoff is the wait before the first retry; it doubles per retry up
+	// to MaxBackoff. Zero disables waiting (useful in tests).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth of the per-retry wait; 0
+	// applies the default cap of 8×Backoff (the wait used to double
+	// unbounded, which under a large attempt budget turns a transient
+	// stall into a multi-minute one).
+	MaxBackoff time.Duration
+	// JitterSeed, when non-zero, scales every wait by a deterministic
+	// pseudo-random factor in [0.5, 1) keyed by (seed, member, retry):
+	// concurrent readers retrying the same storage target desynchronize
+	// instead of hammering it in lockstep, and a test seed replays the
+	// exact wait sequence.
+	JitterSeed uint64
 }
 
 func (r RetryPolicy) attempts() int {
@@ -172,6 +218,37 @@ func (r RetryPolicy) attempts() int {
 		return 1
 	}
 	return r.Attempts
+}
+
+// wait returns the backoff before retry number `retry` (1-based) of an
+// operation on the given member: Backoff doubled per prior retry, capped,
+// then jittered when a seed is set.
+func (r RetryPolicy) wait(member, retry int) time.Duration {
+	if r.Backoff <= 0 || retry < 1 {
+		return 0
+	}
+	limit := r.MaxBackoff
+	if limit <= 0 {
+		limit = 8 * r.Backoff
+	}
+	d := r.Backoff
+	for i := 1; i < retry && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	if r.JitterSeed != 0 {
+		x := r.JitterSeed ^ uint64(member)<<32 ^ uint64(retry)
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		frac := float64(z>>11) / float64(1<<53) // uniform [0, 1)
+		d = time.Duration(float64(d) * (0.5 + 0.5*frac))
+	}
+	return d
 }
 
 // transient is the marker interface of retryable errors.
@@ -309,17 +386,15 @@ func (e *CorruptionError) Error() string {
 }
 
 // withRetry runs op under the file's retry policy: transient errors are
-// retried with doubling backoff until the attempt budget is exhausted;
-// permanent errors abort immediately.
+// retried with capped, optionally jittered exponential backoff until the
+// attempt budget is exhausted; permanent errors abort immediately.
 func (m *MemberFile) withRetry(opName string, op func() error) error {
 	attempts := m.retry.attempts()
-	backoff := m.retry.Backoff
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			if backoff > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
+			if d := m.retry.wait(m.Header.Member, a); d > 0 {
+				time.Sleep(d)
 			}
 			m.stats.Retries++
 		}

@@ -46,38 +46,34 @@ func WriteMemberLevels(path string, h Header, levels [][]float64) error {
 		}
 	}
 	h.Levels = len(levels)
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("ensio: create: %w", err)
-	}
-	defer f.Close()
-	if _, err := f.Write(putHeader(h, h.Levels, 0)); err != nil {
-		return fmt.Errorf("ensio: write header: %w", err)
-	}
-	crc := crc64.New(crcTable)
-	nl := h.Levels
-	buf := make([]byte, 8*h.NX*nl)
-	for y := 0; y < h.NY; y++ {
-		for x := 0; x < h.NX; x++ {
-			for l := 0; l < nl; l++ {
-				v := levels[l][y*h.NX+x]
-				binary.LittleEndian.PutUint64(buf[8*(x*nl+l):], math.Float64bits(v))
+	// Staged and renamed like WriteMember: a crash mid-write never leaves
+	// a torn multi-level member behind a valid path.
+	return atomicCreate(path, func(f *os.File) error {
+		if _, err := f.Write(putHeader(h, h.Levels, 0)); err != nil {
+			return fmt.Errorf("ensio: write header: %w", err)
+		}
+		crc := crc64.New(crcTable)
+		nl := h.Levels
+		buf := make([]byte, 8*h.NX*nl)
+		for y := 0; y < h.NY; y++ {
+			for x := 0; x < h.NX; x++ {
+				for l := 0; l < nl; l++ {
+					v := levels[l][y*h.NX+x]
+					binary.LittleEndian.PutUint64(buf[8*(x*nl+l):], math.Float64bits(v))
+				}
+			}
+			crc.Write(buf)
+			if _, err := f.Write(buf); err != nil {
+				return fmt.Errorf("ensio: write row %d: %w", y, err)
 			}
 		}
-		crc.Write(buf)
-		if _, err := f.Write(buf); err != nil {
-			return fmt.Errorf("ensio: write row %d: %w", y, err)
+		var sum [8]byte
+		binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
+		if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
+			return fmt.Errorf("ensio: write checksum: %w", err)
 		}
-	}
-	var sum [8]byte
-	binary.LittleEndian.PutUint64(sum[:], crc.Sum64())
-	if _, err := f.WriteAt(sum[:], checksumOffset); err != nil {
-		return fmt.Errorf("ensio: write checksum: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("ensio: sync: %w", err)
-	}
-	return nil
+		return nil
+	})
 }
 
 // WriteEnsembleLevels writes a multi-level ensemble: members[k][l] is

@@ -114,6 +114,14 @@ type RankDeath struct {
 	At            float64
 }
 
+// CycleCrash kills the whole process at a cycle boundary of a cycled
+// experiment: right after cycle Cycle's analysis (and its checkpoint, when
+// checkpointing is on) the process exits without any graceful landing — the
+// harshest fault the checkpoint/resume machinery must survive.
+type CycleCrash struct {
+	Cycle int
+}
+
 // Plan is a deterministic, seeded fault scenario. The zero value (and a
 // nil *Plan) injects nothing.
 type Plan struct {
@@ -122,6 +130,9 @@ type Plan struct {
 	Stragglers []Straggler
 	FileFaults []FileFault
 	Deaths     []RankDeath
+	// Crash, when non-nil, is a whole-process kill at a cycle boundary
+	// (cycled experiments only; the per-analysis substrates ignore it).
+	Crash *CycleCrash
 	// RetryBudget is the number of read attempts the simulated schedule
 	// models before declaring a transient fault permanent; 0 means 3,
 	// matching DefaultRetryBudget.
@@ -197,6 +208,12 @@ func (pl *Plan) Drops(member int) bool {
 		return f.Count >= pl.Budget()
 	}
 	return true
+}
+
+// CrashAfter reports whether the plan kills the process at the boundary
+// after cycle i. Nil-safe.
+func (pl *Plan) CrashAfter(i int) bool {
+	return pl != nil && pl.Crash != nil && pl.Crash.Cycle == i
 }
 
 // DeathFor returns the death of I/O rank (g, j), if any. Nil-safe.
@@ -316,6 +333,9 @@ func (pl *Plan) Validate(ncg, nsdy, L, n, osts int) error {
 				return fmt.Errorf("faults: all %d readers of group %d die — no failover target", nsdy, g)
 			}
 		}
+	}
+	if pl.Crash != nil && pl.Crash.Cycle < 0 {
+		return fmt.Errorf("faults: crash after negative cycle %d", pl.Crash.Cycle)
 	}
 	return nil
 }

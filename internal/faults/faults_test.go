@@ -110,6 +110,7 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 			{Group: 0, Reader: 0, BeforeStage: 1},
 			{Group: 0, Reader: 1, BeforeStage: 2},
 		}}},
+		{"negative crash cycle", &Plan{Crash: &CycleCrash{Cycle: -1}}},
 	}
 	for _, c := range cases {
 		if err := c.pl.Validate(2, 2, 3, 12, 8); err == nil {
@@ -121,9 +122,26 @@ func TestValidateRejectsBadPlans(t *testing.T) {
 		Stragglers: []Straggler{{Proc: "io/g0/r1", Factor: 2}},
 		FileFaults: []FileFault{{Member: 3, Kind: FileTransient, Count: 2}},
 		Deaths:     []RankDeath{{Group: 1, Reader: 1, BeforeStage: 1}},
+		Crash:      &CycleCrash{Cycle: 4},
 	}
 	if err := good.Validate(2, 2, 3, 12, 8); err != nil {
 		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestCrashAfter(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.CrashAfter(0) {
+		t.Error("nil plan crashes")
+	}
+	if (&Plan{}).CrashAfter(0) {
+		t.Error("empty plan crashes")
+	}
+	pl := &Plan{Crash: &CycleCrash{Cycle: 2}}
+	for i, want := range []bool{false, false, true, false} {
+		if pl.CrashAfter(i) != want {
+			t.Errorf("CrashAfter(%d) = %v", i, !want)
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package runlog
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestInterruptedOutcome lands a session with the interrupt sentinel — the
+// graceful-shutdown path minus the signal itself — and checks the archived
+// record reads "interrupted" with no error message.
+func TestInterruptedOutcome(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "senkf-test")
+	if err := fs.Parse([]string{"-archive", dir}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	s.OnInterrupt(func() { fired = true })
+	if err := s.Finish(ErrInterrupted); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("OnInterrupt hook ran on a non-signal Finish")
+	}
+
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.Load(s.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Manifest.Outcome != "interrupted" {
+		t.Fatalf("outcome = %q, want interrupted", rec.Manifest.Outcome)
+	}
+	if rec.Manifest.Error != "" {
+		t.Fatalf("interrupted run carries error %q", rec.Manifest.Error)
+	}
+	// A wrapped sentinel still maps.
+	if !errors.Is(errors.Join(ErrInterrupted), ErrInterrupted) {
+		t.Fatal("sentinel not matchable when wrapped")
+	}
+}
+
+// TestLineageInListAndDiff archives a parent and its resumed child and
+// checks the lineage surfaces in the summary, the list table, and the diff.
+func TestLineageInListAndDiff(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := &Manifest{
+		RunID: "senkf-cycle-20260101T000000Z-aaaa1111", Binary: "senkf-cycle",
+		Start: "2026-01-01T00:00:00Z", Outcome: "error", Error: "killed",
+		Config: map[string]string{"members": "20"},
+	}
+	child := &Manifest{
+		RunID: "senkf-cycle-20260101T010000Z-bbbb2222", Binary: "senkf-cycle",
+		Start: "2026-01-01T01:00:00Z", Outcome: "ok",
+		Config:      map[string]string{"members": "26"},
+		ParentRunID: parent.RunID, ResumeCycle: 3,
+	}
+	for _, m := range []*Manifest{parent, child} {
+		if _, err := a.WriteRecord(m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, err := a.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[1].Parent != parent.RunID || rows[1].ResumeCycle != 3 {
+		t.Fatalf("child summary lineage = %q @ %d", rows[1].Parent, rows[1].ResumeCycle)
+	}
+	var buf bytes.Buffer
+	if err := WriteListTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "^aaaa1111@c3") {
+		t.Errorf("list table missing lineage column:\n%s", buf.String())
+	}
+
+	d, err := a.DiffRuns(parent.RunID, child.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lineage != "b-resumes-a" || d.ResumeCycle != 3 {
+		t.Fatalf("diff lineage = %q @ %d", d.Lineage, d.ResumeCycle)
+	}
+	if len(d.Config) != 1 || d.Config[0].Key != "members" {
+		t.Fatalf("config deltas = %+v", d.Config)
+	}
+	buf.Reset()
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "b resumed from a's checkpoint at cycle 3") {
+		t.Errorf("diff text missing lineage:\n%s", buf.String())
+	}
+
+	// Reversed argument order flips the direction.
+	rd, err := a.DiffRuns(child.RunID, parent.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Lineage != "a-resumes-b" {
+		t.Fatalf("reversed diff lineage = %q", rd.Lineage)
+	}
+}

@@ -54,6 +54,8 @@ type Summary struct {
 	Verdicts    int     `json:"verdicts"`
 	Divergences int     `json:"divergences"`
 	Cycles      int     `json:"cycles,omitempty"`
+	Parent      string  `json:"parent_run_id,omitempty"`
+	ResumeCycle int     `json:"resume_cycle,omitempty"`
 }
 
 func summarize(m *Manifest) Summary {
@@ -62,6 +64,7 @@ func summarize(m *Manifest) Summary {
 		Substrate: m.Substrate, Outcome: m.Outcome,
 		Runtime: m.Runtime, DurationS: m.DurationS,
 		Verdicts: m.Verdicts, Divergences: m.Divergences, Cycles: m.Cycles,
+		Parent: m.ParentRunID, ResumeCycle: m.ResumeCycle,
 	}
 	if m.Spec != nil {
 		s.Algorithm = m.Spec.Algorithm
@@ -96,8 +99,8 @@ func (a *Archive) List(f Filter) ([]Summary, error) {
 
 // WriteListTable renders list rows as an aligned table.
 func WriteListTable(w io.Writer, rows []Summary) error {
-	if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-7s %9s %8s %5s\n",
-		"RUN ID", "START (UTC)", "BINARY", "ALGO", "SUBSTRATE", "OUTCOME", "RUNTIME", "VERDICTS", "DIVS"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8s %5s %s\n",
+		"RUN ID", "START (UTC)", "BINARY", "ALGO", "SUBSTRATE", "OUTCOME", "RUNTIME", "VERDICTS", "DIVS", "LINEAGE"); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -106,14 +109,27 @@ func WriteListTable(w io.Writer, rows []Summary) error {
 			runtime = fmt.Sprintf("%.3fs", r.Runtime)
 		}
 		binary := strings.TrimPrefix(r.Binary, "senkf-")
-		if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-7s %9s %8d %5d\n",
+		if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8d %5d %s\n",
 			r.RunID, r.Start, binary, orDash(r.Algorithm), orDash(r.Substrate),
-			r.Outcome, runtime, r.Verdicts, r.Divergences); err != nil {
+			r.Outcome, runtime, r.Verdicts, r.Divergences, lineageShort(r)); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "%d run(s)\n", len(rows))
 	return err
+}
+
+// lineageShort renders a resumed run's ancestry compactly for the list
+// table: "^<parent-id-suffix>@c<resume cycle>", "-" for a fresh run.
+func lineageShort(s Summary) string {
+	if s.Parent == "" {
+		return "-"
+	}
+	suffix := s.Parent
+	if i := strings.LastIndex(suffix, "-"); i >= 0 && i+1 < len(suffix) {
+		suffix = suffix[i+1:]
+	}
+	return fmt.Sprintf("^%s@c%d", suffix, s.ResumeCycle)
 }
 
 func orDash(s string) string {
@@ -155,8 +171,13 @@ type Diff struct {
 	PlanHashB string `json:"plan_hash_b,omitempty"`
 	// PlanEqual is true when both runs executed structurally identical
 	// compiled plans (equal content hashes).
-	PlanEqual bool          `json:"plan_equal"`
-	Config    []ConfigDelta `json:"config,omitempty"`
+	PlanEqual bool `json:"plan_equal"`
+	// Lineage notes a parent/child relation between the two runs:
+	// "b-resumes-a" or "a-resumes-b", with ResumeCycle holding the cycle
+	// the child re-entered. Empty when neither resumed from the other.
+	Lineage     string        `json:"lineage,omitempty"`
+	ResumeCycle int           `json:"resume_cycle,omitempty"`
+	Config      []ConfigDelta `json:"config,omitempty"`
 	RuntimeA  float64       `json:"runtime_a,omitempty"`
 	RuntimeB  float64       `json:"runtime_b,omitempty"`
 	// CriticalPath holds the per-"class/phase" critical-path attribution
@@ -199,6 +220,12 @@ func (a *Archive) DiffRuns(idA, idB string) (*Diff, error) {
 		PlanHashA: ma.PlanHash, PlanHashB: mb.PlanHash,
 		PlanEqual: ma.PlanHash != "" && ma.PlanHash == mb.PlanHash,
 		RuntimeA:  ma.Runtime, RuntimeB: mb.Runtime,
+	}
+	switch {
+	case mb.ParentRunID != "" && mb.ParentRunID == ma.RunID:
+		d.Lineage, d.ResumeCycle = "b-resumes-a", mb.ResumeCycle
+	case ma.ParentRunID != "" && ma.ParentRunID == mb.RunID:
+		d.Lineage, d.ResumeCycle = "a-resumes-b", ma.ResumeCycle
 	}
 
 	// Config deltas over the union of keys.
@@ -323,6 +350,16 @@ func (d *Diff) WriteText(w io.Writer) error {
 	}
 	if err := p("diff %s -> %s\n", d.RunA, d.RunB); err != nil {
 		return err
+	}
+	switch d.Lineage {
+	case "b-resumes-a":
+		if err := p("  lineage: b resumed from a's checkpoint at cycle %d\n", d.ResumeCycle); err != nil {
+			return err
+		}
+	case "a-resumes-b":
+		if err := p("  lineage: a resumed from b's checkpoint at cycle %d\n", d.ResumeCycle); err != nil {
+			return err
+		}
 	}
 	switch {
 	case d.PlanEqual:

@@ -88,7 +88,14 @@ type Manifest struct {
 	PlanHash string    `json:"plan_hash,omitempty"`
 	// Faults is the marshaled fault-injection plan, when one was active.
 	Faults json.RawMessage `json:"faults,omitempty"`
-	// Outcome is "ok" or "error" (with Error holding the message).
+	// ParentRunID and ResumeCycle record run lineage: a run resumed from a
+	// checkpoint names the run whose checkpoint seeded it and the first
+	// cycle it re-ran (always ≥ 1 — a checkpoint is cut after a completed
+	// cycle, so a resume never restarts at cycle 0).
+	ParentRunID string `json:"parent_run_id,omitempty"`
+	ResumeCycle int    `json:"resume_cycle,omitempty"`
+	// Outcome is "ok", "error" (with Error holding the message), or
+	// "interrupted" (SIGINT/SIGTERM landed gracefully).
 	Outcome string `json:"outcome"`
 	Error   string `json:"error,omitempty"`
 	// Headline numbers duplicated from the attached files so list/trend

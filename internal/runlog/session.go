@@ -7,11 +7,14 @@
 package runlog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"senkf/internal/monitor"
@@ -20,6 +23,12 @@ import (
 	"senkf/internal/report"
 	"senkf/internal/trace"
 )
+
+// ErrInterrupted is the run outcome when SIGINT/SIGTERM lands gracefully:
+// the session finishes (trace flushed, record archived with outcome
+// "interrupted") before the process exits with the conventional 128+signal
+// status.
+var ErrInterrupted = errors.New("runlog: interrupted by signal")
 
 // Session is the per-invocation observability context.
 type Session struct {
@@ -50,12 +59,16 @@ type Session struct {
 	faults    []byte
 	notes     map[string]string
 
-	mu       sync.Mutex
-	cycles   []monitor.CycleSample
-	profiles map[string][]byte
-	captured bool
-	profWG   sync.WaitGroup
-	finished bool
+	mu          sync.Mutex
+	cycles      []monitor.CycleSample
+	profiles    map[string][]byte
+	captured    bool
+	profWG      sync.WaitGroup
+	finished    bool
+	parentRun   string
+	resumeCycle int
+	onInterrupt []func()
+	sigCh       chan os.Signal
 }
 
 // Start validates the flag combination and builds the session: run ID,
@@ -135,9 +148,62 @@ func (f *Flags) Start() (*Session, error) {
 		s.metricsSrv = srv
 		s.Log.Info("monitor serving", "metrics", fmt.Sprintf("http://%s/metrics", srv.Addr()), "status", fmt.Sprintf("http://%s/status", srv.Addr()))
 	}
+	// Graceful shutdown: the first SIGINT/SIGTERM lands the session —
+	// registered interrupt hooks run (e.g. a final checkpoint cut), the
+	// trace flushes, the record archives with outcome "interrupted" — then
+	// the process exits 128+signal. Delivery stops after the first signal,
+	// so a second one kills hard with the default disposition.
+	s.sigCh = make(chan os.Signal, 1)
+	signal.Notify(s.sigCh, os.Interrupt, syscall.SIGTERM)
+	go s.watchSignals()
+
 	s.Log.Info("run start")
 	return s, nil
 }
+
+// watchSignals is the session's signal goroutine.
+func (s *Session) watchSignals() {
+	sig, ok := <-s.sigCh
+	if !ok {
+		return
+	}
+	signal.Stop(s.sigCh)
+	s.Log.Warn("signal received, landing session", "signal", sig.String())
+	s.mu.Lock()
+	hooks := append([]func(){}, s.onInterrupt...)
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	s.Finish(ErrInterrupted)
+	code := 130 // 128 + SIGINT
+	if sig == syscall.SIGTERM {
+		code = 143
+	}
+	os.Exit(code)
+}
+
+// OnInterrupt registers fn to run before the session lands on
+// SIGINT/SIGTERM — e.g. cutting a final checkpoint. Hooks run in
+// registration order on the signal goroutine.
+func (s *Session) OnInterrupt(fn func()) {
+	s.mu.Lock()
+	s.onInterrupt = append(s.onInterrupt, fn)
+	s.mu.Unlock()
+}
+
+// SetParent records run lineage: this run resumed from a checkpoint cut by
+// parentRunID and re-entered the cycle loop at resumeCycle.
+func (s *Session) SetParent(parentRunID string, resumeCycle int) {
+	s.mu.Lock()
+	s.parentRun, s.resumeCycle = parentRunID, resumeCycle
+	s.mu.Unlock()
+	s.Log.Info("resumed from checkpoint", "parent_run", parentRunID, "resume_cycle", resumeCycle)
+}
+
+// PlanHash returns the compiled plan's content address recorded by
+// Describe, or "" before Describe (or when hashing failed).
+func (s *Session) PlanHash() string { return s.planHash }
 
 // Archive returns the session's run ledger, nil without -archive.
 func (s *Session) Archive() *Archive { return s.archive }
@@ -259,6 +325,14 @@ func (s *Session) Finish(runErr error) error {
 	s.finished = true
 	s.mu.Unlock()
 
+	// Retire the signal watcher: once the session is landing normally a
+	// late signal should get the default hard-kill disposition, not a
+	// second landing attempt.
+	if s.sigCh != nil {
+		signal.Stop(s.sigCh)
+		close(s.sigCh)
+	}
+
 	// Drain the tee so the monitor's view is complete before we snapshot
 	// its status (the primary buffer is written inline and needs no
 	// drain).
@@ -309,10 +383,13 @@ func (s *Session) Finish(runErr error) error {
 		}
 	}
 
-	if runErr != nil {
-		s.Log.Error("run end", "outcome", "error", "err", runErr.Error(), "duration_s", time.Since(s.start).Seconds())
-	} else {
+	switch {
+	case runErr == nil:
 		s.Log.Info("run end", "outcome", "ok", "duration_s", time.Since(s.start).Seconds())
+	case errors.Is(runErr, ErrInterrupted):
+		s.Log.Warn("run end", "outcome", "interrupted", "duration_s", time.Since(s.start).Seconds())
+	default:
+		s.Log.Error("run end", "outcome", "error", "err", runErr.Error(), "duration_s", time.Since(s.start).Seconds())
 	}
 	s.close()
 	return firstErr
@@ -373,13 +450,19 @@ func (s *Session) writeArchiveRecord(runErr error) (string, error) {
 		}
 	}
 	if runErr != nil {
-		m.Outcome = "error"
-		m.Error = runErr.Error()
+		if errors.Is(runErr, ErrInterrupted) {
+			m.Outcome = "interrupted"
+		} else {
+			m.Outcome = "error"
+			m.Error = runErr.Error()
+		}
 	}
 	if len(s.faults) > 0 {
 		m.Faults = s.faults
 	}
 	s.mu.Lock()
+	m.ParentRunID = s.parentRun
+	m.ResumeCycle = s.resumeCycle
 	for k, v := range s.notes {
 		if m.Config == nil {
 			m.Config = map[string]string{}

@@ -64,6 +64,22 @@ for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel se
     fi
 done
 
+# internal/ckpt is the checkpoint store: it persists cycled state through
+# ensio member files, so it must build on ensio — but it must never import
+# mpi, sim or parfs (a checkpoint is pure data; reading one must not drag
+# in an execution substrate), nor the cycle loop above it (cycle imports
+# ckpt, not the reverse).
+deps=$(go list -deps senkf/internal/ckpt)
+if bad=$(grep -E 'senkf/internal/(mpi|sim|parfs|cycle)$' <<<"$deps"); then
+    echo "FAIL: senkf/internal/ckpt must stay pure data (ensio + grid + workload only):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+if ! grep -qx 'senkf/internal/ensio' <<<"$deps"; then
+    echo "FAIL: senkf/internal/ckpt no longer persists through senkf/internal/ensio" >&2
+    exit 1
+fi
+
 # The engines must sit above the plan layer, not beside it: core and
 # schedule each depend on plan, and plan on neither.
 for eng in senkf/internal/core senkf/internal/schedule; do
@@ -73,4 +89,4 @@ for eng in senkf/internal/core senkf/internal/schedule; do
     fi
 done
 
-echo "OK: plan, monitor, report and runlog layers are substrate-free; core and schedule build on plan"
+echo "OK: plan, monitor, report and runlog layers are substrate-free; ckpt builds on ensio only; core and schedule build on plan"

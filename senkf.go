@@ -397,6 +397,9 @@ type (
 	FileFault = faults.FileFault
 	// RankDeath kills one I/O reader at a chosen point of the schedule.
 	RankDeath = faults.RankDeath
+	// CycleCrash kills the whole process at a cycle boundary of a cycled
+	// experiment — the fault the checkpoint/resume machinery survives.
+	CycleCrash = faults.CycleCrash
 	// Resilience configures the hardened real execution.
 	Resilience = core.Resilience
 	// DegradedResult is the structured outcome of a resilient run.
