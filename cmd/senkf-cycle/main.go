@@ -202,7 +202,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		if *analyzer == "senkf" {
-			tpl := senkf.Problem{Tr: sess.Tracer, Obs: sess.Observer(), Faults: fp}
+			tpl := senkf.Problem{Tr: sess.Tracer, Obs: sess.Observer(), Faults: fp, Prof: sess.Labels()}
 			if *resil {
 				pl := senkf.Plan{Dec: dec, L: *layers, NCg: *ncg}
 				an = func(cfg senkf.Config, background [][]float64, net *senkf.Network) ([][]float64, error) {
@@ -236,6 +236,7 @@ func main() {
 		ObsVar:       *obsVar,
 		ModelErrorSD: *modelErr,
 		Seed:         *seed,
+		Prof:         sess.Labels(),
 	}
 	// Every cycle's outcome feeds the run ledger's per-cycle series (and,
 	// when monitored, the monitor's live series).

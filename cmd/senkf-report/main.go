@@ -21,9 +21,11 @@
 //	senkf-report list -archive ledger
 //	senkf-report diff -archive ledger <runA> <runB>
 //	senkf-report trend -archive ledger -metric runtime
+//	senkf-report hotspots -archive ledger <run>   (needs -capture-profile)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +49,9 @@ func main() {
 		case "trend":
 			runTrend(os.Args[2:])
 			return
+		case "hotspots":
+			runHotspots(os.Args[2:])
+			return
 		}
 	}
 	runSingle()
@@ -64,7 +69,7 @@ func runSingle() {
 	flag.Parse()
 	if *traceIn == "" {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "subcommands: list | diff | trend (cross-run ledger queries; see -h of each)")
+		fmt.Fprintln(os.Stderr, "subcommands: list | diff | trend | hotspots (cross-run ledger queries; see -h of each)")
 		log.Fatal("missing -trace (point it at a trace file from senkf-run/senkf-bench/senkf-cycle)")
 	}
 	sess, err := obs.Start()
@@ -187,6 +192,90 @@ func runDiff(args []string) {
 	if err := d.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runHotspots ranks an archived run's plan stages by CPU self-time from
+// its labeled whole-run profile (-capture-profile), cross-checked
+// against trace busy time. With -cpu-profile it attributes a standalone
+// profile + trace pair instead of an archived run.
+func runHotspots(args []string) {
+	lf := newLedgerFlags("hotspots")
+	cpuIn := lf.fs.String("cpu-profile", "", "attribute this raw CPU profile instead of an archived run's (requires -trace)")
+	traceIn := lf.fs.String("trace", "", "with -cpu-profile: the Chrome trace-event JSON of the same run")
+	lf.fs.Parse(args)
+
+	var profile []byte
+	var events []senkf.TraceEvent
+	if *cpuIn != "" {
+		if *traceIn == "" {
+			log.Fatal("-cpu-profile needs -trace (the busy-time side of the attribution)")
+		}
+		var err error
+		if profile, err = os.ReadFile(*cpuIn); err != nil {
+			log.Fatal(err)
+		}
+		tf, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err = senkf.ReadChromeTrace(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *lf.archive == "" {
+			lf.fs.Usage()
+			log.Fatal("missing -archive (or use -cpu-profile with -trace)")
+		}
+		a, err := senkf.OpenRunArchive(*lf.archive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rest := lf.fs.Args()
+		if len(rest) != 1 {
+			log.Fatal("usage: senkf-report hotspots -archive <dir> <run> (unique run-ID prefixes are accepted)")
+		}
+		id, err := a.Resolve(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := a.Load(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rec.Has(senkf.RunCPUProfileFile) {
+			log.Fatalf("run %s archived no CPU profile (re-run with -capture-profile)", id)
+		}
+		if profile, err = rec.ReadFile(senkf.RunCPUProfileFile); err != nil {
+			log.Fatal(err)
+		}
+		tdata, err := rec.ReadFile(senkf.RunTraceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err = senkf.ReadChromeTrace(bytes.NewReader(tdata))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	attr, err := senkf.AttributeHotStages(profile, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stages, err := senkf.ProfileStageLabels(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lf.jsonOut != "" {
+		writeJSON(*lf.jsonOut, attr)
+		return
+	}
+	if err := attr.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile stages: %v\n", stages)
 }
 
 func runTrend(args []string) {

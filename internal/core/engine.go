@@ -18,6 +18,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/mpi"
 	"senkf/internal/plan"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 )
 
@@ -116,17 +117,26 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 	var fields [][]float64
 	t0 := time.Now()
 	err = w.Run(func(comm *mpi.Comm) error {
+		// Each rank body runs under its proc-name pprof scope, so CPU
+		// profiles attribute every rank goroutine (and the helpers it
+		// spawns, which inherit the labels) to its plan coordinates.
 		if comm.Rank() < c.NumCompute() {
-			f, err := engineCompute(comm, p, c, c.Compute[comm.Rank()], t0)
-			if err != nil {
-				return err
-			}
-			if comm.Rank() == 0 {
-				fields = f
-			}
-			return nil
+			r := c.Compute[comm.Rank()]
+			sc := p.Prof.Scope(r.Name)
+			return sc.Do(func() error {
+				f, err := engineCompute(comm, p, c, r, t0, sc)
+				if err != nil {
+					return err
+				}
+				if comm.Rank() == 0 {
+					fields = f
+				}
+				return nil
+			})
 		}
-		return engineIO(comm, p, c, c.IO[comm.Rank()-c.NumCompute()], t0)
+		r := c.IO[comm.Rank()-c.NumCompute()]
+		sc := p.Prof.Scope(r.Name)
+		return sc.Do(func() error { return engineIO(comm, p, c, r, t0, sc) })
 	})
 	if p.Obs != nil {
 		err = p.Obs.EndRun(err)
@@ -140,7 +150,7 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 // engineIO is the body of one dedicated I/O rank: per stage, read the
 // stage's region from every member of the stage, then cut and send every
 // destination its block of every member.
-func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t0 time.Time) error {
+func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t0 time.Time, sc *runtimeobs.Scope) error {
 	staged := c.Staged()
 	nx := p.Cfg.Mesh.NX
 	slow := p.Faults.SlowdownFor(r.Name)
@@ -167,39 +177,46 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 	}
 
 	for _, st := range r.Stages {
+		st := st
 		tag := -1
 		if staged {
 			tag = st.Stage
 		}
 
-		// Read phase: the stage's contiguous region of each member — one
-		// addressing operation per member read (bar reading, §4.1.2).
-		readStart := time.Now()
-		bars := make([][]float64, len(st.Members))
-		for mi, k := range st.Members {
-			bar, err := files[k].ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
-			if err != nil {
-				return err
-			}
-			bars[mi] = bar
-		}
-		stretch(p, r.Name, t0, readStart, slow)
-		observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), tag)
-
-		// Comm phase: every destination gets its stage box of every member.
-		commStart := time.Now()
-		for mi, k := range st.Members {
-			for _, dst := range st.Comm.Dsts {
-				box := c.Compute[dst].Stages[st.Stage].Box
-				meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
-				payload := cutPayload(bars[mi], st.Read.Box, box, nx)
-				if err := comm.Send(dst, stageTag(st.Stage, c.Spec.N, k), meta, payload); err != nil {
+		err := sc.Stage(tag, func() error {
+			// Read phase: the stage's contiguous region of each member — one
+			// addressing operation per member read (bar reading, §4.1.2).
+			readStart := time.Now()
+			bars := make([][]float64, len(st.Members))
+			for mi, k := range st.Members {
+				bar, err := files[k].ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
+				if err != nil {
 					return err
 				}
+				bars[mi] = bar
 			}
+			stretch(p, r.Name, t0, readStart, slow)
+			observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), tag)
+
+			// Comm phase: every destination gets its stage box of every member.
+			commStart := time.Now()
+			for mi, k := range st.Members {
+				for _, dst := range st.Comm.Dsts {
+					box := c.Compute[dst].Stages[st.Stage].Box
+					meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
+					payload := cutPayload(bars[mi], st.Read.Box, box, nx)
+					if err := comm.Send(dst, stageTag(st.Stage, c.Spec.N, k), meta, payload); err != nil {
+						return err
+					}
+				}
+			}
+			stretch(p, r.Name, t0, commStart, slow)
+			observe(p, r.Name, metrics.PhaseComm, t0, commStart, time.Now(), tag)
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		stretch(p, r.Name, t0, commStart, slow)
-		observe(p, r.Name, metrics.PhaseComm, t0, commStart, time.Now(), tag)
 	}
 	return nil
 }
@@ -209,7 +226,7 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 // main flow stage by stage; self-read stages block-read the member files
 // directly. The main flow analyses each stage's region and accumulates the
 // sub-domain result, gathered at world rank 0.
-func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time) ([][]float64, error) {
+func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time, sc *runtimeobs.Scope) ([][]float64, error) {
 	staged := c.Staged()
 	n := c.Spec.N
 	slow := p.Faults.SlowdownFor(r.Name)
@@ -228,29 +245,37 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 	if recvStages > 0 {
 		assembled = make(chan stageData, recvStages)
 		// Helper thread: receive the Expect per-member blocks of each
-		// message stage, assemble them, and hand the stage over.
+		// message stage, assemble them, and hand the stage over. The
+		// goroutine inherits the rank's pprof labels at spawn; each
+		// stage's receive/assemble work is additionally stage-tagged.
 		go func() {
 			for _, st := range r.Stages {
+				st := st
 				if st.Expect == 0 {
 					continue
 				}
-				blk := enkf.NewBlock(st.Box, n)
-				for k := 0; k < st.Expect; k++ {
-					m, err := comm.Recv(mpi.AnySource, stageTag(st.Stage, n, k))
-					if err != nil {
-						assembled <- stageData{err: err}
-						return
+				var blk *enkf.Block
+				err := sc.Stage(st.Stage, func() error {
+					blk = enkf.NewBlock(st.Box, n)
+					for k := 0; k < st.Expect; k++ {
+						m, err := comm.Recv(mpi.AnySource, stageTag(st.Stage, n, k))
+						if err != nil {
+							return err
+						}
+						box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+						if box != st.Box {
+							return fmt.Errorf("core: stage %d member %d box %v, want %v", st.Stage, k, box, st.Box)
+						}
+						if len(m.Data) != st.Box.Points() {
+							return fmt.Errorf("core: stage %d member %d payload %d, want %d", st.Stage, k, len(m.Data), st.Box.Points())
+						}
+						blk.Data[m.Meta[0]] = m.Data
 					}
-					box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-					if box != st.Box {
-						assembled <- stageData{err: fmt.Errorf("core: stage %d member %d box %v, want %v", st.Stage, k, box, st.Box)}
-						return
-					}
-					if len(m.Data) != st.Box.Points() {
-						assembled <- stageData{err: fmt.Errorf("core: stage %d member %d payload %d, want %d", st.Stage, k, len(m.Data), st.Box.Points())}
-						return
-					}
-					blk.Data[m.Meta[0]] = m.Data
+					return nil
+				})
+				if err != nil {
+					assembled <- stageData{err: err}
+					return
 				}
 				if staged && p.Tr.Enabled() {
 					// Helper-thread handoff: the stage is fully assembled
@@ -265,63 +290,70 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 
 	result := enkf.NewBlock(r.Sub, n)
 	for _, st := range r.Stages {
+		st := st
 		tag := -1
 		if staged {
 			tag = st.Stage
 		}
 
-		var blk *enkf.Block
-		if st.Expect > 0 {
-			waitStart := time.Now()
-			sd := <-assembled
-			if sd.err != nil {
-				return nil, sd.err
-			}
-			observe(p, r.Name, metrics.PhaseWait, t0, waitStart, time.Now(), -1)
-			blk = sd.blk
-		} else {
-			// Block reading (§2.3): the rank reads its own expansion from
-			// every member file, one addressing operation per row.
-			blk = enkf.NewBlock(st.Box, n)
-			for _, k := range st.SelfMembers {
-				readStart := time.Now()
-				mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-				if err != nil {
-					return nil, err
+		err := sc.Stage(tag, func() error {
+			var blk *enkf.Block
+			if st.Expect > 0 {
+				waitStart := time.Now()
+				sd := <-assembled
+				if sd.err != nil {
+					return sd.err
 				}
-				if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+				observe(p, r.Name, metrics.PhaseWait, t0, waitStart, time.Now(), -1)
+				blk = sd.blk
+			} else {
+				// Block reading (§2.3): the rank reads its own expansion from
+				// every member file, one addressing operation per row.
+				blk = enkf.NewBlock(st.Box, n)
+				for _, k := range st.SelfMembers {
+					readStart := time.Now()
+					mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
+					if err != nil {
+						return err
+					}
+					if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+						mf.Close()
+						return err
+					}
+					data, err := mf.ReadBlock(st.Read.Box)
+					addIOStats(p.Tr, mf.Stats())
 					mf.Close()
-					return nil, err
+					if err != nil {
+						return err
+					}
+					blk.Data[k] = data
+					stretch(p, r.Name, t0, readStart, slow)
+					observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
 				}
-				data, err := mf.ReadBlock(st.Read.Box)
-				addIOStats(p.Tr, mf.Stats())
-				mf.Close()
-				if err != nil {
-					return nil, err
-				}
-				blk.Data[k] = data
-				stretch(p, r.Name, t0, readStart, slow)
-				observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
 			}
-		}
 
-		compStart := time.Now()
-		out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(st.Box), st.Analyze)
+			compStart := time.Now()
+			out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(st.Box), st.Analyze)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < n; k++ {
+				for y := st.Analyze.Y0; y < st.Analyze.Y1; y++ {
+					for x := st.Analyze.X0; x < st.Analyze.X1; x++ {
+						result.Set(k, x, y, out.At(k, x, y))
+					}
+				}
+			}
+			stretch(p, r.Name, t0, compStart, slow)
+			observe(p, r.Name, metrics.PhaseCompute, t0, compStart, time.Now(), tag)
+			if staged && p.Tr.Enabled() {
+				p.Tr.Instant(r.Name, trace.CatStage, "computed", time.Since(t0).Seconds(),
+					trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
-		}
-		for k := 0; k < n; k++ {
-			for y := st.Analyze.Y0; y < st.Analyze.Y1; y++ {
-				for x := st.Analyze.X0; x < st.Analyze.X1; x++ {
-					result.Set(k, x, y, out.At(k, x, y))
-				}
-			}
-		}
-		stretch(p, r.Name, t0, compStart, slow)
-		observe(p, r.Name, metrics.PhaseCompute, t0, compStart, time.Now(), tag)
-		if staged && p.Tr.Enabled() {
-			p.Tr.Instant(r.Name, trace.CatStage, "computed", time.Since(t0).Seconds(),
-				trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
 		}
 	}
 

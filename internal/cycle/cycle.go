@@ -20,6 +20,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/model"
 	"senkf/internal/obs"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 	"senkf/internal/workload"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// Seed derives per-cycle observation noise, perturbation streams and
 	// model-error realizations.
 	Seed uint64
+	// Prof, when non-nil, runs the cycle loop under pprof labels
+	// {proc: "cycle", stage: <cycle index>}, so CPU profiles separate
+	// forecast/observation overhead from the analysis ranks (which label
+	// themselves through the template problem's own Prof). Nil disables
+	// labeling.
+	Prof *runtimeobs.LabelSet
 }
 
 // Validate reports configuration errors.
@@ -187,50 +194,58 @@ func RunFrom(c Config, st State, totalCycles int, analyze Analyzer, onCycle func
 	}
 
 	history := append([]Stats(nil), st.History...)
+	sc := c.Prof.Scope("cycle")
 	for i := st.NextCycle; i < totalCycles; i++ {
-		// Forecast: truth, assimilating ensemble, and the free control.
-		var err error
-		truth, err = c.Model.Run(truth, c.StepsPerCycle)
-		if err != nil {
-			return nil, fmt.Errorf("cycle %d: truth forecast: %w", i, err)
-		}
-		ensemble, err = c.Model.RunEnsemble(ensemble, c.StepsPerCycle)
-		if err != nil {
-			return nil, fmt.Errorf("cycle %d: ensemble forecast: %w", i, err)
-		}
-		free, err = c.Model.RunEnsemble(free, c.StepsPerCycle)
-		if err != nil {
-			return nil, fmt.Errorf("cycle %d: control forecast: %w", i, err)
-		}
-		if c.ModelErrorSD > 0 {
-			addModelError(c.Enkf.Mesh, ensemble, c.ModelErrorSD, c.Seed, i, 0)
-			addModelError(c.Enkf.Mesh, free, c.ModelErrorSD, c.Seed, i, 1)
-		}
+		i := i
+		err := sc.Stage(i, func() error {
+			// Forecast: truth, assimilating ensemble, and the free control.
+			var err error
+			truth, err = c.Model.Run(truth, c.StepsPerCycle)
+			if err != nil {
+				return fmt.Errorf("cycle %d: truth forecast: %w", i, err)
+			}
+			ensemble, err = c.Model.RunEnsemble(ensemble, c.StepsPerCycle)
+			if err != nil {
+				return fmt.Errorf("cycle %d: ensemble forecast: %w", i, err)
+			}
+			free, err = c.Model.RunEnsemble(free, c.StepsPerCycle)
+			if err != nil {
+				return fmt.Errorf("cycle %d: control forecast: %w", i, err)
+			}
+			if c.ModelErrorSD > 0 {
+				addModelError(c.Enkf.Mesh, ensemble, c.ModelErrorSD, c.Seed, i, 0)
+				addModelError(c.Enkf.Mesh, free, c.ModelErrorSD, c.Seed, i, 1)
+			}
 
-		// Observe the current truth.
-		seed := c.cycleSeed(i)
-		net, err := obs.StridedNetwork(c.Enkf.Mesh, truth, c.ObsStrideX, c.ObsStrideY, c.ObsVar, seed)
-		if err != nil {
-			return nil, fmt.Errorf("cycle %d: observations: %w", i, err)
-		}
+			// Observe the current truth.
+			seed := c.cycleSeed(i)
+			net, err := obs.StridedNetwork(c.Enkf.Mesh, truth, c.ObsStrideX, c.ObsStrideY, c.ObsVar, seed)
+			if err != nil {
+				return fmt.Errorf("cycle %d: observations: %w", i, err)
+			}
 
-		// Analysis with cycle-specific perturbation seed.
-		cfg := c.Enkf
-		cfg.Seed = seed
-		st := Stats{
-			Cycle:          i,
-			BackgroundRMSE: enkf.RMSE(enkf.EnsembleMean(ensemble), truth),
-			FreeRMSE:       enkf.RMSE(enkf.EnsembleMean(free), truth),
-		}
-		ensemble, err = analyze(cfg, ensemble, net)
+			// Analysis with cycle-specific perturbation seed.
+			cfg := c.Enkf
+			cfg.Seed = seed
+			st := Stats{
+				Cycle:          i,
+				BackgroundRMSE: enkf.RMSE(enkf.EnsembleMean(ensemble), truth),
+				FreeRMSE:       enkf.RMSE(enkf.EnsembleMean(free), truth),
+			}
+			ensemble, err = analyze(cfg, ensemble, net)
+			if err != nil {
+				return fmt.Errorf("cycle %d: analysis: %w", i, err)
+			}
+			st.AnalysisRMSE = enkf.RMSE(enkf.EnsembleMean(ensemble), truth)
+			st.Spread = spread(ensemble)
+			history = append(history, st)
+			if onCycle != nil {
+				onCycle(st)
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("cycle %d: analysis: %w", i, err)
-		}
-		st.AnalysisRMSE = enkf.RMSE(enkf.EnsembleMean(ensemble), truth)
-		st.Spread = spread(ensemble)
-		history = append(history, st)
-		if onCycle != nil {
-			onCycle(st)
+			return nil, err
 		}
 		if hook != nil {
 			if err := hook(State{NextCycle: i + 1, Truth: truth, Ensemble: ensemble, Free: free, History: history}); err != nil {

@@ -80,7 +80,9 @@ func (m *Monitor) dumpLocked(reason string) {
 		return
 	}
 	m.dumped = true
-	m.lastDump = m.ring.events()
+	// Interleave the sampler's last-N runtime samples with the plan
+	// events, so the dump shows GC/heap state at the moment of anomaly.
+	m.lastDump = mergeByTs(m.ring.events(), m.runtime.ring.events())
 	m.reg.Inc("monitor/flight_dumps")
 	if m.opts.AnomalyHook != nil {
 		// On its own goroutine: the hook (pprof capture, archival) must

@@ -48,6 +48,7 @@ type Status struct {
 	Incidents   []Incident         `json:"incidents"`
 	FlightDump  string             `json:"flight_dump,omitempty"`
 	Cycles      []CycleSample      `json:"cycles,omitempty"`
+	Runtime     *RuntimeStatus     `json:"runtime,omitempty"`
 }
 
 // Status snapshots the monitor.
@@ -64,6 +65,9 @@ func (m *Monitor) Status() Status {
 		FlightDump:  m.dumpPath,
 		Cycles:      append([]CycleSample(nil), m.cycles...),
 		Conformance: Conformance{Divergences: append([]string{}, m.divergences...)},
+	}
+	if m.runtime.samples > 0 {
+		s.Runtime = &RuntimeStatus{Samples: m.runtime.samples, Last: m.runtime.last}
 	}
 	if m.cp != nil {
 		s.Algorithm = string(m.cp.Spec.Algorithm)
@@ -126,6 +130,11 @@ func (m *Monitor) Status() Status {
 // when Options.RunRegistry was set — in Prometheus text format.
 func (m *Monitor) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m.opts.ScrapeHook != nil {
+			// Refresh scrape-time gauges (baseline go/process stats)
+			// before rendering, outside the monitor lock.
+			m.opts.ScrapeHook()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if m.opts.RunID != "" {
 			// Info-metric idiom: the run ID rides one labeled constant

@@ -37,6 +37,7 @@ import (
 	"senkf/internal/costmodel"
 	"senkf/internal/metrics"
 	"senkf/internal/plan"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 )
 
@@ -66,6 +67,17 @@ type Options struct {
 	// flight recorder dumps — the run ledger uses it to capture pprof
 	// snapshots into the archive while the anomaly is fresh.
 	AnomalyHook func(kind string)
+	// ScrapeHook, when set, runs at the top of every /metrics request —
+	// the run ledger uses it to refresh the baseline go/process gauges so
+	// scrapes carry current runtime stats even without the sampler.
+	ScrapeHook func()
+
+	// Runtime watchdog knobs (see runtime.go); zero values take the
+	// Default* constants.
+	GCPauseBudget       float64 // max tolerated stop-the-world pause, seconds
+	GoroutineLeakWindow int     // consecutive growing samples before a leak verdict
+	GoroutineLeakGrowth float64 // goroutines gained across the window
+	HeapGrowthBudget    float64 // bytes of heap growth without a GC cycle
 }
 
 // Defaults for Options zero values.
@@ -116,6 +128,9 @@ type Monitor struct {
 	dumpPath      string
 	lastDump      []trace.Event
 
+	// Runtime sampler state + watchdogs (runtime.go).
+	runtime runtimeState
+
 	// Per-cycle series (senkf-cycle).
 	cycles []CycleSample
 }
@@ -128,6 +143,18 @@ func New(opts Options) *Monitor {
 	if opts.FlightSize <= 0 {
 		opts.FlightSize = DefaultFlightSize
 	}
+	if opts.GCPauseBudget <= 0 {
+		opts.GCPauseBudget = DefaultGCPauseBudget
+	}
+	if opts.GoroutineLeakWindow <= 0 {
+		opts.GoroutineLeakWindow = DefaultGoroutineLeakWin
+	}
+	if opts.GoroutineLeakGrowth <= 0 {
+		opts.GoroutineLeakGrowth = DefaultGoroutineLeakGrow
+	}
+	if opts.HeapGrowthBudget <= 0 {
+		opts.HeapGrowthBudget = DefaultHeapGrowthBudget
+	}
 	return &Monitor{
 		opts:     opts,
 		reg:      trace.NewRegistry(),
@@ -139,6 +166,7 @@ func New(opts Options) *Monitor {
 		dead:     map[string]bool{},
 		readyTs:  map[string]map[int]float64{},
 		ring:     newRing(opts.FlightSize),
+		runtime:  runtimeState{ring: newRing(DefaultRuntimeRingSamples)},
 	}
 }
 
@@ -318,6 +346,16 @@ func (m *Monitor) Emit(ev trace.Event) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.events++
+	if ev.Track == trace.RuntimeTrack {
+		// Runtime-track events live in their own ring so the last-N
+		// samples ride along in flight dumps without evicting the plan
+		// events the dump exists to show.
+		m.runtime.ring.add(ev)
+		if ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatRuntime && ev.Name == runtimeobs.SampleEventName {
+			m.foldRuntimeLocked(ev)
+		}
+		return
+	}
 	m.ring.add(ev)
 
 	onProc := strings.HasPrefix(ev.Track, metrics.IOPrefix+"/") ||

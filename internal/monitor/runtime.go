@@ -1,0 +1,218 @@
+// Runtime watchdogs: the monitor's view of the Go runtime underneath the
+// schedule. The runtimeobs sampler streams CatRuntime "sample" instants
+// through the same tee as the plan events; the monitor folds them into a
+// dedicated runtime ring (merged into flight dumps, so an anomaly dump
+// shows GC/heap context on the plan's clock) and checks three health
+// invariants:
+//
+//   - goroutine leak: the goroutine count grows monotonically across a
+//     window of consecutive samples by more than a floor — plan
+//     executions spawn in bursts and settle, so sustained growth means
+//     leaked helpers;
+//   - heap growth without GC progress: heap-in-use grows past a budget
+//     while the GC cycle counter stands still — allocation outrunning
+//     collection;
+//   - GC-pause budget: a stop-the-world pause longer than the budget,
+//     which on the real substrate directly distorts phase spans.
+//
+// A trip produces a Verdict whose (proc, stage) blames the modal
+// in-flight plan stage — the stage most ranks were executing when the
+// runtime went bad — and triggers the flight recorder like any other
+// anomaly.
+
+package monitor
+
+import (
+	"fmt"
+
+	"senkf/internal/runtimeobs"
+	"senkf/internal/trace"
+)
+
+// Defaults for the runtime watchdog knobs in Options.
+const (
+	DefaultGCPauseBudget      = 1.0       // seconds of stop-the-world
+	DefaultGoroutineLeakWin   = 8         // consecutive growing samples
+	DefaultGoroutineLeakGrow  = 256       // goroutines gained across the window
+	DefaultHeapGrowthBudget   = 512 << 20 // bytes grown without a GC cycle
+	DefaultRuntimeRingSamples = 64        // runtime events kept for flight dumps
+)
+
+// RuntimeSample is one parsed sampler reading.
+type RuntimeSample struct {
+	Time           float64 `json:"time_s"`
+	Goroutines     float64 `json:"goroutines"`
+	HeapLiveBytes  float64 `json:"heap_live_bytes"`
+	HeapInuseBytes float64 `json:"heap_inuse_bytes"`
+	HeapGoalBytes  float64 `json:"heap_goal_bytes"`
+	GCCycles       float64 `json:"gc_cycles"`
+	GCPauseMaxS    float64 `json:"gc_pause_max_s"`
+	SchedLatMaxS   float64 `json:"sched_lat_max_s"`
+}
+
+// RuntimeStatus is the runtime section of /status.
+type RuntimeStatus struct {
+	Samples int64         `json:"samples"`
+	Last    RuntimeSample `json:"last"`
+}
+
+// runtimeState is the monitor's runtime-watchdog bookkeeping.
+type runtimeState struct {
+	ring    *ring // runtime-track events, merged into flight dumps
+	samples int64
+	last    RuntimeSample
+	have    bool
+
+	gorGrowth int     // consecutive samples with growing goroutine count
+	gorBase   float64 // goroutine count at the start of the growth window
+	heapBase  float64 // heap-in-use at the last GC-cycle change
+	lastGC    float64
+	tripped   map[string]bool // watchdog kind -> already tripped
+}
+
+// foldRuntimeLocked absorbs one sampler instant: bookkeeping, then the
+// three health invariants. Callers hold m.mu.
+func (m *Monitor) foldRuntimeLocked(ev trace.Event) {
+	s := RuntimeSample{Time: ev.Ts}
+	s.Goroutines, _ = ev.ArgValue(runtimeobs.ArgGoroutines)
+	s.HeapLiveBytes, _ = ev.ArgValue(runtimeobs.ArgHeapLive)
+	s.HeapInuseBytes, _ = ev.ArgValue(runtimeobs.ArgHeapInuse)
+	s.HeapGoalBytes, _ = ev.ArgValue(runtimeobs.ArgHeapGoal)
+	s.GCCycles, _ = ev.ArgValue(runtimeobs.ArgGCCycles)
+	s.GCPauseMaxS, _ = ev.ArgValue(runtimeobs.ArgGCPause)
+	s.SchedLatMaxS, _ = ev.ArgValue(runtimeobs.ArgSchedLat)
+
+	rt := &m.runtime
+	rt.samples++
+	m.reg.Inc("monitor/runtime_samples")
+	prev, had := rt.last, rt.have
+	rt.last, rt.have = s, true
+
+	// Goroutine leak: count consecutive strictly-growing samples.
+	if had && s.Goroutines > prev.Goroutines {
+		if rt.gorGrowth == 0 {
+			rt.gorBase = prev.Goroutines
+		}
+		rt.gorGrowth++
+		win, grow := m.opts.GoroutineLeakWindow, m.opts.GoroutineLeakGrowth
+		if rt.gorGrowth >= win && s.Goroutines-rt.gorBase >= grow {
+			m.runtimeTripLocked("goroutine-leak", s.Time, s.Goroutines-rt.gorBase, grow,
+				fmt.Sprintf("goroutine count grew %d samples straight, %.0f -> %.0f",
+					rt.gorGrowth, rt.gorBase, s.Goroutines))
+		}
+	} else {
+		rt.gorGrowth = 0
+	}
+
+	// Heap growth without GC progress.
+	if !had || s.GCCycles != rt.lastGC {
+		rt.lastGC = s.GCCycles
+		rt.heapBase = s.HeapInuseBytes
+	} else if grown := s.HeapInuseBytes - rt.heapBase; grown > m.opts.HeapGrowthBudget {
+		m.runtimeTripLocked("heap-growth", s.Time, grown, m.opts.HeapGrowthBudget,
+			fmt.Sprintf("heap grew %.0f MiB with no GC cycle (%.0f -> %.0f MiB)",
+				grown/(1<<20), rt.heapBase/(1<<20), s.HeapInuseBytes/(1<<20)))
+	}
+
+	// GC-pause budget.
+	if s.GCPauseMaxS > m.opts.GCPauseBudget {
+		m.runtimeTripLocked("gc-pause", s.Time, s.GCPauseMaxS, m.opts.GCPauseBudget,
+			fmt.Sprintf("stop-the-world pause %.3gs exceeds %.3gs budget",
+				s.GCPauseMaxS, m.opts.GCPauseBudget))
+	}
+}
+
+// runtimeTripLocked records a runtime watchdog verdict, blamed on the
+// modal in-flight plan stage, and fires the flight recorder. Each kind
+// trips at most once per run.
+func (m *Monitor) runtimeTripLocked(kind string, at, observed, budget float64, detail string) {
+	rt := &m.runtime
+	if rt.tripped == nil {
+		rt.tripped = map[string]bool{}
+	}
+	if rt.tripped[kind] {
+		return
+	}
+	rt.tripped[kind] = true
+
+	proc, stage := m.modalStageLocked()
+	v := Verdict{
+		Proc: proc, Phase: "runtime:" + kind, Stage: stage,
+		Observed: observed, Budget: budget, Tolerance: 1,
+		Mode: "runtime", At: at,
+	}
+	if len(m.verdicts) < 256 {
+		m.verdicts = append(m.verdicts, v)
+	}
+	m.reg.Inc("monitor/watchdog_trips")
+	m.reg.Inc("monitor/runtime_trips")
+	m.incidentLocked(Incident{
+		Kind: "runtime", Proc: proc, Time: at,
+		Detail: detail + " (blaming " + v.Phase + fmt.Sprintf(" at stage %d)", stage),
+	}, true)
+}
+
+// modalStageLocked returns the plan stage most in-flight ranks are
+// currently executing, and a representative proc at that stage — the
+// best available blame target for a process-wide runtime anomaly.
+// Returns (trace.RuntimeTrack, -1) when no plan is being tracked.
+func (m *Monitor) modalStageLocked() (string, int) {
+	votes := map[int]int{}
+	rep := map[int]string{}
+	for name, st := range m.tracks {
+		if st.unknown || m.dead[name] || st.spanCur >= len(st.exp.Spans) {
+			continue
+		}
+		stage := st.exp.Spans[st.spanCur].Stage
+		votes[stage]++
+		if cur, ok := rep[stage]; !ok || name < cur {
+			rep[stage] = name
+		}
+	}
+	bestStage, bestVotes := -1, 0
+	for stage, n := range votes {
+		if n > bestVotes || (n == bestVotes && stage < bestStage) {
+			bestStage, bestVotes = stage, n
+		}
+	}
+	if bestVotes == 0 {
+		return trace.RuntimeTrack, -1
+	}
+	return rep[bestStage], bestStage
+}
+
+// RuntimeStatus snapshots the runtime section (nil when no sampler fed
+// the monitor).
+func (m *Monitor) RuntimeStatus() *RuntimeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.runtime.samples == 0 {
+		return nil
+	}
+	return &RuntimeStatus{Samples: m.runtime.samples, Last: m.runtime.last}
+}
+
+// mergeByTs merges two time-ordered event slices into one, preserving
+// order — used to interleave the runtime ring into flight dumps.
+func mergeByTs(a, b []trace.Event) []trace.Event {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]trace.Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Ts <= b[j].Ts {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

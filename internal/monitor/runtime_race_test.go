@@ -1,0 +1,90 @@
+// The sampler-through-tee concurrency contract, exercised under -race:
+// the runtimeobs sampler publishes on its own goroutine through the same
+// trace.Tee as the plan events while the monitor consumes on the drain
+// side and HTTP-style readers snapshot status. The sampler must never
+// block the primary sink, never reorder its instants, and shut down
+// cleanly with the final sample delivered — not dropped in the tee.
+
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"senkf/internal/runtimeobs"
+	"senkf/internal/trace"
+)
+
+func TestSamplerThroughTeeConcurrentWithMonitor(t *testing.T) {
+	m := New(Options{})
+	primary := trace.NewBuffer()
+	tr := trace.New(nil, m.Tee(primary))
+	reg := trace.NewRegistry()
+
+	s := runtimeobs.NewSampler(runtimeobs.SamplerConfig{
+		Tracer: tr, Registry: reg, Interval: 2 * time.Millisecond,
+	})
+	s.Start()
+
+	// Concurrent consumers: status snapshots (the /status handler's view)
+	// and plan events sharing the tee with the sampler.
+	stop := make(chan struct{})
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = m.Status()
+			_ = m.RuntimeStatus()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		tr.Span("io/g0/r0", trace.CatPhase, "read", float64(i), float64(i)+0.5)
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	s.Stop() // takes one final synchronous sample through the still-open tee
+	sum := s.Summary()
+	close(stop)
+	<-readers
+	m.Close() // drains the tee's secondary side
+
+	if sum.Samples < 2 {
+		t.Fatalf("sampler took %d samples in 25ms at 2ms cadence", sum.Samples)
+	}
+
+	// The primary sink received every sample instant inline — including
+	// the final one Stop takes — in emission order.
+	var instants []trace.Event
+	for _, ev := range primary.Events() {
+		if ev.Track == trace.RuntimeTrack && ev.Name == runtimeobs.SampleEventName {
+			instants = append(instants, ev)
+		}
+	}
+	if len(instants) != sum.Samples {
+		t.Fatalf("primary sink saw %d sample instants, sampler took %d (final sample dropped?)",
+			len(instants), sum.Samples)
+	}
+	for i := 1; i < len(instants); i++ {
+		if instants[i].Ts < instants[i-1].Ts {
+			t.Fatalf("sample instants reordered: Ts %g after %g", instants[i].Ts, instants[i-1].Ts)
+		}
+	}
+
+	// After Close the monitor folded the identical stream off the drain
+	// side — nothing lost between tee and watchdogs.
+	rs := m.RuntimeStatus()
+	if rs == nil || int(rs.Samples) != sum.Samples {
+		t.Fatalf("monitor folded %+v, want %d samples", rs, sum.Samples)
+	}
+
+	// Stop is idempotent and the summary stable afterwards.
+	s.Stop()
+	if again := s.Summary(); again.Samples != sum.Samples {
+		t.Errorf("Summary changed after second Stop: %d -> %d", sum.Samples, again.Samples)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"senkf/internal/grid"
 	"senkf/internal/metrics"
 	"senkf/internal/obs"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 )
 
@@ -53,6 +54,12 @@ type Problem struct {
 	// live monitor can correlate injections with watchdog verdicts. Nil
 	// is the exact pre-fault execution.
 	Faults *faults.Plan
+	// Prof, when non-nil, propagates pprof labels: each rank goroutine
+	// runs under {run_id, algo, substrate, proc} and each plan stage
+	// under an additional {stage}, so CPU profiles slice by the same
+	// coordinates the trace uses (see internal/runtimeobs). Nil disables
+	// labeling at the cost of a pointer check.
+	Prof *runtimeobs.LabelSet
 }
 
 // Validate checks the problem's internal consistency.

@@ -39,3 +39,25 @@ func CaptureCPUProfile(d time.Duration) ([]byte, error) {
 	pprof.StopCPUProfile()
 	return buf.Bytes(), nil
 }
+
+// StartCPUCapture begins a whole-run CPU capture and returns the stop
+// function, which ends profiling and returns the accumulated profile.
+// The run ledger uses this (under -capture-profile) so an archived run
+// carries one labeled CPU profile spanning the entire execution — the
+// input hot-stage attribution slices by {proc, stage}. Errors if CPU
+// profiling is already running; the stop function is idempotent.
+func StartCPUCapture() (stop func() []byte, err error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("profiling: cpu capture: %w", err)
+	}
+	stopped := false
+	return func() []byte {
+		if stopped {
+			return buf.Bytes()
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		return buf.Bytes()
+	}, nil
+}

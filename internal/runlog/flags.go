@@ -18,22 +18,24 @@ type Flags struct {
 	binary string
 	fs     *flag.FlagSet
 
-	trace       *string
-	counters    *bool
-	countersCSV *string
-	profile     *string
-	monitor     *bool
-	metricsAddr *string
-	flight      *string
-	archive     *string
-	logLevel    *string
-	linger      *time.Duration
+	trace          *string
+	counters       *bool
+	countersCSV    *string
+	profile        *string
+	monitor        *bool
+	metricsAddr    *string
+	flight         *string
+	archive        *string
+	logLevel       *string
+	linger         *time.Duration
+	runtimeSample  *time.Duration
+	captureProfile *bool
 }
 
 // Register installs the full observability flag set — -trace, -counters,
 // -counters-csv, -profile, -monitor, -metrics-addr, -flight-recorder,
-// -linger, -archive and -log-level — on fs for the named binary
-// (senkf-run, senkf-cycle, senkf-bench).
+// -linger, -runtime-sample, -capture-profile, -archive and -log-level —
+// on fs for the named binary (senkf-run, senkf-cycle, senkf-bench).
 func Register(fs *flag.FlagSet, binary string) *Flags {
 	f := RegisterBasic(fs, binary)
 	f.trace = fs.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto)")
@@ -43,6 +45,8 @@ func Register(fs *flag.FlagSet, binary string) *Flags {
 	f.metricsAddr = fs.String("metrics-addr", "", "with -monitor: serve Prometheus /metrics and JSON /status on this address")
 	f.flight = fs.String("flight-recorder", "", "with -monitor: write the anomaly flight-recorder dump (Chrome trace JSON) here")
 	f.linger = fs.Duration("linger", 0, "keep serving -metrics-addr for this long after the run, so it can be scraped")
+	f.runtimeSample = fs.Duration("runtime-sample", 0, "sample runtime/metrics (goroutines, heap, GC pauses) on this cadence into the trace and registry (0 = off)")
+	f.captureProfile = fs.Bool("capture-profile", false, "with -archive: capture a whole-run labeled CPU profile and archive it with hot-stage attribution")
 	return f
 }
 
@@ -83,6 +87,18 @@ func (f *Flags) MetricsAddr() string { return strOf(f.metricsAddr) }
 // ArchiveDir returns the -archive directory.
 func (f *Flags) ArchiveDir() string { return strOf(f.archive) }
 
+// RuntimeSampleEvery returns the -runtime-sample cadence (0 when off or
+// unregistered).
+func (f *Flags) RuntimeSampleEvery() time.Duration {
+	if f.runtimeSample == nil {
+		return 0
+	}
+	return *f.runtimeSample
+}
+
+// CaptureProfileOn reports -capture-profile.
+func (f *Flags) CaptureProfileOn() bool { return boolOf(f.captureProfile) }
+
 // Linger returns the -linger duration.
 func (f *Flags) Linger() time.Duration {
 	if f.linger == nil {
@@ -112,6 +128,12 @@ func (f *Flags) validate() error {
 	}
 	if strOf(f.flight) != "" && !f.MonitorOn() {
 		return fmt.Errorf("-flight-recorder needs -monitor")
+	}
+	if f.CaptureProfileOn() && f.ArchiveDir() == "" {
+		return fmt.Errorf("-capture-profile needs -archive")
+	}
+	if d := f.RuntimeSampleEvery(); d < 0 {
+		return fmt.Errorf("-runtime-sample must be >= 0, got %s", d)
 	}
 	if _, err := ParseLevel(strOf(f.logLevel)); err != nil {
 		return err

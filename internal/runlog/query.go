@@ -56,6 +56,11 @@ type Summary struct {
 	Cycles      int     `json:"cycles,omitempty"`
 	Parent      string  `json:"parent_run_id,omitempty"`
 	ResumeCycle int     `json:"resume_cycle,omitempty"`
+	// Runtime-observability headline numbers from the attached
+	// runtime.json; zero for records archived before runtime sampling
+	// existed (rendered as blanks).
+	PeakHeapBytes float64 `json:"peak_heap_bytes,omitempty"`
+	MaxGCPauseS   float64 `json:"max_gc_pause_s,omitempty"`
 }
 
 func summarize(m *Manifest) Summary {
@@ -85,7 +90,15 @@ func (a *Archive) List(f Filter) ([]Summary, error) {
 			return nil, err
 		}
 		if f.match(&rec.Manifest) {
-			out = append(out, summarize(&rec.Manifest))
+			s := summarize(&rec.Manifest)
+			// Runtime columns come from the attached runtime.json; a
+			// record without one (pre-runtime-sampling, or the file
+			// failed verification) just leaves the columns blank.
+			if rs, err := rec.RuntimeSummary(); err == nil && rs != nil {
+				s.PeakHeapBytes = float64(rs.PeakHeapInuseBytes)
+				s.MaxGCPauseS = rs.MaxGCPauseSeconds
+			}
+			out = append(out, s)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -99,8 +112,8 @@ func (a *Archive) List(f Filter) ([]Summary, error) {
 
 // WriteListTable renders list rows as an aligned table.
 func WriteListTable(w io.Writer, rows []Summary) error {
-	if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8s %5s %s\n",
-		"RUN ID", "START (UTC)", "BINARY", "ALGO", "SUBSTRATE", "OUTCOME", "RUNTIME", "VERDICTS", "DIVS", "LINEAGE"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8s %5s %9s %8s %s\n",
+		"RUN ID", "START (UTC)", "BINARY", "ALGO", "SUBSTRATE", "OUTCOME", "RUNTIME", "VERDICTS", "DIVS", "PEAK-HEAP", "GC-PAUSE", "LINEAGE"); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -108,15 +121,37 @@ func WriteListTable(w io.Writer, rows []Summary) error {
 		if r.Runtime > 0 {
 			runtime = fmt.Sprintf("%.3fs", r.Runtime)
 		}
+		peakHeap := "-"
+		if r.PeakHeapBytes > 0 {
+			peakHeap = fmtBytes(r.PeakHeapBytes)
+		}
+		gcPause := "-"
+		if r.MaxGCPauseS > 0 {
+			gcPause = fmt.Sprintf("%.2gms", 1e3*r.MaxGCPauseS)
+		}
 		binary := strings.TrimPrefix(r.Binary, "senkf-")
-		if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8d %5d %s\n",
+		if _, err := fmt.Fprintf(w, "%-34s %-20s %-7s %-7s %-9s %-11s %9s %8d %5d %9s %8s %s\n",
 			r.RunID, r.Start, binary, orDash(r.Algorithm), orDash(r.Substrate),
-			r.Outcome, runtime, r.Verdicts, r.Divergences, lineageShort(r)); err != nil {
+			r.Outcome, runtime, r.Verdicts, r.Divergences, peakHeap, gcPause, lineageShort(r)); err != nil {
 			return err
 		}
 	}
 	_, err := fmt.Fprintf(w, "%d run(s)\n", len(rows))
 	return err
+}
+
+// fmtBytes renders a byte count compactly for the list table.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2gGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.3gMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.3gKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
 }
 
 // lineageShort renders a resumed run's ancestry compactly for the list
@@ -191,6 +226,9 @@ type Diff struct {
 	// excluded), CountersElided the number beyond the cap.
 	Counters       []ValueDelta `json:"counters,omitempty"`
 	CountersElided int          `json:"counters_elided,omitempty"`
+	// RuntimeObs compares the runtime-observability headline numbers
+	// (runtime.json); empty unless both runs archived one.
+	RuntimeObs []ValueDelta `json:"runtime_obs,omitempty"`
 }
 
 // maxCounterDeltas caps the diff's counter section.
@@ -339,6 +377,28 @@ func (a *Archive) DiffRuns(idA, idB string) (*Diff, error) {
 		deltas = deltas[:maxCounterDeltas]
 	}
 	d.Counters = deltas
+
+	// Runtime-observability deltas, when both runs archived runtime.json.
+	rta, err := ra.RuntimeSummary()
+	if err != nil {
+		return nil, err
+	}
+	rtb, err := rb.RuntimeSummary()
+	if err != nil {
+		return nil, err
+	}
+	if rta != nil && rtb != nil {
+		add := func(name string, va, vb float64) {
+			if va != 0 || vb != 0 {
+				d.RuntimeObs = append(d.RuntimeObs, ValueDelta{Name: name, A: va, B: vb, Delta: vb - va})
+			}
+		}
+		add("peak_goroutines", float64(rta.PeakGoroutines), float64(rtb.PeakGoroutines))
+		add("peak_heap_inuse_bytes", float64(rta.PeakHeapInuseBytes), float64(rtb.PeakHeapInuseBytes))
+		add("gc_cycles", float64(rta.GCCycles), float64(rtb.GCCycles))
+		add("max_gc_pause_s", rta.MaxGCPauseSeconds, rtb.MaxGCPauseSeconds)
+		add("alloc_bytes", float64(rta.AllocBytes), float64(rtb.AllocBytes))
+	}
 	return d, nil
 }
 
@@ -429,6 +489,16 @@ func (d *Diff) WriteText(w io.Writer) error {
 			}
 		}
 	}
+	if len(d.RuntimeObs) > 0 {
+		if err := p("  runtime observability:\n"); err != nil {
+			return err
+		}
+		for _, v := range d.RuntimeObs {
+			if err := p("    %-24s %12.6g -> %12.6g  (%+.6g)\n", v.Name, v.A, v.B, v.Delta); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -476,6 +546,24 @@ func metricValue(rec *Record, metric string) (float64, bool, error) {
 			return 0, false, err
 		}
 		return rep.PipelineEfficiency, true, nil
+	case "peak-heap":
+		rs, err := rec.RuntimeSummary()
+		if err != nil || rs == nil {
+			return 0, false, err
+		}
+		return float64(rs.PeakHeapInuseBytes), rs.PeakHeapInuseBytes > 0, nil
+	case "max-gc-pause":
+		rs, err := rec.RuntimeSummary()
+		if err != nil || rs == nil {
+			return 0, false, err
+		}
+		return rs.MaxGCPauseSeconds, rs.Samples > 0, nil
+	case "peak-goroutines":
+		rs, err := rec.RuntimeSummary()
+		if err != nil || rs == nil {
+			return 0, false, err
+		}
+		return float64(rs.PeakGoroutines), rs.PeakGoroutines > 0, nil
 	}
 	if rest, ok := strings.CutPrefix(metric, "stage"); ok {
 		if n, err := strconv.Atoi(strings.TrimSuffix(rest, "-efficiency")); err == nil {

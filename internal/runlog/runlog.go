@@ -36,6 +36,7 @@ import (
 
 	"senkf/internal/plan"
 	"senkf/internal/report"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 )
 
@@ -51,6 +52,13 @@ const (
 	CyclesFile   = "cycles.json"
 	TraceFile    = "trace.json"
 	FlightFile   = "flight.json"
+	// RuntimeFile is the runtime-observability summary (sampler peaks,
+	// GC stats, hot-stage attribution) written under -runtime-sample
+	// and/or -capture-profile.
+	RuntimeFile = "runtime.json"
+	// CPUProfileFile is the attached CPU profile: the whole-run labeled
+	// capture under -capture-profile, or the anomaly-hook snapshot.
+	CPUProfileFile = "profiles/cpu.pprof"
 )
 
 // SpecInfo summarizes the compiled algorithm spec in the manifest.
@@ -259,6 +267,23 @@ func (r *Record) Report() (*report.Report, error) {
 		return nil, fmt.Errorf("runlog: run %s: %s: %w", r.Manifest.RunID, ReportFile, err)
 	}
 	return &rep, nil
+}
+
+// RuntimeSummary loads and decodes the attached runtime-observability
+// summary, or nil for records archived before runtime sampling existed.
+func (r *Record) RuntimeSummary() (*runtimeobs.Summary, error) {
+	if !r.Has(RuntimeFile) {
+		return nil, nil
+	}
+	data, err := r.ReadFile(RuntimeFile)
+	if err != nil {
+		return nil, err
+	}
+	var sum runtimeobs.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("runlog: run %s: %s: %w", r.Manifest.RunID, RuntimeFile, err)
+	}
+	return &sum, nil
 }
 
 // Counters loads the attached flat counter map ("kind/name/field" keys,

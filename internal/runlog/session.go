@@ -21,6 +21,7 @@ import (
 	"senkf/internal/plan"
 	"senkf/internal/profiling"
 	"senkf/internal/report"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
 )
 
@@ -51,6 +52,10 @@ type Session struct {
 
 	profSrv    *profiling.Server
 	metricsSrv *profiling.Server
+
+	sampler *runtimeobs.Sampler
+	labels  *runtimeobs.LabelSet
+	cpuStop func() []byte // whole-run CPU capture, nil without -capture-profile
 
 	algorithm string
 	substrate string
@@ -112,6 +117,9 @@ func (f *Flags) Start() (*Session, error) {
 			RunRegistry: s.Registry,
 			RunID:       s.RunID,
 			Logger:      s.Log,
+			// Scrapes always carry the baseline go/process gauges, even
+			// when the periodic sampler is off.
+			ScrapeHook: func() { runtimeobs.CollectBaseline(s.Registry) },
 		}
 		if s.archive != nil {
 			opts.AnomalyHook = s.captureAnomalyProfiles
@@ -126,6 +134,27 @@ func (f *Flags) Start() (*Session, error) {
 		}
 		s.Tracer = trace.New(nil, sinks...)
 		s.Tracer.SetCounters(s.Registry)
+	}
+
+	if every := f.RuntimeSampleEvery(); every > 0 {
+		s.sampler = runtimeobs.NewSampler(runtimeobs.SamplerConfig{
+			Tracer:   s.Tracer,
+			Registry: s.Registry,
+			Interval: every,
+		})
+		s.sampler.Start()
+		s.Log.Info("runtime sampler started", "interval", every.String())
+	}
+	if f.CaptureProfileOn() {
+		stop, err := profiling.StartCPUCapture()
+		if err != nil {
+			// A concurrent profiler owns the CPU profile; degrade rather
+			// than fail the run.
+			s.Log.Warn("whole-run cpu capture unavailable", "err", err.Error())
+		} else {
+			s.cpuStop = stop
+			s.Log.Info("whole-run cpu capture started")
+		}
 	}
 
 	if addr := strOf(f.profile); addr != "" {
@@ -208,6 +237,12 @@ func (s *Session) PlanHash() string { return s.planHash }
 // Archive returns the session's run ledger, nil without -archive.
 func (s *Session) Archive() *Archive { return s.archive }
 
+// Labels returns the run's pprof label set for plan execution
+// (Problem.Prof, schedule/cycle Config.Prof). Nil — meaning labeling is
+// disabled, at zero cost — until Describe runs with a profiling surface
+// active; a nil *LabelSet is safe to use everywhere.
+func (s *Session) Labels() *runtimeobs.LabelSet { return s.labels }
+
 // Observer returns the monitor as a plan.RunObserver, or a nil interface
 // when the session is unmonitored (assigning a typed nil *Monitor into
 // Problem.Obs would make the interface non-nil).
@@ -223,6 +258,13 @@ func (s *Session) Observer() plan.RunObserver {
 // hand — the spec summary and content-addressed plan hash.
 func (s *Session) Describe(algorithm, substrate string, cp *plan.Compiled) {
 	s.algorithm, s.substrate = algorithm, substrate
+	// Mint the run's pprof label set when any profiling surface exists:
+	// the whole-run capture, a live /debug/pprof server, or the archive's
+	// anomaly snapshots. Labels are inherited at goroutine spawn, so this
+	// must happen before the plan executes.
+	if s.cpuStop != nil || s.profSrv != nil || s.archive != nil {
+		s.labels = runtimeobs.Labels(s.RunID, algorithm, substrate)
+	}
 	if cp != nil {
 		s.spec = SpecSummary(cp)
 		if h, err := PlanHash(cp); err == nil {
@@ -290,9 +332,14 @@ func (s *Session) captureAnomalyProfiles(kind string) {
 	} else {
 		s.Log.Warn("heap profile capture failed", "err", err.Error())
 	}
+	if s.cpuStop != nil {
+		// The whole-run capture already owns the CPU profiler and will
+		// cover the anomaly window; a second StartCPUProfile would fail.
+		return
+	}
 	if cpu, err := profiling.CaptureCPUProfile(250 * time.Millisecond); err == nil {
 		s.mu.Lock()
-		s.profiles["profiles/cpu.pprof"] = cpu
+		s.profiles[CPUProfileFile] = cpu
 		s.mu.Unlock()
 	} else {
 		s.Log.Warn("cpu profile capture failed", "err", err.Error())
@@ -333,6 +380,12 @@ func (s *Session) Finish(runErr error) error {
 		close(s.sigCh)
 	}
 
+	// Stop the runtime sampler first — Stop takes one final synchronous
+	// sample, and the tee must still be open for it to reach the monitor
+	// and the trace buffer.
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	// Drain the tee so the monitor's view is complete before we snapshot
 	// its status (the primary buffer is written inline and needs no
 	// drain).
@@ -433,6 +486,30 @@ func (s *Session) writeArchiveRecord(runErr error) (string, error) {
 	waitTimeout(&s.profWG, 3*time.Second)
 
 	files := map[string][]byte{}
+
+	// Land the whole-run CPU capture and attribute it onto the plan's
+	// trace once; the report and runtime.json both carry the result.
+	var cpuProfile []byte
+	var hot *runtimeobs.Attribution
+	var hotErr error
+	if s.cpuStop != nil {
+		cpuProfile = s.cpuStop()
+		if len(cpuProfile) > 0 {
+			files[CPUProfileFile] = cpuProfile
+			if p, err := runtimeobs.ParseProfile(cpuProfile); err != nil {
+				hotErr = err
+			} else if s.buf != nil {
+				hot, hotErr = runtimeobs.Attribute(p, s.buf.Events())
+			}
+			if hotErr != nil {
+				s.Log.Warn("hot-stage attribution failed", "err", hotErr.Error())
+			}
+		}
+	}
+
+	// Refresh the baseline go/process gauges so the archived counters
+	// carry final heap/GC/CPU numbers even without the sampler.
+	runtimeobs.CollectBaseline(s.Registry)
 	m := &Manifest{
 		RunID:     s.RunID,
 		Binary:    s.flags.binary,
@@ -493,6 +570,7 @@ func (s *Session) writeArchiveRecord(runErr error) (string, error) {
 		files[TraceFile] = data
 		if rep, err := report.Build(events, counters); err == nil {
 			m.Runtime = rep.Runtime
+			rep.Hot = hot
 			data, err := jsonMarshalIndent(rep)
 			if err != nil {
 				return "", err
@@ -501,6 +579,22 @@ func (s *Session) writeArchiveRecord(runErr error) (string, error) {
 		} else {
 			s.Log.Warn("run report not derivable from trace", "err", err.Error())
 		}
+	}
+
+	if s.sampler != nil || len(cpuProfile) > 0 {
+		var sum runtimeobs.Summary
+		if s.sampler != nil {
+			sum = s.sampler.Summary()
+		}
+		sum.HotStages = hot
+		if hotErr != nil {
+			sum.AttributionError = hotErr.Error()
+		}
+		data, err := jsonMarshalIndent(sum)
+		if err != nil {
+			return "", err
+		}
+		files[RuntimeFile] = data
 	}
 
 	if s.Monitor != nil {

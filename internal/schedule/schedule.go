@@ -36,6 +36,7 @@ import (
 	"senkf/internal/metrics"
 	"senkf/internal/parfs"
 	"senkf/internal/plan"
+	"senkf/internal/runtimeobs"
 	"senkf/internal/sim"
 	"senkf/internal/trace"
 )
@@ -62,6 +63,13 @@ type Config struct {
 	// the hook a live monitor (internal/monitor) attaches through,
 	// alongside a Tracer teeing events to it.
 	Obs plan.RunObserver
+
+	// Prof, when non-nil, runs every simulated process under its pprof
+	// proc labels (via sim.Env.SetSpawnWrapper), so profiling the
+	// simulator itself — the ROADMAP's "make it fast enough for massive
+	// sweeps" item — attributes CPU to the same proc names the trace
+	// uses. Nil disables labeling.
+	Prof *runtimeobs.LabelSet
 }
 
 // observe wraps an execution outcome through the configured RunObserver
@@ -95,6 +103,16 @@ func (c Config) installFaults(env *sim.Env, fs *parfs.FS) {
 	}
 	env.SetSlowdown(c.Faults.SlowdownFor)
 	fs.SetFaults(c.Faults)
+}
+
+// installProf wires pprof label propagation into the simulation
+// substrate: every spawned process body runs under its proc labels.
+// Nil-safe.
+func (c Config) installProf(env *sim.Env) {
+	if c.Prof == nil {
+		return
+	}
+	env.SetSpawnWrapper(c.Prof.SpawnWrapper())
 }
 
 // obs records one phase interval in both the recorder and — when tracing —
@@ -291,6 +309,7 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
+	cfg.installProf(env)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
@@ -359,6 +378,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
+	cfg.installProf(env)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
@@ -453,6 +473,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	}
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
+	cfg.installProf(env)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return Result{}, err
@@ -706,6 +727,7 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 		return 0, err
 	}
 	env := sim.NewEnv()
+	cfg.installProf(env)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return 0, err
@@ -745,6 +767,7 @@ func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
 		return 0, err
 	}
 	env := sim.NewEnv()
+	cfg.installProf(env)
 	fs, err := parfs.New(env, cfg.FS)
 	if err != nil {
 		return 0, err

@@ -61,6 +61,8 @@ type Env struct {
 
 	slowdown func(name string) float64 // per-process sleep multiplier (nil = none)
 
+	spawnWrap func(name string, fn func()) func() // per-process body wrapper (nil = none)
+
 	tracer *trace.Tracer
 }
 
@@ -88,6 +90,14 @@ func (e *Env) Tracer() *trace.Tracer { return e.tracer }
 // models. A nil fn (the default) disables dilation.
 func (e *Env) SetSlowdown(fn func(name string) float64) { e.slowdown = fn }
 
+// SetSpawnWrapper installs a wrapper applied to every process body at Go:
+// the process runs wrap(name, body)() instead of body(). runtimeobs uses
+// this to run each simulated process under its pprof proc labels; the
+// wrapper must call the wrapped body exactly once, synchronously. A nil
+// wrap (the default) disables wrapping. Must be set before processes
+// start.
+func (e *Env) SetSpawnWrapper(wrap func(name string, fn func()) func()) { e.spawnWrap = wrap }
+
 // Proc is a simulated process. Its methods must only be called from within
 // the process's own function.
 type Proc struct {
@@ -113,9 +123,13 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	if e.tracer.Detail() {
 		e.tracer.Instant(name, "sim", "start", e.now)
 	}
+	body := func() { fn(p) }
+	if e.spawnWrap != nil {
+		body = e.spawnWrap(name, body)
+	}
 	go func() {
 		<-p.resume
-		fn(p)
+		body()
 		e.live--
 		e.yieldCh <- struct{}{}
 	}()

@@ -49,6 +49,16 @@ const CatModel = "model"
 // ModelTrack is the track the cost-model events are emitted on.
 const ModelTrack = "model"
 
+// CatRuntime is the category of Go-runtime observability events: the
+// periodic "sample" instants the runtime-metrics sampler
+// (internal/runtimeobs) emits, carrying goroutine count, heap live/goal
+// and GC-pause readings as args, so a Chrome trace and the live monitor
+// see the process's runtime health on the same clock as the plan events.
+const CatRuntime = "runtime"
+
+// RuntimeTrack is the track the runtime sampler's events are emitted on.
+const RuntimeTrack = "runtime"
+
 // ArgStage is the Arg key carrying a stage index.
 const ArgStage = "stage"
 

@@ -16,6 +16,7 @@ import (
 
 	"senkf/internal/report/bench"
 	"senkf/internal/runlog"
+	"senkf/internal/runtimeobs"
 )
 
 type (
@@ -39,11 +40,52 @@ type (
 	RunDiff = runlog.Diff
 	// RunTrend is one metric's time-ordered series across archived runs.
 	RunTrend = runlog.Trend
+	// RunLabels is a run's pprof label set (RunSession.Labels); assign it
+	// to Problem.Prof / CycleConfig.Prof / Machine.Prof so CPU profiles
+	// slice by {run_id, algo, substrate, proc, stage}.
+	RunLabels = runtimeobs.LabelSet
+	// RuntimeSummary is the archived runtime-observability summary
+	// (runtime.json): sampler peaks, GC stats, hot-stage attribution.
+	RuntimeSummary = runtimeobs.Summary
+	// HotStageAttribution ranks per-{class, stage} CPU self-time from a
+	// labeled profile against trace busy time.
+	HotStageAttribution = runtimeobs.Attribution
 )
+
+// Attached-file names inside an archived run directory, for
+// RunRecord.ReadFile / Has.
+const (
+	RunTraceFile      = runlog.TraceFile
+	RunCPUProfileFile = runlog.CPUProfileFile
+	RunRuntimeFile    = runlog.RuntimeFile
+)
+
+// AttributeHotStages parses a raw labeled CPU profile (pprof bytes) and
+// merges it onto the run's trace events: per-{class, stage} CPU
+// self-time ranked against trace busy time.
+func AttributeHotStages(profile []byte, events []TraceEvent) (*HotStageAttribution, error) {
+	p, err := runtimeobs.ParseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	return runtimeobs.Attribute(p, events)
+}
+
+// ProfileStageLabels returns the sorted distinct plan-stage labels
+// present in a raw CPU profile — the smoke check that label propagation
+// covered every plan stage.
+func ProfileStageLabels(profile []byte) ([]int, error) {
+	p, err := runtimeobs.ParseProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	return runtimeobs.ProfileStages(p), nil
+}
 
 // RegisterRunFlags installs the full observability flag set (-trace,
 // -counters, -counters-csv, -profile, -monitor, -metrics-addr,
-// -flight-recorder, -linger, -archive, -log-level) for the named binary.
+// -flight-recorder, -linger, -runtime-sample, -capture-profile,
+// -archive, -log-level) for the named binary.
 func RegisterRunFlags(fs *flag.FlagSet, binary string) *RunFlags {
 	return runlog.Register(fs, binary)
 }

@@ -33,12 +33,29 @@ if bad=$(grep -E "$forbidden" <<<"$deps"); then
     exit 1
 fi
 
-for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel; do
+for need in senkf/internal/plan senkf/internal/trace senkf/internal/costmodel senkf/internal/runtimeobs; do
     if ! grep -qx "$need" <<<"$deps"; then
         echo "FAIL: senkf/internal/monitor no longer builds on $need" >&2
         exit 1
     fi
 done
+
+# internal/runtimeobs sits below the plan layer: pprof labels, the
+# runtime/metrics sampler and hot-stage attribution are pure
+# stdlib + trace machinery that plan (Problem.Prof), both engines, the
+# monitor and the ledger all consume. It must import nothing above
+# trace — especially not plan or a substrate — or the label set could
+# not ride inside plan.Problem without a cycle.
+deps=$(go list -deps senkf/internal/runtimeobs)
+if bad=$(grep -E 'senkf/internal/(mpi|ensio|sim|parfs|plan|monitor|runlog|report|core|schedule|cycle)$' <<<"$deps"); then
+    echo "FAIL: senkf/internal/runtimeobs must sit below the plan layer (stdlib + trace only):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+if ! grep -qx 'senkf/internal/trace' <<<"$deps"; then
+    echo "FAIL: senkf/internal/runtimeobs no longer publishes through senkf/internal/trace" >&2
+    exit 1
+fi
 
 # internal/runlog is the persistent run ledger: it archives what every
 # substrate produced (trace, counters, report, monitor state), so like the
@@ -89,4 +106,4 @@ for eng in senkf/internal/core senkf/internal/schedule; do
     fi
 done
 
-echo "OK: plan, monitor, report and runlog layers are substrate-free; ckpt builds on ensio only; core and schedule build on plan"
+echo "OK: plan, monitor, report and runlog layers are substrate-free; runtimeobs sits below plan; ckpt builds on ensio only; core and schedule build on plan"
