@@ -127,6 +127,10 @@ func main() {
 		"inflation":    fmt.Sprintf("%g", *inflate),
 		"obs-stride-x": "2", "obs-stride-y": "2",
 		"seed": strconv.FormatUint(*seed, 10),
+		// The cycle driver is single-level; pinning the level count keeps a
+		// multilevel checkpoint tree from silently resuming here (and vice
+		// versa) once cycled multilevel runs exist.
+		"levels": "1",
 	}
 
 	st := senkf.CycleState{Truth: truth, Ensemble: ensemble}

@@ -28,6 +28,7 @@ func main() {
 		members = flag.Int("members", senkf.LaptopScale.Members, "ensemble size N")
 		spread  = flag.Float64("spread", senkf.LaptopScale.Spread, "background ensemble spread")
 		seed    = flag.Uint64("seed", senkf.LaptopScale.Seed, "generation seed")
+		levels  = flag.Int("levels", 1, "vertical levels per member file (level-interleaved layout)")
 	)
 	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-gen")
 	flag.Parse()
@@ -45,6 +46,28 @@ func main() {
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		sess.Fatal(fmt.Errorf("creating output directory: %w", err))
+	}
+	if *levels > 1 {
+		// Multilevel ensemble: one truth per vertical level, members stored
+		// with level-interleaved layout so a bar read fetches all levels.
+		truths, err := senkf.GenerateTruthLevels(mesh, senkf.DefaultFieldSpec, *levels, *seed)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		fields, err := senkf.GenerateEnsembleLevels(mesh, truths, *members, *spread, *seed)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		paths, err := senkf.WriteEnsembleLevels(*dir, mesh, fields)
+		if err != nil {
+			sess.Fatal(fmt.Errorf("writing member files (is %s writable, with enough space?): %w", *dir, err))
+		}
+		fmt.Printf("wrote %d members (%dx%dx%d grid) to %s\n", len(paths), *nx, *ny, *levels, *dir)
+		fmt.Printf("first file: %s\n", paths[0])
+		if err := sess.Finish(nil); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	truth := senkf.GenerateTruth(mesh, senkf.DefaultFieldSpec, *seed)
 	fields, err := senkf.GenerateEnsemble(mesh, truth, *members, *spread, *seed)

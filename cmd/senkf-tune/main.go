@@ -32,6 +32,7 @@ func main() {
 		intensity = flag.Float64("fault-intensity", 0, "with -simulate: re-simulate the tuned schedule under a generated fault plan of this intensity (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plan")
 		explain   = flag.Bool("explain", false, "print the full Algorithm 1/2 search table: every curve, the Eq. 13 earnings rates and the ε stopping point")
+		levels    = flag.Int("levels", 0, "vertical level count: every Eq. 7-10 term is priced with the level factor (0 = single level)")
 	)
 	obs := senkf.RegisterBasicRunFlags(flag.CommandLine, "senkf-tune")
 	flag.Parse()
@@ -47,9 +48,18 @@ func main() {
 	}
 
 	machine := senkf.DefaultMachine()
+	if *levels < 0 {
+		log.Fatalf("-levels must be non-negative, got %d", *levels)
+	}
+	machine.P.Levels = *levels
 	p := machine.P
-	fmt.Printf("problem: %dx%d grid, %d members, h=%dB, ξ=%d η=%d\n",
-		p.NX, p.NY, p.N, p.H, p.Xi, p.Eta)
+	if lv := p.LevelCount(); lv > 1 {
+		fmt.Printf("problem: %dx%dx%d grid, %d members, h=%dB (%dB/level), ξ=%d η=%d\n",
+			p.NX, p.NY, lv, p.N, int(p.BytesPerPoint()), p.H, p.Xi, p.Eta)
+	} else {
+		fmt.Printf("problem: %dx%d grid, %d members, h=%dB, ξ=%d η=%d\n",
+			p.NX, p.NY, p.N, p.H, p.Xi, p.Eta)
+	}
 
 	tc := senkf.TuneConstraints{MaxL: *maxL, MaxNCg: *maxNCg}
 	var tuned senkf.Tuned

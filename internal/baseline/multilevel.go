@@ -2,73 +2,22 @@ package baseline
 
 import (
 	"fmt"
-	"time"
 
-	"senkf/internal/enkf"
-	"senkf/internal/ensio"
+	"senkf/internal/core"
 	"senkf/internal/grid"
-	"senkf/internal/metrics"
-	"senkf/internal/mpi"
 	"senkf/internal/plan"
-	"senkf/internal/trace"
 )
 
 // MultiLevelProblem is the shared multi-level problem type, declared in
 // internal/plan.
 type MultiLevelProblem = plan.MultiLevelProblem
 
-const resultTag = 1 << 20
-
-// observe logs a wall-clock interval relative to t0 in the recorder (if
-// set) and as a trace span (if tracing).
-func observe(p MultiLevelProblem, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
-	if p.Rec != nil {
-		p.Rec.Record(proc, ph, f, t)
-	}
-	if p.Tr.Enabled() {
-		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
-	}
-}
-
-// addIOStats feeds one member file's addressing counters into the tracer's
-// registry, mirroring the engine's accounting.
-func addIOStats(tr *trace.Tracer, st ensio.IOStats) {
-	if reg := tr.Counters(); reg != nil {
-		reg.Add("ensio.seeks", float64(st.Seeks))
-		reg.Add("ensio.bytes", float64(st.BytesRead))
-		reg.Add("ensio.reads", float64(st.Reads))
-	}
-}
-
-// flattenBlock serializes a block's members into one slice.
-func flattenBlock(b *enkf.Block) []float64 {
-	pts := b.Box.Points()
-	out := make([]float64, len(b.Data)*pts)
-	for k, d := range b.Data {
-		copy(out[k*pts:(k+1)*pts], d)
-	}
-	return out
-}
-
-// unflattenBlock inverts flattenBlock.
-func unflattenBlock(box grid.Box, n int, data []float64) (*enkf.Block, error) {
-	pts := box.Points()
-	if len(data) != n*pts {
-		return nil, fmt.Errorf("baseline: block payload has %d values, want %d", len(data), n*pts)
-	}
-	b := enkf.NewBlock(box, n)
-	for k := 0; k < n; k++ {
-		copy(b.Data[k], data[k*pts:(k+1)*pts])
-	}
-	return b, nil
-}
-
 // RunPEnKFMultiLevel executes the block-reading baseline over a multi-level
 // ensemble: every rank block-reads its expansion *of every level* from
 // every member file — paying the per-row addressing penalty on rows that
 // are now levels × heavier — and assimilates level by level. The analysis
-// is returned as [level][member][]field.
+// is returned as [level][member][]field. Like the single-level baselines,
+// it is a thin spec wrapper over the shared engine.
 func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -76,93 +25,9 @@ func RunPEnKFMultiLevel(p MultiLevelProblem, dec grid.Decomposition) ([][][]floa
 	if dec.Mesh != p.Cfg.Mesh {
 		return nil, fmt.Errorf("baseline: decomposition mesh %v differs from config mesh %v", dec.Mesh, p.Cfg.Mesh)
 	}
-	levels := len(p.Nets)
-	np := dec.SubDomains()
-	w, err := mpi.NewWorld(np)
+	c, err := plan.Compile(plan.PEnKF(dec, p.Cfg.N).WithLevels(p.Levels()))
 	if err != nil {
 		return nil, err
 	}
-	w.SetTracer(p.Tr)
-	var fields [][][]float64
-	t0 := time.Now()
-	err = w.Run(func(c *mpi.Comm) error {
-		i, j := dec.CoordsOf(c.Rank())
-		name := metrics.ComputeName(i, j)
-		exp := dec.Expansion(i, j)
-		blks := make([]*enkf.Block, levels)
-		for lvl := range blks {
-			blks[lvl] = enkf.NewBlock(exp, p.Cfg.N)
-		}
-
-		readStart := time.Now()
-		for k := 0; k < p.Cfg.N; k++ {
-			mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-			if err != nil {
-				return err
-			}
-			if mf.Header.LevelCount() != levels {
-				mf.Close()
-				return fmt.Errorf("baseline: member %d has %d levels, problem has %d", k, mf.Header.LevelCount(), levels)
-			}
-			data, err := mf.ReadBlockLevels(exp)
-			addIOStats(p.Tr, mf.Stats())
-			mf.Close()
-			if err != nil {
-				return err
-			}
-			for lvl := 0; lvl < levels; lvl++ {
-				blks[lvl].Data[k] = data[lvl]
-			}
-		}
-		observe(p, name, metrics.PhaseRead, t0, readStart, time.Now())
-
-		compStart := time.Now()
-		results := make([]*enkf.Block, levels)
-		for lvl := 0; lvl < levels; lvl++ {
-			out, err := p.Cfg.AnalyzeBox(blks[lvl], p.Nets[lvl].InBox(exp), dec.SubDomain(i, j))
-			if err != nil {
-				return err
-			}
-			results[lvl] = out
-		}
-		observe(p, name, metrics.PhaseCompute, t0, compStart, time.Now())
-
-		// Gather per level at rank 0.
-		if c.Rank() != 0 {
-			for lvl, res := range results {
-				meta := []int{lvl, res.Box.X0, res.Box.X1, res.Box.Y0, res.Box.Y1}
-				if err := c.Send(0, resultTag+lvl, meta, flattenBlock(res)); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		out := make([][][]float64, levels)
-		for lvl := 0; lvl < levels; lvl++ {
-			blocks := []*enkf.Block{results[lvl]}
-			for r := 1; r < np; r++ {
-				m, err := c.Recv(mpi.AnySource, resultTag+lvl)
-				if err != nil {
-					return err
-				}
-				box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-				blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
-				if err != nil {
-					return err
-				}
-				blocks = append(blocks, blk)
-			}
-			f, err := enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
-			if err != nil {
-				return err
-			}
-			out[lvl] = f
-		}
-		fields = out
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
+	return core.ExecutePlanLevels(p.Problem(), c)
 }

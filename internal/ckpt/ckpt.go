@@ -97,6 +97,21 @@ type State struct {
 	// RunID is the run-ledger identity of the writing run; a resumed run
 	// records it as its parent, giving senkf-report the lineage chain.
 	RunID string
+	// Levels is the vertical level count of the checkpointed state; 0 means
+	// 1 (single-level). For Levels > 1 the Truth, Ensemble and Free fields
+	// hold each level's row-major field concatenated level-major: level l
+	// occupies [l·points, (l+1)·points). On disk, members are stored in
+	// ensio's level-interleaved layout, so a resumed multilevel run reads
+	// them with the same one-seek bar reads the engine uses.
+	Levels int
+}
+
+// LevelCount returns the state's effective level count (Levels, 0 → 1).
+func (s State) LevelCount() int {
+	if s.Levels <= 0 {
+		return 1
+	}
+	return s.Levels
 }
 
 // Manifest is the CRC-guarded head of one checkpoint.
@@ -106,6 +121,7 @@ type Manifest struct {
 	NX           int               `json:"nx"`
 	NY           int               `json:"ny"`
 	Members      int               `json:"members"`
+	Levels       int               `json:"levels,omitempty"`
 	Seed         uint64            `json:"seed"`
 	RunID        string            `json:"run_id,omitempty"`
 	PlanHash     string            `json:"plan_hash,omitempty"`
@@ -184,8 +200,12 @@ func validateState(m grid.Mesh, st State) error {
 	if st.Cycle < 0 {
 		return fmt.Errorf("ckpt: negative cycle %d", st.Cycle)
 	}
-	if len(st.Truth) != m.Points() {
-		return fmt.Errorf("ckpt: truth has %d points, mesh %dx%d has %d", len(st.Truth), m.NX, m.NY, m.Points())
+	if st.Levels < 0 {
+		return fmt.Errorf("ckpt: negative level count %d", st.Levels)
+	}
+	want := m.Points() * st.LevelCount()
+	if len(st.Truth) != want {
+		return fmt.Errorf("ckpt: truth has %d points, mesh %dx%d × %d levels has %d", len(st.Truth), m.NX, m.NY, st.LevelCount(), want)
 	}
 	if len(st.Ensemble) < 2 {
 		return fmt.Errorf("ckpt: ensemble has %d members, need at least 2", len(st.Ensemble))
@@ -194,13 +214,13 @@ func validateState(m grid.Mesh, st State) error {
 		return fmt.Errorf("ckpt: free control has %d members, ensemble has %d", len(st.Free), len(st.Ensemble))
 	}
 	for k, f := range st.Ensemble {
-		if len(f) != m.Points() {
-			return fmt.Errorf("ckpt: member %d has %d points, mesh has %d", k, len(f), m.Points())
+		if len(f) != want {
+			return fmt.Errorf("ckpt: member %d has %d points, state wants %d", k, len(f), want)
 		}
 	}
 	for k, f := range st.Free {
-		if len(f) != m.Points() {
-			return fmt.Errorf("ckpt: free member %d has %d points, mesh has %d", k, len(f), m.Points())
+		if len(f) != want {
+			return fmt.Errorf("ckpt: free member %d has %d points, state wants %d", k, len(f), want)
 		}
 	}
 	return nil
@@ -223,6 +243,7 @@ func Write(dir string, m grid.Mesh, st State) (string, error) {
 	}
 	defer os.RemoveAll(stage) // no-op after the final rename
 
+	lv := st.LevelCount()
 	man := Manifest{
 		Schema: Schema,
 		Cycle:  st.Cycle,
@@ -235,16 +256,33 @@ func Write(dir string, m grid.Mesh, st State) (string, error) {
 		History:  st.History,
 		Files:    map[string]string{},
 	}
+	if lv > 1 {
+		man.Levels = lv
+	}
 	if len(st.Config) > 0 {
 		man.ConfigDigest = DigestConfig(st.Config)
 	}
 
 	// Stage every field as an ensio member file (each one staged, synced
-	// and renamed on its own), then hash it into the manifest.
+	// and renamed on its own), then hash it into the manifest. Multilevel
+	// fields arrive level-major and land level-interleaved (the engine's
+	// on-disk layout).
 	write := func(rel string, member int, field []float64) error {
 		path := filepath.Join(stage, filepath.FromSlash(rel))
-		if err := ensio.WriteMember(path, ensio.Header{NX: m.NX, NY: m.NY, Member: member}, field); err != nil {
-			return err
+		hdr := ensio.Header{NX: m.NX, NY: m.NY, Member: member}
+		if lv == 1 {
+			if err := ensio.WriteMember(path, hdr, field); err != nil {
+				return err
+			}
+		} else {
+			pts := m.Points()
+			levels := make([][]float64, lv)
+			for l := range levels {
+				levels[l] = field[l*pts : (l+1)*pts]
+			}
+			if err := ensio.WriteMemberLevels(path, hdr, levels); err != nil {
+				return err
+			}
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -357,10 +395,14 @@ func Load(path string) (*Loaded, error) {
 	if got != want {
 		return nil, fmt.Errorf("ckpt: %s: manifest CRC %s, recorded %s — corrupted manifest", path, got, want)
 	}
-	if man.NX <= 0 || man.NY <= 0 || man.Members < 2 {
-		return nil, fmt.Errorf("ckpt: %s: invalid geometry %dx%d with %d members", path, man.NX, man.NY, man.Members)
+	if man.NX <= 0 || man.NY <= 0 || man.Members < 2 || man.Levels < 0 {
+		return nil, fmt.Errorf("ckpt: %s: invalid geometry %dx%d with %d members, %d levels", path, man.NX, man.NY, man.Members, man.Levels)
 	}
 	m := grid.Mesh{NX: man.NX, NY: man.NY}
+	lv := man.Levels
+	if lv <= 0 {
+		lv = 1
+	}
 
 	// Every attached file must exist with its recorded content address.
 	for _, rel := range sortedNames(man.Files) {
@@ -382,10 +424,23 @@ func Load(path string) (*Loaded, error) {
 			return nil, err
 		}
 		defer mf.Close()
-		if err := mf.CheckGeometry(m.NX, m.NY, 1, member); err != nil {
+		if err := mf.CheckGeometry(m.NX, m.NY, lv, member); err != nil {
 			return nil, err
 		}
-		return mf.ReadAll()
+		if lv == 1 {
+			return mf.ReadAll()
+		}
+		// One bar read over the whole mesh fetches every level; concatenate
+		// back to the state's level-major layout.
+		levels, err := mf.ReadBarLevels(0, m.NY)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, 0, m.Points()*lv)
+		for _, f := range levels {
+			out = append(out, f...)
+		}
+		return out, nil
 	}
 	st := State{
 		Cycle:    man.Cycle,
@@ -394,6 +449,7 @@ func Load(path string) (*Loaded, error) {
 		PlanHash: man.PlanHash,
 		RunID:    man.RunID,
 		History:  man.History,
+		Levels:   man.Levels,
 	}
 	if st.Truth, err = read(truthFile, 0); err != nil {
 		return nil, err

@@ -1,0 +1,110 @@
+package ckpt
+
+import (
+	"strings"
+	"testing"
+
+	"senkf/internal/grid"
+	"senkf/internal/workload"
+)
+
+// testStateML builds a multilevel cycled-run state: level-major
+// concatenated fields, as the State contract specifies.
+func testStateML(t *testing.T, m grid.Mesh, cycle, n, levels int) State {
+	t.Helper()
+	truths, err := workload.TruthLevels(m, workload.FieldSpec{Modes: 3, Amplitude: 3, Noise: 0.05}, levels, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := workload.EnsembleLevels(m, truths, n, 1.2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := workload.EnsembleLevels(m, truths, n, 1.2, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := func(perLevel [][]float64) []float64 {
+		var out []float64
+		for _, f := range perLevel {
+			out = append(out, f...)
+		}
+		return out
+	}
+	st := State{
+		Cycle:    cycle,
+		Truth:    cat(truths),
+		Ensemble: make([][]float64, n),
+		Free:     make([][]float64, n),
+		Seed:     77,
+		Config:   map[string]string{"nx": "12", "ny": "8", "levels": "3"},
+		Levels:   levels,
+	}
+	for k := 0; k < n; k++ {
+		st.Ensemble[k] = cat(ens[k])
+		st.Free[k] = cat(free[k])
+	}
+	return st
+}
+
+// TestMultiLevelCheckpointResume round-trips a multilevel cycled-run state
+// through Write and Latest: the resume path must restore every level of
+// every member bit for bit, and the manifest must record the level count.
+func TestMultiLevelCheckpointResume(t *testing.T) {
+	const levels = 3
+	m := testMesh(t)
+	dir := t.TempDir()
+	st := testStateML(t, m, 5, 4, levels)
+	if _, err := Write(dir, m, st); err != nil {
+		t.Fatal(err)
+	}
+	l, skipped, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 || l == nil {
+		t.Fatalf("latest skipped %d, loaded %v", len(skipped), l)
+	}
+	if l.Manifest.Levels != levels || l.State.LevelCount() != levels {
+		t.Fatalf("levels: manifest %d, state %d, want %d", l.Manifest.Levels, l.State.LevelCount(), levels)
+	}
+	if l.State.Cycle != st.Cycle {
+		t.Fatalf("cycle %d, want %d", l.State.Cycle, st.Cycle)
+	}
+	for i := range st.Truth {
+		if l.State.Truth[i] != st.Truth[i] {
+			t.Fatalf("truth point %d differs", i)
+		}
+	}
+	for k := range st.Ensemble {
+		for i := range st.Ensemble[k] {
+			if l.State.Ensemble[k][i] != st.Ensemble[k][i] {
+				t.Fatalf("member %d point %d differs", k, i)
+			}
+			if l.State.Free[k][i] != st.Free[k][i] {
+				t.Fatalf("free member %d point %d differs", k, i)
+			}
+		}
+	}
+	// The config digest pins the level dimension: a run driven with a
+	// different levels value must not silently resume this tree.
+	other := map[string]string{"nx": "12", "ny": "8", "levels": "1"}
+	if DigestConfig(other) == l.Manifest.ConfigDigest {
+		t.Fatal("config digest does not distinguish level counts")
+	}
+}
+
+// TestMultiLevelStateValidation pins the level-aware geometry guards.
+func TestMultiLevelStateValidation(t *testing.T) {
+	m := testMesh(t)
+	st := testStateML(t, m, 0, 4, 3)
+	st.Levels = -1
+	if _, err := Write(t.TempDir(), m, st); err == nil || !strings.Contains(err.Error(), "negative level") {
+		t.Fatalf("negative levels accepted: %v", err)
+	}
+	st = testStateML(t, m, 0, 4, 3)
+	st.Levels = 2 // fields carry 3 levels of points
+	if _, err := Write(t.TempDir(), m, st); err == nil {
+		t.Fatal("level/point mismatch accepted")
+	}
+}

@@ -93,9 +93,26 @@ func cutPayload(bar []float64, barBox, dst grid.Box, nx int) []float64 {
 	return payload
 }
 
-// ExecutePlan runs a compiled plan on the real substrate and returns the
-// analysis ensemble assembled at world rank 0 (a compute rank).
+// ExecutePlan runs a compiled single-level plan on the real substrate and
+// returns the analysis ensemble assembled at world rank 0 (a compute rank).
 func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
+	out, err := ExecutePlanLevels(p, c)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, nil
+	}
+	return out[0], nil
+}
+
+// ExecutePlanLevels runs a compiled plan on the real substrate and returns
+// the analysis as [level][member][]field, assembled at world rank 0. It is
+// the one orchestration loop behind every real entry point: a single-level
+// problem (Levels() == 1) produces exactly the classic execution — same
+// reads, tags, spans and bits — with the result wrapped in a one-element
+// level slice.
+func ExecutePlanLevels(p plan.Problem, c *plan.Compiled) ([][][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -104,6 +121,9 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 	}
 	if c.Spec.N != p.Cfg.N {
 		return nil, fmt.Errorf("core: plan compiled for %d members, config has %d", c.Spec.N, p.Cfg.N)
+	}
+	if c.Spec.LevelCount() != p.Levels() {
+		return nil, fmt.Errorf("core: plan compiled for %d levels, problem has %d", c.Spec.LevelCount(), p.Levels())
 	}
 	w, err := mpi.NewWorld(c.WorldSize())
 	if err != nil {
@@ -114,7 +134,7 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 		p.Obs.BeginRun(c)
 	}
 	announceFaults(p)
-	var fields [][]float64
+	var fields [][][]float64
 	t0 := time.Now()
 	err = w.Run(func(comm *mpi.Comm) error {
 		// Each rank body runs under its proc-name pprof scope, so CPU
@@ -153,6 +173,7 @@ func ExecutePlan(p plan.Problem, c *plan.Compiled) ([][]float64, error) {
 func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t0 time.Time, sc *runtimeobs.Scope) error {
 	staged := c.Staged()
 	nx := p.Cfg.Mesh.NX
+	nl := c.Spec.LevelCount()
 	slow := p.Faults.SlowdownFor(r.Name)
 
 	// Keep the rank's member files open across stages — each stage reads a
@@ -169,7 +190,7 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 		if err != nil {
 			return err
 		}
-		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, nl, k); err != nil {
 			mf.Close()
 			return err
 		}
@@ -185,28 +206,41 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 
 		err := sc.Stage(tag, func() error {
 			// Read phase: the stage's contiguous region of each member — one
-			// addressing operation per member read (bar reading, §4.1.2).
+			// addressing operation per member read (bar reading, §4.1.2),
+			// fetching every level of the stage rows at once on multilevel
+			// files (the level-interleaved layout's co-design).
 			readStart := time.Now()
-			bars := make([][]float64, len(st.Members))
+			bars := make([][][]float64, len(st.Members))
 			for mi, k := range st.Members {
-				bar, err := files[k].ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
-				if err != nil {
-					return err
+				if nl == 1 {
+					bar, err := files[k].ReadBar(st.Read.Box.Y0, st.Read.Box.Y1)
+					if err != nil {
+						return err
+					}
+					bars[mi] = [][]float64{bar}
+				} else {
+					lb, err := files[k].ReadBarLevels(st.Read.Box.Y0, st.Read.Box.Y1)
+					if err != nil {
+						return err
+					}
+					bars[mi] = lb
 				}
-				bars[mi] = bar
 			}
 			stretch(p, r.Name, t0, readStart, slow)
 			observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), tag)
 
-			// Comm phase: every destination gets its stage box of every member.
+			// Comm phase: every destination gets its stage box of every
+			// member, one message per level.
 			commStart := time.Now()
 			for mi, k := range st.Members {
 				for _, dst := range st.Comm.Dsts {
 					box := c.Compute[dst].Stages[st.Stage].Box
 					meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
-					payload := cutPayload(bars[mi], st.Read.Box, box, nx)
-					if err := comm.Send(dst, stageTag(st.Stage, c.Spec.N, k), meta, payload); err != nil {
-						return err
+					for lvl := 0; lvl < nl; lvl++ {
+						payload := cutPayload(bars[mi][lvl], st.Read.Box, box, nx)
+						if err := comm.Send(dst, c.Spec.Tag(st.Stage, k, lvl), meta, payload); err != nil {
+							return err
+						}
 					}
 				}
 			}
@@ -226,14 +260,15 @@ func engineIO(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.IORank, t
 // main flow stage by stage; self-read stages block-read the member files
 // directly. The main flow analyses each stage's region and accumulates the
 // sub-domain result, gathered at world rank 0.
-func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time, sc *runtimeobs.Scope) ([][]float64, error) {
+func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.ComputeRank, t0 time.Time, sc *runtimeobs.Scope) ([][][]float64, error) {
 	staged := c.Staged()
 	n := c.Spec.N
+	nl := c.Spec.LevelCount()
 	slow := p.Faults.SlowdownFor(r.Name)
 
 	type stageData struct {
-		blk *enkf.Block
-		err error
+		blks []*enkf.Block // one per level
+		err  error
 	}
 	var assembled chan stageData
 	recvStages := 0
@@ -245,31 +280,36 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 	if recvStages > 0 {
 		assembled = make(chan stageData, recvStages)
 		// Helper thread: receive the Expect per-member blocks of each
-		// message stage, assemble them, and hand the stage over. The
-		// goroutine inherits the rank's pprof labels at spawn; each
-		// stage's receive/assemble work is additionally stage-tagged.
+		// message stage (one per level), assemble them, and hand the stage
+		// over. The goroutine inherits the rank's pprof labels at spawn;
+		// each stage's receive/assemble work is additionally stage-tagged.
 		go func() {
 			for _, st := range r.Stages {
 				st := st
 				if st.Expect == 0 {
 					continue
 				}
-				var blk *enkf.Block
+				var blks []*enkf.Block
 				err := sc.Stage(st.Stage, func() error {
-					blk = enkf.NewBlock(st.Box, n)
+					blks = make([]*enkf.Block, nl)
+					for lvl := range blks {
+						blks[lvl] = enkf.NewBlock(st.Box, n)
+					}
 					for k := 0; k < st.Expect; k++ {
-						m, err := comm.Recv(mpi.AnySource, stageTag(st.Stage, n, k))
-						if err != nil {
-							return err
+						for lvl := 0; lvl < nl; lvl++ {
+							m, err := comm.Recv(mpi.AnySource, c.Spec.Tag(st.Stage, k, lvl))
+							if err != nil {
+								return err
+							}
+							box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
+							if box != st.Box {
+								return fmt.Errorf("core: stage %d member %d box %v, want %v", st.Stage, k, box, st.Box)
+							}
+							if len(m.Data) != st.Box.Points() {
+								return fmt.Errorf("core: stage %d member %d payload %d, want %d", st.Stage, k, len(m.Data), st.Box.Points())
+							}
+							blks[lvl].Data[m.Meta[0]] = m.Data
 						}
-						box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-						if box != st.Box {
-							return fmt.Errorf("core: stage %d member %d box %v, want %v", st.Stage, k, box, st.Box)
-						}
-						if len(m.Data) != st.Box.Points() {
-							return fmt.Errorf("core: stage %d member %d payload %d, want %d", st.Stage, k, len(m.Data), st.Box.Points())
-						}
-						blk.Data[m.Meta[0]] = m.Data
 					}
 					return nil
 				})
@@ -283,12 +323,15 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 					p.Tr.Instant(r.Name, trace.CatStage, "ready", time.Since(t0).Seconds(),
 						trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
 				}
-				assembled <- stageData{blk: blk}
+				assembled <- stageData{blks: blks}
 			}
 		}()
 	}
 
-	result := enkf.NewBlock(r.Sub, n)
+	results := make([]*enkf.Block, nl)
+	for lvl := range results {
+		results[lvl] = enkf.NewBlock(r.Sub, n)
+	}
 	for _, st := range r.Stages {
 		st := st
 		tag := -1
@@ -297,7 +340,7 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 		}
 
 		err := sc.Stage(tag, func() error {
-			var blk *enkf.Block
+			var blks []*enkf.Block
 			if st.Expect > 0 {
 				waitStart := time.Now()
 				sd := <-assembled
@@ -305,42 +348,62 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 					return sd.err
 				}
 				observe(p, r.Name, metrics.PhaseWait, t0, waitStart, time.Now(), -1)
-				blk = sd.blk
+				blks = sd.blks
 			} else {
 				// Block reading (§2.3): the rank reads its own expansion from
-				// every member file, one addressing operation per row.
-				blk = enkf.NewBlock(st.Box, n)
+				// every member file, one addressing operation per row — rows
+				// that are levels× heavier on multilevel files.
+				blks = make([]*enkf.Block, nl)
+				for lvl := range blks {
+					blks[lvl] = enkf.NewBlock(st.Box, n)
+				}
 				for _, k := range st.SelfMembers {
 					readStart := time.Now()
 					mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
 					if err != nil {
 						return err
 					}
-					if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, 1, k); err != nil {
+					if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, nl, k); err != nil {
 						mf.Close()
 						return err
 					}
-					data, err := mf.ReadBlock(st.Read.Box)
-					addIOStats(p.Tr, mf.Stats())
-					mf.Close()
-					if err != nil {
-						return err
+					if nl == 1 {
+						data, err := mf.ReadBlock(st.Read.Box)
+						addIOStats(p.Tr, mf.Stats())
+						mf.Close()
+						if err != nil {
+							return err
+						}
+						blks[0].Data[k] = data
+					} else {
+						data, err := mf.ReadBlockLevels(st.Read.Box)
+						addIOStats(p.Tr, mf.Stats())
+						mf.Close()
+						if err != nil {
+							return err
+						}
+						for lvl := 0; lvl < nl; lvl++ {
+							blks[lvl].Data[k] = data[lvl]
+						}
 					}
-					blk.Data[k] = data
 					stretch(p, r.Name, t0, readStart, slow)
 					observe(p, r.Name, metrics.PhaseRead, t0, readStart, time.Now(), -1)
 				}
 			}
 
+			// One compute span covers the stage's level loop: levels scale
+			// the analysis work, not the stage topology.
 			compStart := time.Now()
-			out, err := p.Cfg.AnalyzeBox(blk, p.Net.InBox(st.Box), st.Analyze)
-			if err != nil {
-				return err
-			}
-			for k := 0; k < n; k++ {
-				for y := st.Analyze.Y0; y < st.Analyze.Y1; y++ {
-					for x := st.Analyze.X0; x < st.Analyze.X1; x++ {
-						result.Set(k, x, y, out.At(k, x, y))
+			for lvl := 0; lvl < nl; lvl++ {
+				out, err := p.Cfg.AnalyzeBox(blks[lvl], p.NetAt(lvl).InBox(st.Box), st.Analyze)
+				if err != nil {
+					return err
+				}
+				for k := 0; k < n; k++ {
+					for y := st.Analyze.Y0; y < st.Analyze.Y1; y++ {
+						for x := st.Analyze.X0; x < st.Analyze.X1; x++ {
+							results[lvl].Set(k, x, y, out.At(k, x, y))
+						}
 					}
 				}
 			}
@@ -357,28 +420,42 @@ func engineCompute(comm *mpi.Comm, p plan.Problem, c *plan.Compiled, r plan.Comp
 		}
 	}
 
-	return gatherResults(comm, p.Cfg, result, c.NumCompute())
+	return gatherResults(comm, p.Cfg, results, c.NumCompute())
 }
 
-// gatherResults sends each compute rank's analysis block to world rank 0
-// and assembles the full fields there. Other ranks return nil fields.
-func gatherResults(comm *mpi.Comm, cfg enkf.Config, mine *enkf.Block, contributors int) ([][]float64, error) {
+// gatherResults sends each compute rank's per-level analysis blocks to
+// world rank 0 and assembles the full fields there, level by level (tag
+// resultTag+level). Other ranks return nil fields.
+func gatherResults(comm *mpi.Comm, cfg enkf.Config, mine []*enkf.Block, contributors int) ([][][]float64, error) {
 	if comm.Rank() != 0 {
-		meta := []int{mine.Box.X0, mine.Box.X1, mine.Box.Y0, mine.Box.Y1}
-		return nil, comm.Send(0, resultTag, meta, flattenBlock(mine))
+		for lvl, res := range mine {
+			meta := []int{res.Box.X0, res.Box.X1, res.Box.Y0, res.Box.Y1}
+			if err := comm.Send(0, resultTag+lvl, meta, flattenBlock(res)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
 	}
-	blocks := []*enkf.Block{mine}
-	for i := 1; i < contributors; i++ {
-		m, err := comm.Recv(mpi.AnySource, resultTag)
+	out := make([][][]float64, len(mine))
+	for lvl := range mine {
+		blocks := []*enkf.Block{mine[lvl]}
+		for i := 1; i < contributors; i++ {
+			m, err := comm.Recv(mpi.AnySource, resultTag+lvl)
+			if err != nil {
+				return nil, err
+			}
+			box := grid.Box{X0: m.Meta[0], X1: m.Meta[1], Y0: m.Meta[2], Y1: m.Meta[3]}
+			blk, err := unflattenBlock(box, cfg.N, m.Data)
+			if err != nil {
+				return nil, err
+			}
+			blocks = append(blocks, blk)
+		}
+		fields, err := enkf.Assemble(cfg.Mesh, cfg.N, blocks)
 		if err != nil {
 			return nil, err
 		}
-		box := grid.Box{X0: m.Meta[0], X1: m.Meta[1], Y0: m.Meta[2], Y1: m.Meta[3]}
-		blk, err := unflattenBlock(box, cfg.N, m.Data)
-		if err != nil {
-			return nil, err
-		}
-		blocks = append(blocks, blk)
+		out[lvl] = fields
 	}
-	return enkf.Assemble(cfg.Mesh, cfg.N, blocks)
+	return out, nil
 }

@@ -2,15 +2,8 @@ package core
 
 import (
 	"fmt"
-	"time"
 
-	"senkf/internal/enkf"
-	"senkf/internal/ensio"
-	"senkf/internal/grid"
-	"senkf/internal/metrics"
-	"senkf/internal/mpi"
 	"senkf/internal/plan"
-	"senkf/internal/trace"
 )
 
 // MultiLevelProblem is the shared multi-level problem type, declared in
@@ -23,26 +16,11 @@ import (
 // operation.
 type MultiLevelProblem = plan.MultiLevelProblem
 
-// observeML mirrors observe for the multi-level problem type.
-func observeML(p MultiLevelProblem, proc string, ph metrics.Phase, t0 time.Time, from, to time.Time) {
-	f, t := from.Sub(t0).Seconds(), to.Sub(t0).Seconds()
-	if p.Rec != nil {
-		p.Rec.Record(proc, ph, f, t)
-	}
-	if p.Tr.Enabled() {
-		p.Tr.Span(proc, trace.CatPhase, ph.String(), f, t)
-	}
-}
-
-// mlTag gives every (stage, member, level) triple a distinct message tag.
-func mlTag(stage, nMembers, member, levels, level int) int {
-	return (stage*nMembers+member)*levels + level
-}
-
 // RunSEnKFMultiLevel executes the S-EnKF schedule over a multi-level
 // ensemble and returns the analysis as [level][member][]field, assembled at
-// world rank 0. The per-rank schedule is the same compiled plan RunSEnKF
-// executes; the level dimension rides along inside each read and message.
+// world rank 0. It is a thin spec wrapper: the same plan RunSEnKF compiles,
+// with the level dimension set, handed to the one shared engine — the level
+// loop lives inside ExecutePlanLevels, not here.
 func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -53,195 +31,9 @@ func RunSEnKFMultiLevel(p MultiLevelProblem, pl Plan) ([][][]float64, error) {
 	if err := pl.Validate(p.Cfg.N); err != nil {
 		return nil, err
 	}
-	cp, err := plan.Compile(pl.Spec(p.Cfg.N))
+	c, err := plan.Compile(pl.Spec(p.Cfg.N).WithLevels(p.Levels()))
 	if err != nil {
 		return nil, err
 	}
-	w, err := mpi.NewWorld(cp.WorldSize())
-	if err != nil {
-		return nil, err
-	}
-	w.SetTracer(p.Tr)
-	var fields [][][]float64
-	t0 := time.Now()
-	err = w.Run(func(c *mpi.Comm) error {
-		if c.Rank() < cp.NumCompute() {
-			f, err := runComputeML(c, p, cp, t0)
-			if err != nil {
-				return err
-			}
-			if c.Rank() == 0 {
-				fields = f
-			}
-			return nil
-		}
-		return runIOML(c, p, cp, t0)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
-}
-
-// runIOML is the multi-level I/O rank: one bar read per (stage, file)
-// fetches every level at once; the per-level column blocks are then cut out
-// and streamed to the compute ranks.
-func runIOML(c *mpi.Comm, p MultiLevelProblem, cp *plan.Compiled, t0 time.Time) error {
-	me := cp.IO[c.Rank()-cp.NumCompute()]
-	name := me.Name
-	levels := p.Levels()
-
-	var files []*ensio.MemberFile
-	defer func() {
-		for _, f := range files {
-			addIOStats(p.Tr, f.Stats())
-			f.Close()
-		}
-	}()
-	for _, k := range me.Members {
-		mf, err := ensio.OpenMember(ensio.MemberPath(p.Dir, k))
-		if err != nil {
-			return err
-		}
-		if err := mf.CheckGeometry(p.Cfg.Mesh.NX, p.Cfg.Mesh.NY, levels, k); err != nil {
-			mf.Close()
-			return err
-		}
-		files = append(files, mf)
-	}
-
-	for _, st := range me.Stages {
-		lb := st.Read.Box
-		for fi, mf := range files {
-			k := me.Members[fi]
-			readStart := time.Now()
-			bars, err := mf.ReadBarLevels(lb.Y0, lb.Y1) // all levels, one seek
-			if err != nil {
-				return err
-			}
-			observeML(p, name, metrics.PhaseRead, t0, readStart, time.Now())
-
-			commStart := time.Now()
-			for _, dst := range st.Comm.Dsts {
-				box := cp.Compute[dst].Stages[st.Stage].Box
-				meta := []int{k, box.X0, box.X1, box.Y0, box.Y1}
-				for lvl := 0; lvl < levels; lvl++ {
-					payload := cutPayload(bars[lvl], lb, box, p.Cfg.Mesh.NX)
-					if err := c.Send(dst, mlTag(st.Stage, p.Cfg.N, k, levels, lvl), meta, payload); err != nil {
-						return err
-					}
-				}
-			}
-			observeML(p, name, metrics.PhaseComm, t0, commStart, time.Now())
-		}
-	}
-	return nil
-}
-
-// runComputeML is the multi-level compute rank: the helper goroutine
-// assembles one block per level per stage while the main flow analyses the
-// previous stage, level by level.
-func runComputeML(c *mpi.Comm, p MultiLevelProblem, cp *plan.Compiled, t0 time.Time) ([][][]float64, error) {
-	me := cp.Compute[c.Rank()]
-	name := me.Name
-	levels := p.Levels()
-
-	type stageData struct {
-		blks []*enkf.Block // one per level
-		err  error
-	}
-	stages := make(chan stageData, len(me.Stages))
-
-	go func() {
-		for _, st := range me.Stages {
-			exp := st.Box
-			blks := make([]*enkf.Block, levels)
-			for lvl := range blks {
-				blks[lvl] = enkf.NewBlock(exp, p.Cfg.N)
-			}
-			for k := 0; k < p.Cfg.N; k++ {
-				for lvl := 0; lvl < levels; lvl++ {
-					m, err := c.Recv(mpi.AnySource, mlTag(st.Stage, p.Cfg.N, k, levels, lvl))
-					if err != nil {
-						stages <- stageData{err: err}
-						return
-					}
-					box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-					if box != exp || len(m.Data) != exp.Points() {
-						stages <- stageData{err: fmt.Errorf("core: stage %d member %d level %d: bad block %v/%d", st.Stage, k, lvl, box, len(m.Data))}
-						return
-					}
-					blks[lvl].Data[m.Meta[0]] = m.Data
-				}
-			}
-			if p.Tr.Enabled() {
-				p.Tr.Instant(name, trace.CatStage, "ready", time.Since(t0).Seconds(),
-					trace.Arg{Key: trace.ArgStage, Val: float64(st.Stage)})
-			}
-			stages <- stageData{blks: blks}
-		}
-	}()
-
-	results := make([]*enkf.Block, levels)
-	for lvl := range results {
-		results[lvl] = enkf.NewBlock(me.Sub, p.Cfg.N)
-	}
-	for _, st := range me.Stages {
-		waitStart := time.Now()
-		sd := <-stages
-		if sd.err != nil {
-			return nil, sd.err
-		}
-		observeML(p, name, metrics.PhaseWait, t0, waitStart, time.Now())
-
-		layer := st.Analyze
-		compStart := time.Now()
-		for lvl := 0; lvl < levels; lvl++ {
-			out, err := p.Cfg.AnalyzeBox(sd.blks[lvl], p.Nets[lvl].InBox(sd.blks[lvl].Box), layer)
-			if err != nil {
-				return nil, err
-			}
-			for k := 0; k < p.Cfg.N; k++ {
-				for y := layer.Y0; y < layer.Y1; y++ {
-					for x := layer.X0; x < layer.X1; x++ {
-						results[lvl].Set(k, x, y, out.At(k, x, y))
-					}
-				}
-			}
-		}
-		observeML(p, name, metrics.PhaseCompute, t0, compStart, time.Now())
-	}
-
-	// Gather per-level sub-domain results at rank 0.
-	if c.Rank() != 0 {
-		for lvl, res := range results {
-			meta := []int{lvl, res.Box.X0, res.Box.X1, res.Box.Y0, res.Box.Y1}
-			if err := c.Send(0, resultTag+lvl, meta, flattenBlock(res)); err != nil {
-				return nil, err
-			}
-		}
-		return nil, nil
-	}
-	out := make([][][]float64, levels)
-	for lvl := 0; lvl < levels; lvl++ {
-		blocks := []*enkf.Block{results[lvl]}
-		for r := 1; r < cp.NumCompute(); r++ {
-			m, err := c.Recv(mpi.AnySource, resultTag+lvl)
-			if err != nil {
-				return nil, err
-			}
-			box := grid.Box{X0: m.Meta[1], X1: m.Meta[2], Y0: m.Meta[3], Y1: m.Meta[4]}
-			blk, err := unflattenBlock(box, p.Cfg.N, m.Data)
-			if err != nil {
-				return nil, err
-			}
-			blocks = append(blocks, blk)
-		}
-		fields, err := enkf.Assemble(p.Cfg.Mesh, p.Cfg.N, blocks)
-		if err != nil {
-			return nil, err
-		}
-		out[lvl] = fields
-	}
-	return out, nil
+	return ExecutePlanLevels(p.Problem(), c)
 }

@@ -381,7 +381,7 @@ func runIOResilient(c *mpi.Comm, p Problem, cp *plan.Compiled, r Resilience, t0 
 					box := cp.Compute[dst].Stages[l].Box
 					payload := cutPayload(bar, st.Read.Box, box, p.Cfg.Mesh.NX)
 					meta := []int{posOf[k], box.X0, box.X1, box.Y0, box.Y1}
-					if err := c.Send(dst, stageTag(l, effN, posOf[k]), meta, payload); err != nil {
+					if err := c.Send(dst, plan.Tag(l, effN, 1, posOf[k], 0), meta, payload); err != nil {
 						return err
 					}
 				}
@@ -432,7 +432,7 @@ func runComputeResilient(c *mpi.Comm, p Problem, cp *plan.Compiled, r Resilience
 			exp := me.Stages[l].Box
 			blk := enkf.NewBlock(exp, effN)
 			for s := 0; s < effN; s++ {
-				m, err := c.Recv(mpi.AnySource, stageTag(l, effN, s))
+				m, err := c.Recv(mpi.AnySource, plan.Tag(l, effN, 1, s, 0))
 				if err != nil {
 					stages <- stageData{err: err}
 					return

@@ -71,10 +71,9 @@ func (pl Plan) Spec(n int) plan.Spec { return plan.SEnKF(pl.Dec, n, pl.L, pl.NCg
 // Problem is the shared real-run problem type, declared in internal/plan.
 type Problem = plan.Problem
 
+// resultTag is the base tag of the final gather: level l's result blocks
+// travel under resultTag+l, far above the plan.Tag stage-tag space.
 const resultTag = 1 << 20
-
-// stageTag gives every (stage, member) pair a distinct message tag.
-func stageTag(l, nMembers, k int) int { return l*nMembers + k }
 
 // RunSEnKF executes the full S-EnKF schedule and returns the analysis
 // ensemble (assembled at world rank 0).

@@ -32,13 +32,34 @@ type Params struct {
 	Theta float64 // transfer time per byte from disk to memory (s/B)
 	Xi    int     // radius of influence along longitude (ξ)
 	Eta   int     // radius of influence along latitude (η)
-	H     int     // volume of data per grid point (bytes)
+	H     int     // volume of data per grid point per level (bytes)
+	// Levels is the vertical level count the plan layer's Spec.Levels
+	// mirrors. 0 means 1 (single-level). Levels scales the per-point byte
+	// volume (h = Levels × H enters Eqs. 7–8) and the per-point analysis
+	// work (Eq. 9 runs once per level) — the explicit factor the paper
+	// folds into h, kept separate here so T_comp is priced honestly.
+	Levels int
 }
+
+// LevelCount returns the effective level count (Levels, with 0 → 1).
+func (p Params) LevelCount() int {
+	if p.Levels <= 0 {
+		return 1
+	}
+	return p.Levels
+}
+
+// BytesPerPoint is the total per-grid-point volume entering the I/O and
+// communication terms: h bytes per level times the level count.
+func (p Params) BytesPerPoint() float64 { return float64(p.H) * float64(p.LevelCount()) }
 
 // Validate reports parameter errors.
 func (p Params) Validate() error {
 	if p.N < 1 || p.NX < 1 || p.NY < 1 || p.H < 1 {
 		return fmt.Errorf("costmodel: non-positive problem size N=%d nx=%d ny=%d h=%d", p.N, p.NX, p.NY, p.H)
+	}
+	if p.Levels < 0 {
+		return fmt.Errorf("costmodel: negative level count %d", p.Levels)
 	}
 	if p.A < 0 || p.B < 0 || p.C < 0 || p.Theta < 0 {
 		return fmt.Errorf("costmodel: negative cost coefficients")
@@ -87,7 +108,7 @@ func log2p1(x float64) float64 { return math.Log2(1 + x) }
 // of (n_y/(n_sdy·L) + 2η)·n_x points from each of its N/n_cg files.
 func (p Params) TRead(c Choice) float64 {
 	rows := float64(p.NY)/(float64(c.NSdy)*float64(c.L)) + 2*float64(p.Eta)
-	perFile := rows * float64(p.NX) * float64(p.H) * p.Theta
+	perFile := rows * float64(p.NX) * p.BytesPerPoint() * p.Theta
 	return perFile * float64(p.N) / float64(c.NCg) * log2p1(float64(c.NCg*c.NSdy))
 }
 
@@ -96,14 +117,17 @@ func (p Params) TRead(c Choice) float64 {
 func (p Params) TComm(c Choice) float64 {
 	rows := float64(p.NY)/(float64(c.NSdy)*float64(c.L)) + 2*float64(p.Eta)
 	cols := float64(p.NX)/float64(c.NSdx) + 2*float64(p.Xi)
-	bytes := rows * cols * float64(p.N) / float64(c.NCg) * float64(p.H)
+	bytes := rows * cols * float64(p.N) / float64(c.NCg) * p.BytesPerPoint()
 	// Eq. (8)'s depth factor log(n_cg + 1) already includes the +1.
 	return float64(c.NSdx) * math.Log2(float64(c.NCg)+1) * (p.A + p.B*bytes)
 }
 
-// TComp is Eq. (9): local analysis cost of one layer.
+// TComp is Eq. (9): local analysis cost of one layer — run once per
+// vertical level, so a multilevel configuration pays Levels × the
+// single-level analysis (the engine's per-stage level loop).
 func (p Params) TComp(c Choice) float64 {
-	return p.C * (float64(p.NY) / (float64(c.NSdy) * float64(c.L))) * (float64(p.NX) / float64(c.NSdx))
+	perLevel := p.C * (float64(p.NY) / (float64(c.NSdy) * float64(c.L))) * (float64(p.NX) / float64(c.NSdx))
+	return perLevel * float64(p.LevelCount())
 }
 
 // T1 is the objective of optimization problem (11): T_read + T_comm, the

@@ -142,6 +142,11 @@ type Options struct {
 	// Figure 12: the T1 model curve and measurements at fixed C2.
 	Fig12C2    int
 	Fig12MaxC1 int
+	// MLLevels enables the multilevel bench cell: the S-EnKF schedule is
+	// re-tuned and re-simulated with this many vertical levels (the paper's
+	// h = levels × 8 bytes priced explicitly in Eq. 7–10). 0 or 1 disables
+	// the cell.
+	MLLevels int
 }
 
 // PaperOptions reproduces the evaluation at the paper's scale: processor
@@ -162,6 +167,7 @@ func PaperOptions() Options {
 		Fig10Files:  120,
 		Fig12C2:     2000,
 		Fig12MaxC1:  600,
+		MLLevels:    30,
 	}
 }
 
@@ -195,6 +201,7 @@ func QuickOptions() Options {
 		Fig10Files:  24,
 		Fig12C2:     40,
 		Fig12MaxC1:  80,
+		MLLevels:    3,
 	}
 }
 
@@ -203,9 +210,10 @@ func QuickOptions() Options {
 type Suite struct {
 	O Options
 
-	mu    sync.Mutex
-	penkf map[int]schedule.Result
-	senkf map[int]senkfEntry
+	mu      sync.Mutex
+	penkf   map[int]schedule.Result
+	senkf   map[int]senkfEntry
+	senkfML map[int]senkfEntry
 }
 
 type senkfEntry struct {
@@ -216,9 +224,10 @@ type senkfEntry struct {
 // NewSuite creates an empty suite over the given options.
 func NewSuite(o Options) *Suite {
 	return &Suite{
-		O:     o,
-		penkf: map[int]schedule.Result{},
-		senkf: map[int]senkfEntry{},
+		O:       o,
+		penkf:   map[int]schedule.Result{},
+		senkf:   map[int]senkfEntry{},
+		senkfML: map[int]senkfEntry{},
 	}
 }
 
@@ -276,6 +285,39 @@ func (s *Suite) SEnKFAt(np int) (schedule.Result, costmodel.Tuned, error) {
 	}
 	s.mu.Lock()
 	s.senkf[np] = senkfEntry{res: res, tuned: tuned}
+	s.mu.Unlock()
+	return res, tuned, nil
+}
+
+// SEnKFMLAt auto-tunes and simulates the multilevel S-EnKF run at np
+// processors: the same compiled plan with Spec.Levels = O.MLLevels, and the
+// cost model pricing every Eq. 7–10 term with the level factor. The result
+// is labelled "S-EnKF-ML" so bench records keep the multilevel cell
+// distinct from the single-level row (its runtimes scale with levels and
+// must never be compared against the folded-h baseline).
+func (s *Suite) SEnKFMLAt(np int) (schedule.Result, costmodel.Tuned, error) {
+	if s.O.MLLevels <= 1 {
+		return schedule.Result{}, costmodel.Tuned{}, fmt.Errorf("figures: multilevel cell disabled (MLLevels=%d)", s.O.MLLevels)
+	}
+	s.mu.Lock()
+	if e, ok := s.senkfML[np]; ok {
+		s.mu.Unlock()
+		return e.res, e.tuned, nil
+	}
+	s.mu.Unlock()
+	cfg := s.O.Cfg
+	cfg.P.Levels = s.O.MLLevels
+	tuned, ok := cfg.P.AutoTuneConstrained(np, s.O.Eps, s.O.Constraints)
+	if !ok {
+		return schedule.Result{}, costmodel.Tuned{}, fmt.Errorf("figures: auto-tuner found no multilevel configuration for np=%d", np)
+	}
+	res, err := schedule.SimulateSEnKF(cfg, tuned.Choice)
+	if err != nil {
+		return schedule.Result{}, costmodel.Tuned{}, err
+	}
+	res.Algorithm = "S-EnKF-ML"
+	s.mu.Lock()
+	s.senkfML[np] = senkfEntry{res: res, tuned: tuned}
 	s.mu.Unlock()
 	return res, tuned, nil
 }

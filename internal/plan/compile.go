@@ -27,10 +27,22 @@ type ReadTemplate struct {
 	// count for blocks (Eq. 2). Nominal means unclamped — boundary ranks
 	// count the same as interior ranks, as in the paper's cost model.
 	AddrOps int
-	// NominalPoints is the unclamped point count of one member read, used
-	// by the cost model and the simulated file system.
+	// NominalPoints is the unclamped point count of one member read, *per
+	// level*: the 2-D geometry of Eqs. 2 and 5. Multiply by Levels for the
+	// full fetched volume.
 	NominalPoints int
+	// Levels is the level count fetched by one read. The member files
+	// interleave levels per grid point, so a contiguous bar read fetches
+	// all levels of its rows at the same AddrOps cost (the co-design that
+	// makes 3-D states ride the Eq. 5 accounting unchanged); block reads
+	// pay the same per-row addressing but each row is Levels× heavier.
+	Levels int
 }
+
+// PointsAllLevels returns the nominal point count of one member read
+// across every fetched level — the volume the simulated file system and
+// the cost model price.
+func (r ReadTemplate) PointsAllLevels() int { return r.NominalPoints * r.Levels }
 
 // CommPlan describes the sends an I/O rank performs after the reads of one
 // stage: the aggregated stage blocks go to Dsts (compute world ranks, in
@@ -263,8 +275,9 @@ func (b BarReader) compile(s Spec, c *Compiled) error {
 					Read: ReadTemplate{
 						Box:           lb,
 						Contiguous:    true,
-						AddrOps:       1, // Eq. 5: one addressing op per small bar
+						AddrOps:       1, // Eq. 5: one addressing op per small bar, all levels
 						NominalPoints: barRows * d.Mesh.NX,
+						Levels:        s.LevelCount(),
 					},
 					Comm: CommPlan{
 						Dsts:         rowDsts[j],
@@ -304,6 +317,7 @@ func (BlockReader) compile(s Spec, c *Compiled) error {
 				Contiguous:    false,
 				AddrOps:       nomRows, // Eq. 2: one addressing op per nominal expansion row
 				NominalPoints: nominalExpansion(d),
+				Levels:        s.LevelCount(),
 			},
 			Box:     exp,
 			Analyze: d.SubDomain(i, j),
@@ -338,6 +352,7 @@ func (SingleReader) compile(s Spec, c *Compiled) error {
 		Contiguous:    true,
 		AddrOps:       1, // one addressing op per whole-file read
 		NominalPoints: d.Mesh.NX * d.Mesh.NY,
+		Levels:        s.LevelCount(), // always 1: SingleReader rejects multilevel
 	}
 	comm := CommPlan{Dsts: dsts, PerDstPoints: nominalExpansion(d)}
 	// One round per member: read it in full, scatter every rank's
@@ -357,10 +372,17 @@ func (SingleReader) compile(s Spec, c *Compiled) error {
 	return nil
 }
 
-// String summarises the compiled plan for diagnostics.
+// String summarises the compiled plan for diagnostics. The level clause
+// appears only on multilevel plans, so single-level plan hashes (runlog's
+// PlanHash is a digest of Dump, whose header this is) are unchanged by the
+// level dimension's existence.
 func (c *Compiled) String() string {
-	return fmt.Sprintf("%s: %d compute + %d io ranks, %d stages, %d addressing ops",
+	s := fmt.Sprintf("%s: %d compute + %d io ranks, %d stages, %d addressing ops",
 		c.Spec.Algorithm, len(c.Compute), len(c.IO), c.Spec.L, c.TotalAddrOps())
+	if lv := c.Spec.LevelCount(); lv > 1 {
+		s += fmt.Sprintf(", %d levels", lv)
+	}
+	return s
 }
 
 // Dump writes the full per-rank schedule in a readable form: every I/O

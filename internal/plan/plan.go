@@ -40,6 +40,12 @@ type Problem struct {
 	Cfg enkf.Config
 	Dir string       // directory containing the member files
 	Net *obs.Network // full observation network (small; read by everyone)
+	// Nets, when non-empty, makes the problem multilevel: member files
+	// carry len(Nets) vertical levels interleaved per grid point (the
+	// paper's h = levels × 8 bytes), and level l is assimilated against
+	// Nets[l]. Net is ignored when Nets is set; when Nets is empty the
+	// problem is the ordinary single-level one over Net.
+	Nets []*obs.Network
 	// Rec, when non-nil, receives wall-clock phase intervals.
 	Rec *metrics.Recorder
 	// Tr, when non-nil and enabled, receives phase spans per rank.
@@ -67,7 +73,13 @@ func (p Problem) Validate() error {
 	if err := p.Cfg.Validate(); err != nil {
 		return err
 	}
-	if p.Net == nil {
+	if len(p.Nets) > 0 {
+		for l, n := range p.Nets {
+			if n == nil {
+				return fmt.Errorf("plan: nil network at level %d", l)
+			}
+		}
+	} else if p.Net == nil {
 		return fmt.Errorf("plan: nil observation network")
 	}
 	if p.Dir == "" {
@@ -76,15 +88,47 @@ func (p Problem) Validate() error {
 	return nil
 }
 
+// Levels returns the problem's vertical level count (1 for single-level).
+func (p Problem) Levels() int {
+	if len(p.Nets) > 0 {
+		return len(p.Nets)
+	}
+	return 1
+}
+
+// NetAt returns the observation network of level l: Nets[l] for a
+// multilevel problem, Net otherwise.
+func (p Problem) NetAt(l int) *obs.Network {
+	if len(p.Nets) > 0 {
+		return p.Nets[l]
+	}
+	return p.Net
+}
+
 // MultiLevelProblem is the 3-D variant of Problem: member files carry
 // several vertical levels interleaved per grid point (the paper's
-// h = levels × 8 bytes), each level with its own observation network.
+// h = levels × 8 bytes), each level with its own observation network. It
+// is a convenience view — Problem() converts it to the shared Problem the
+// engine executes, so multilevel runs get every Problem capability
+// (observers, fault injection, pprof labels) for free.
 type MultiLevelProblem struct {
 	Cfg  enkf.Config // per-level analysis parameters (shared)
 	Dir  string
 	Nets []*obs.Network // one network per vertical level
 	Rec  *metrics.Recorder
 	Tr   *trace.Tracer
+	// Obs, Faults and Prof mirror the Problem hooks of the same names.
+	Obs    RunObserver
+	Faults *faults.Plan
+	Prof   *runtimeobs.LabelSet
+}
+
+// Problem converts the multilevel view to the shared engine problem.
+func (p MultiLevelProblem) Problem() Problem {
+	return Problem{
+		Cfg: p.Cfg, Dir: p.Dir, Nets: p.Nets,
+		Rec: p.Rec, Tr: p.Tr, Obs: p.Obs, Faults: p.Faults, Prof: p.Prof,
+	}
 }
 
 // Validate checks the problem.
@@ -184,6 +228,9 @@ func (SingleReader) validate(s Spec) error {
 	if s.L != 1 {
 		return fmt.Errorf("plan: single-reader scattering is single-stage, got L=%d", s.L)
 	}
+	if s.LevelCount() != 1 {
+		return fmt.Errorf("plan: single-reader scattering is single-level, got %d levels", s.LevelCount())
+	}
 	return nil
 }
 
@@ -197,6 +244,43 @@ type Spec struct {
 	N         int // ensemble members
 	L         int // pipeline stages (layers per sub-domain); 1 for the baselines
 	Reader    ReaderStrategy
+	// Levels is the vertical level count of the member files (the paper's
+	// h = levels × 8 bytes per grid point). 0 means 1 (single-level); use
+	// LevelCount for the effective value. Levels does not change the plan's
+	// rank/stage topology — every read fetches all levels of its region at
+	// the same addressing-op cost (the bar-reading co-design), every send
+	// carries one level's block, and compute analyses level by level inside
+	// each stage.
+	Levels int
+}
+
+// LevelCount returns the effective level count (Levels, with 0 → 1).
+func (s Spec) LevelCount() int {
+	if s.Levels <= 0 {
+		return 1
+	}
+	return s.Levels
+}
+
+// WithLevels returns a copy of the spec with the level dimension set.
+func (s Spec) WithLevels(levels int) Spec {
+	s.Levels = levels
+	return s
+}
+
+// Tag gives every (stage, member, level) triple a distinct message tag in
+// the plan's tag space. With levels = 1 it reduces to the classic
+// stage·n + member single-level tag, so single-level runs are
+// bit-compatible with plans compiled before the level dimension existed.
+func Tag(stage, nMembers, levels, member, level int) int {
+	return (stage*nMembers+member)*levels + level
+}
+
+// Tag returns the message tag of (stage, member, level) under this spec's
+// ensemble size and level count — the one tag derivation both the real
+// engine and any replay share.
+func (s Spec) Tag(stage, member, level int) int {
+	return Tag(stage, s.N, s.LevelCount(), member, level)
 }
 
 // SEnKF declares the paper's schedule: bar reading in ncg concurrent
@@ -225,6 +309,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Dec.NSdx <= 0 || s.Dec.NSdy <= 0 {
 		return fmt.Errorf("plan: invalid decomposition %dx%d", s.Dec.NSdx, s.Dec.NSdy)
+	}
+	if s.Levels < 0 {
+		return fmt.Errorf("plan: negative level count %d", s.Levels)
 	}
 	return s.Reader.validate(s)
 }

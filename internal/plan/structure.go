@@ -101,7 +101,11 @@ func StructuralDAG(events []trace.Event) map[string]*TrackDAG {
 }
 
 // ExpectedDAG derives the structural signature a conforming interpreter of
-// this plan must produce, on either substrate.
+// this plan must produce, on either substrate. The level dimension does not
+// appear: a multilevel plan has the same span/release topology as its
+// single-level twin, because every read fetches all levels at once and
+// every stage's per-level sends and analyses ride inside the stage's one
+// comm/compute span — levels change weights, never shape.
 func (c *Compiled) ExpectedDAG() map[string]*TrackDAG {
 	staged := c.Staged()
 	tag := func(stage int) int {

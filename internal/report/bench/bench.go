@@ -99,6 +99,30 @@ func FromSuite(s *figures.Suite, scale string) (Record, error) {
 			run.Drift = d.Terms
 		}
 		rec.Runs = append(rec.Runs, run)
+		if s.O.MLLevels > 1 {
+			mres, mtuned, err := s.SEnKFMLAt(np)
+			if err != nil {
+				return Record{}, err
+			}
+			ml := Run{
+				Algorithm: mres.Algorithm, NP: mres.NP, Runtime: mres.Runtime,
+				FirstStage: mres.FirstStage, OverlapFraction: mres.OverlapFraction,
+				IO: mres.IO, Compute: mres.Compute,
+			}
+			mt := mtuned
+			ml.Tuned = &mt
+			if l := float64(mtuned.Choice.L); l > 0 {
+				mp := s.O.Cfg.P
+				mp.Levels = s.O.MLLevels
+				d := mp.Drift(mtuned.Choice, costmodel.Measured{
+					TRead: mres.IO.Read / l,
+					TComm: mres.IO.Comm / l,
+					TComp: mres.Compute.Compute / l,
+				})
+				ml.Drift = d.Terms
+			}
+			rec.Runs = append(rec.Runs, ml)
+		}
 	}
 	return rec, nil
 }

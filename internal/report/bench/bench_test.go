@@ -20,13 +20,16 @@ func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.Runs) != 2 {
-		t.Fatalf("got %d runs, want 2 (P-EnKF + S-EnKF)", len(rec.Runs))
+	if len(rec.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3 (P-EnKF + S-EnKF + S-EnKF-ML)", len(rec.Runs))
 	}
-	var senkfRun *Run
+	var senkfRun, mlRun *Run
 	for i := range rec.Runs {
-		if rec.Runs[i].Tuned != nil {
+		if rec.Runs[i].Tuned != nil && rec.Runs[i].Algorithm == "S-EnKF" {
 			senkfRun = &rec.Runs[i]
+		}
+		if rec.Runs[i].Algorithm == "S-EnKF-ML" {
+			mlRun = &rec.Runs[i]
 		}
 		if rec.Runs[i].Runtime <= 0 {
 			t.Fatalf("run %d has runtime %g", i, rec.Runs[i].Runtime)
@@ -34,6 +37,15 @@ func TestBenchRecordRoundTripAndCompare(t *testing.T) {
 	}
 	if senkfRun == nil || len(senkfRun.Drift) == 0 {
 		t.Fatal("S-EnKF run carries no tuner choice or drift terms")
+	}
+	// The multilevel cell is its own row, priced with the level factor: a
+	// 3-level run must cost strictly more than its single-level twin, and
+	// must never be key-matched against it by the regression gate.
+	if mlRun == nil || mlRun.Tuned == nil || len(mlRun.Drift) == 0 {
+		t.Fatal("S-EnKF-ML run missing, or carries no tuner choice or drift terms")
+	}
+	if mlRun.Runtime <= senkfRun.Runtime {
+		t.Fatalf("multilevel runtime %g not above single-level %g", mlRun.Runtime, senkfRun.Runtime)
 	}
 
 	dir := t.TempDir()

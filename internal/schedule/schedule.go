@@ -165,7 +165,8 @@ func emitModelPrediction(tr *trace.Tracer, p costmodel.Params, ch costmodel.Choi
 		trace.Arg{Key: "theta", Val: p.Theta},
 		trace.Arg{Key: "xi", Val: float64(p.Xi)},
 		trace.Arg{Key: "eta", Val: float64(p.Eta)},
-		trace.Arg{Key: "h", Val: float64(p.H)})
+		trace.Arg{Key: "h", Val: float64(p.H)},
+		trace.Arg{Key: "levels", Val: float64(p.LevelCount())})
 }
 
 // Validate checks both halves and their consistency.
@@ -282,7 +283,10 @@ func decompose(p costmodel.Params, nsdx, nsdy int) (grid.Decomposition, error) {
 
 // nominalBytes converts a plan's nominal point count to bytes at h bytes
 // per grid point. All factors are exact small integers, so the product is
-// exact in float64 regardless of association.
+// exact in float64 regardless of association. Callers fold the level
+// dimension into the point count (ReadTemplate.PointsAllLevels, or an
+// explicit × LevelCount on communication volumes) so the plan's Levels and
+// the cost model's H stay separate factors.
 func nominalBytes(points, h int) float64 {
 	return float64(points) * float64(h)
 }
@@ -303,7 +307,7 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cp, err := plan.Compile(plan.PEnKF(dec, cfg.P.N))
+	cp, err := plan.Compile(plan.PEnKF(dec, cfg.P.N).WithLevels(cfg.P.LevelCount()))
 	if err != nil {
 		return Result{}, err
 	}
@@ -322,22 +326,24 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	cfg.announceFaults(tr)
 
+	lv := cp.Spec.LevelCount()
 	for q := range cp.Compute {
 		cr := &cp.Compute[q]
 		env.Go(cr.Name, func(p *sim.Proc) {
 			for _, st := range cr.Stages {
 				// Phase 1: block-read every member file, one after another,
 				// paying the plan's nominal addressing operations per file
-				// (one per expansion row, §4.1.1).
-				blockBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+				// (one per expansion row, §4.1.1) — rows that carry every
+				// level on multilevel files.
+				blockBytes := nominalBytes(st.Read.PointsAllLevels(), cfg.P.H)
 				for _, k := range st.SelfMembers {
 					t0 := p.Now()
 					fs.Read(p, k, st.Read.AddrOps, blockBytes)
 					obs(tr, rec, cr.Name, metrics.PhaseRead, t0, p.Now())
 				}
-				// Phase 2: local analysis on the sub-domain.
+				// Phase 2: local analysis on the sub-domain, level by level.
 				t0 := p.Now()
-				p.Sleep(cfg.P.C * float64(st.Analyze.Points()))
+				p.Sleep(cfg.P.C * float64(st.Analyze.Points()*lv))
 				obs(tr, rec, cr.Name, metrics.PhaseCompute, t0, p.Now())
 			}
 		})
@@ -372,7 +378,9 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cp, err := plan.Compile(plan.LEnKF(dec, cfg.P.N))
+	// L-EnKF stays single-level by design: compiling with the config's level
+	// count makes the spec validator reject a multilevel request loudly.
+	cp, err := plan.Compile(plan.LEnKF(dec, cfg.P.N).WithLevels(cfg.P.LevelCount()))
 	if err != nil {
 		return Result{}, err
 	}
@@ -402,7 +410,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		for _, st := range rd.Stages {
 			k := st.Members[0]
 			t0 := p.Now()
-			fs.Read(p, k, st.Read.AddrOps, nominalBytes(st.Read.NominalPoints, cfg.P.H))
+			fs.Read(p, k, st.Read.AddrOps, nominalBytes(st.Read.PointsAllLevels(), cfg.P.H))
 			obs(tr, rec, rd.Name, metrics.PhaseRead, t0, p.Now())
 			// Serial distribution: the reader pays startup + transfer for
 			// every destination, one destination after another.
@@ -467,10 +475,11 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cp, err := plan.Compile(plan.SEnKF(dec, p.N, ch.L, ncg))
+	cp, err := plan.Compile(plan.SEnKF(dec, p.N, ch.L, ncg).WithLevels(p.LevelCount()))
 	if err != nil {
 		return Result{}, err
 	}
+	lv := cp.Spec.LevelCount()
 	env := sim.NewEnv()
 	env.SetTracer(cfg.Tracer)
 	cfg.installProf(env)
@@ -541,8 +550,8 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 			tStage := 0.0
 			for _, st := range me.Stages {
 				l := st.Stage
-				barBytes := nominalBytes(st.Read.NominalPoints, p.H)
-				sendBytes := nominalBytes(st.Comm.PerDstPoints, p.H) * float64(effFiles)
+				barBytes := nominalBytes(st.Read.PointsAllLevels(), p.H)
+				sendBytes := nominalBytes(st.Comm.PerDstPoints*lv, p.H) * float64(effFiles)
 				dead := func(jj int) bool { return pl.DeadAt(g, jj, l, tStage) }
 				if dead(j) {
 					if tr.Enabled() {
@@ -663,7 +672,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 					firstStage.Send(proc.Now())
 				}
 				t0 = proc.Now()
-				proc.Sleep(p.C * float64(st.Analyze.Points()))
+				proc.Sleep(p.C * float64(st.Analyze.Points()*lv))
 				rec.Record(name, metrics.PhaseCompute, t0, proc.Now())
 				if tr.Enabled() {
 					tr.Span(name, trace.CatPhase, metrics.PhaseCompute.String(), t0, proc.Now(),
@@ -722,7 +731,7 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	cp, err := plan.Compile(plan.PEnKF(dec, nFiles))
+	cp, err := plan.Compile(plan.PEnKF(dec, nFiles).WithLevels(cfg.P.LevelCount()))
 	if err != nil {
 		return 0, err
 	}
@@ -735,7 +744,7 @@ func ReadOnlyBlock(cfg Config, nsdx, nsdy, nFiles int) (float64, error) {
 	for q := range cp.Compute {
 		cr := &cp.Compute[q]
 		st := cr.Stages[0]
-		blockBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+		blockBytes := nominalBytes(st.Read.PointsAllLevels(), cfg.P.H)
 		env.Go(cr.Name, func(p *sim.Proc) {
 			for _, k := range st.SelfMembers {
 				fs.Read(p, k, st.Read.AddrOps, blockBytes)
@@ -762,7 +771,7 @@ func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	cp, err := plan.Compile(plan.SEnKF(dec, nFiles, 1, ncg))
+	cp, err := plan.Compile(plan.SEnKF(dec, nFiles, 1, ncg).WithLevels(cfg.P.LevelCount()))
 	if err != nil {
 		return 0, err
 	}
@@ -779,7 +788,7 @@ func ReadOnlyConcurrent(cfg Config, nsdy, ncg, nFiles int) (float64, error) {
 	for q := range cp.IO {
 		r := &cp.IO[q]
 		st := r.Stages[0]
-		barBytes := nominalBytes(st.Read.NominalPoints, cfg.P.H)
+		barBytes := nominalBytes(st.Read.PointsAllLevels(), cfg.P.H)
 		g := r.Group
 		env.Go(r.Name, func(p *sim.Proc) {
 			for _, k := range st.Members {

@@ -1,6 +1,7 @@
 package senkf
 
 import (
+	"senkf/internal/baseline"
 	"senkf/internal/core"
 	"senkf/internal/ensio"
 	"senkf/internal/workload"
@@ -33,7 +34,24 @@ func WriteEnsembleLevels(dir string, m Mesh, members [][][]float64) ([]string, e
 // RunSEnKFMultiLevel executes S-EnKF over a multi-level ensemble: the I/O
 // ranks read each stage's bar once for all levels (shared addressing), the
 // compute ranks assimilate level by level with 2-D localization. Returns
-// the analysis as [level][member][]field.
+// the analysis as [level][member][]field. It is a thin spec wrapper: the
+// same compiled plan RunSEnKF executes, with the level dimension set, runs
+// on the one shared engine (ExecutePlanLevels).
 func RunSEnKFMultiLevel(p MultiLevelProblem, plan Plan) ([][][]float64, error) {
 	return core.RunSEnKFMultiLevel(p, plan)
+}
+
+// RunPEnKFMultiLevel executes the block-reading baseline over a multi-level
+// ensemble — every rank block-reads its expansion of every level from every
+// member file and assimilates level by level. Like RunSEnKFMultiLevel it is
+// a thin spec wrapper over the shared engine.
+func RunPEnKFMultiLevel(p MultiLevelProblem, dec Decomposition) ([][][]float64, error) {
+	return baseline.RunPEnKFMultiLevel(p, dec)
+}
+
+// ExecutePlanLevels runs any compiled plan on the real substrate and
+// returns the analysis as [level][member][]field — the engine entry point
+// the algorithm wrappers (single-level and multilevel alike) delegate to.
+func ExecutePlanLevels(p Problem, c *CompiledPlan) ([][][]float64, error) {
+	return core.ExecutePlanLevels(p, c)
 }

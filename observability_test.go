@@ -395,4 +395,70 @@ func TestRealAndSimulatedSchedulesShareStructure(t *testing.T) {
 		})
 		check(t, LEnKFSpec(dec, members), realEvents, simEvents)
 	})
+
+	// The multilevel variants run on the same engine from the same plans
+	// with the level dimension set: the structural DAG must be identical to
+	// the single-level one (levels change weights, never shape), on both
+	// substrates.
+	const levels = 3
+	truths, err := GenerateTruthLevels(mesh, DefaultFieldSpec, levels, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlEns, err := GenerateEnsembleLevels(mesh, truths, members, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlDir := t.TempDir()
+	if _, err := WriteEnsembleLevels(mlDir, mesh, mlEns); err != nil {
+		t.Fatal(err)
+	}
+	nets := make([]*Network, levels)
+	for l := range nets {
+		if nets[l], err = NewStridedNetwork(mesh, truths[l], 3, 3, 0.01, 11+uint64(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	realML := func(t *testing.T, run func(MultiLevelProblem) error) []TraceEvent {
+		t.Helper()
+		buf := trace.NewBuffer()
+		if err := run(MultiLevelProblem{Cfg: cfg, Dir: mlDir, Nets: nets, Tr: NewWallTracer(buf)}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events()
+	}
+	simulatedML := func(t *testing.T, run func(schedule.Config) error) []TraceEvent {
+		t.Helper()
+		buf := trace.NewBuffer()
+		sc := simCfg
+		sc.P.Levels = levels
+		sc.Tracer = trace.New(nil, buf)
+		if err := run(sc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Events()
+	}
+
+	t.Run("SEnKF-ML", func(t *testing.T) {
+		realEvents := realML(t, func(p MultiLevelProblem) error {
+			_, err := RunSEnKFMultiLevel(p, Plan{Dec: dec, L: layers, NCg: ncg})
+			return err
+		})
+		simEvents := simulatedML(t, func(sc schedule.Config) error {
+			_, err := schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
+			return err
+		})
+		check(t, SEnKFSpec(dec, members, layers, ncg).WithLevels(levels), realEvents, simEvents)
+	})
+	t.Run("PEnKF-ML", func(t *testing.T) {
+		realEvents := realML(t, func(p MultiLevelProblem) error {
+			_, err := RunPEnKFMultiLevel(p, dec)
+			return err
+		})
+		simEvents := simulatedML(t, func(sc schedule.Config) error {
+			_, err := schedule.SimulatePEnKF(sc, nsdx, nsdy)
+			return err
+		})
+		check(t, PEnKFSpec(dec, members).WithLevels(levels), realEvents, simEvents)
+	})
 }

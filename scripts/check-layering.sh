@@ -106,4 +106,16 @@ for eng in senkf/internal/core senkf/internal/schedule; do
     fi
 done
 
-echo "OK: plan, monitor, report and runlog layers are substrate-free; runtimeobs sits below plan; ckpt builds on ensio only; core and schedule build on plan"
+# The level dimension lives in the plan layer, not beside it: Spec.Levels
+# and plan.Tag are the single source of level shape and message identity,
+# so no engine may keep a private multilevel path. If any file outside
+# internal/plan mentions "mlTag" or defines its own stage-tag arithmetic,
+# a bespoke loop has crept back in.
+if bad=$(grep -rn 'mlTag\|func observeML\|func runComputeML\|func runIOML' \
+        --include='*.go' internal cmd examples 2>/dev/null | grep -v '_test.go'); then
+    echo "FAIL: bespoke multilevel path re-introduced outside the plan layer:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "OK: plan, monitor, report and runlog layers are substrate-free; runtimeobs sits below plan; ckpt builds on ensio only; core and schedule build on plan; no bespoke multilevel paths"
