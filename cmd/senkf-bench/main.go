@@ -39,6 +39,7 @@ func main() {
 		detail    = flag.Bool("trace-detail", false, "include high-volume detail events (park/wake, queue depths) in the trace")
 		faultsRun = flag.Bool("faults", false, "run the fault-injection resilience sweep instead of the figures")
 		faultSeed = flag.Uint64("fault-seed", 42, "seed for the generated fault plans (with -faults)")
+		ostOutage = flag.String("ost-outage", "", "inject a full storage-target outage window ost:start:end in virtual seconds into the traced run (e.g. 3:0:0.5; needs -trace/-counters/-monitor)")
 		record    = flag.String("record", "", "run the bench suite and write the next versioned BENCH_<n>.json into this directory")
 		recordVer = flag.Int("record-version", 0, "with -record: force the record's version number (0 = latest+1)")
 		check     = flag.String("check", "", "run the bench suite and compare against the latest BENCH_<n>.json in this directory; exit 1 on regression")
@@ -58,12 +59,16 @@ func main() {
 		suite = senkf.QuickFigures()
 		scale = "quick"
 	}
+	traced := obs.TraceOut() != "" || obs.CountersOn() || obs.CountersCSV() != "" || obs.MonitorOn()
+	if *ostOutage != "" && (!traced || *record != "" || *check != "") {
+		sess.Fatal(fmt.Errorf("-ost-outage applies only to the traced run (-trace/-counters/-monitor, without -record/-check)"))
+	}
 	if *record != "" || *check != "" {
 		benchPipeline(sess, suite, scale, *record, *recordVer, *check, *benchTol)
 		return
 	}
-	if obs.TraceOut() != "" || obs.CountersOn() || obs.CountersCSV() != "" || obs.MonitorOn() {
-		tracedRun(sess, suite, *traceNP, *detail)
+	if traced {
+		tracedRun(sess, suite, *traceNP, *detail, *ostOutage)
 		return
 	}
 	if *faultsRun {
@@ -151,6 +156,23 @@ func main() {
 	finish(sess)
 }
 
+// parseOSTOutage parses the -ost-outage value "ost:start:end" into a
+// single-window fault plan: a full outage (service factor 0) on one
+// storage target over [start, end) virtual seconds.
+func parseOSTOutage(s string) (*senkf.FaultPlan, error) {
+	var ost int
+	var start, end float64
+	if _, err := fmt.Sscanf(s, "%d:%g:%g", &ost, &start, &end); err != nil {
+		return nil, fmt.Errorf("-ost-outage %q: want ost:start:end (e.g. 3:0:0.5)", s)
+	}
+	if ost < 0 || end <= start {
+		return nil, fmt.Errorf("-ost-outage %q: ost must be >= 0 and end > start", s)
+	}
+	return &senkf.FaultPlan{OSTWindows: []senkf.OSTWindow{
+		{OST: ost, Start: start, End: end, Factor: 0},
+	}}, nil
+}
+
 func finish(sess *senkf.RunSession) {
 	if err := sess.Finish(nil); err != nil {
 		log.Fatal(err)
@@ -222,16 +244,30 @@ func benchPipeline(sess *senkf.RunSession, suite *senkf.FigureSuite, scale, reco
 // event stream, checks plan conformance against the compiled plan, and
 // judges every stage against the Eq. 7–10 model budgets (the simulated
 // substrate streams them as model/t_* counters).
-func tracedRun(sess *senkf.RunSession, suite *senkf.FigureSuite, np int, detail bool) {
+func tracedRun(sess *senkf.RunSession, suite *senkf.FigureSuite, np int, detail bool, outage string) {
 	if np == 0 {
 		np = suite.O.ProcCounts[len(suite.O.ProcCounts)-1]
 	}
 	sess.Describe("senkf", "simulated", nil)
+	if outage != "" {
+		fp, err := parseOSTOutage(outage)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		suite.O.Cfg.Faults = fp
+		sess.SetFaults(fp)
+		w := fp.OSTWindows[0]
+		sess.Note("ost-outage", fmt.Sprintf("ost%d down [%gs, %gs)", w.OST, w.Start, w.End))
+	}
 	// The simulated schedules stamp every event with explicit virtual
 	// timestamps; the tracer's own clock is never consulted.
 	sess.Tracer.SetDetail(detail)
 	suite.O.Cfg.Tracer = sess.Tracer
 	suite.O.Cfg.Obs = sess.Observer()
+	suite.O.Cfg.Msgs = sess.MsgObserver()
+	if sess.Wire != nil {
+		suite.O.Cfg.Reads = sess.Wire
+	}
 
 	res, tuned, err := suite.SEnKFAt(np)
 	if err != nil {

@@ -206,7 +206,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		if *analyzer == "senkf" {
-			tpl := senkf.Problem{Tr: sess.Tracer, Obs: sess.Observer(), Faults: fp, Prof: sess.Labels()}
+			tpl := senkf.Problem{Tr: sess.Tracer, Obs: sess.Observer(), Faults: fp, Prof: sess.Labels(), Msgs: sess.MsgObserver()}
 			if *resil {
 				pl := senkf.Plan{Dec: dec, L: *layers, NCg: *ncg}
 				an = func(cfg senkf.Config, background [][]float64, net *senkf.Network) ([][]float64, error) {

@@ -22,6 +22,7 @@
 //	senkf-report diff -archive ledger <runA> <runB>
 //	senkf-report trend -archive ledger -metric runtime
 //	senkf-report hotspots -archive ledger <run>   (needs -capture-profile)
+//	senkf-report wire -archive ledger <run>       (needs -wire)
 package main
 
 import (
@@ -52,6 +53,9 @@ func main() {
 		case "hotspots":
 			runHotspots(os.Args[2:])
 			return
+		case "wire":
+			runWire(os.Args[2:])
+			return
 		}
 	}
 	runSingle()
@@ -69,7 +73,7 @@ func runSingle() {
 	flag.Parse()
 	if *traceIn == "" {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "subcommands: list | diff | trend | hotspots (cross-run ledger queries; see -h of each)")
+		fmt.Fprintln(os.Stderr, "subcommands: list | diff | trend | hotspots | wire (cross-run ledger queries; see -h of each)")
 		log.Fatal("missing -trace (point it at a trace file from senkf-run/senkf-bench/senkf-cycle)")
 	}
 	sess, err := obs.Start()
@@ -276,6 +280,63 @@ func runHotspots(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("profile stages: %v\n", stages)
+}
+
+// runWire renders an archived run's wire-telemetry summary (wire.json):
+// stage-data totals against the plan edge matrix, the top edges by
+// bytes, comm skew, and per-OST utilization timelines. With -file it
+// renders a standalone wire.json instead of an archived run's.
+func runWire(args []string) {
+	lf := newLedgerFlags("wire")
+	fileIn := lf.fs.String("file", "", "render this wire.json directly instead of an archived run's")
+	lf.fs.Parse(args)
+
+	var data []byte
+	var err error
+	if *fileIn != "" {
+		if data, err = os.ReadFile(*fileIn); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *lf.archive == "" {
+			lf.fs.Usage()
+			log.Fatal("missing -archive (or use -file with a standalone wire.json)")
+		}
+		a, err := senkf.OpenRunArchive(*lf.archive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rest := lf.fs.Args()
+		if len(rest) != 1 {
+			log.Fatal("usage: senkf-report wire -archive <dir> <run> (unique run-ID prefixes are accepted)")
+		}
+		id, err := a.Resolve(rest[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := a.Load(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rec.Has(senkf.RunWireFile) {
+			log.Fatalf("run %s archived no wire telemetry (re-run with -wire)", id)
+		}
+		if data, err = rec.ReadFile(senkf.RunWireFile); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sum, err := senkf.ParseWireSummary(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *lf.jsonOut != "" {
+		writeJSON(*lf.jsonOut, sum)
+		return
+	}
+	if err := sum.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func runTrend(args []string) {

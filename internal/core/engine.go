@@ -130,6 +130,13 @@ func ExecutePlanLevels(p plan.Problem, c *plan.Compiled) ([][][]float64, error) 
 		return nil, err
 	}
 	w.SetTracer(p.Tr)
+	if p.Msgs != nil {
+		// The plan-layer message observer satisfies the transport's
+		// structurally identical interface, so the engine just passes it
+		// through after announcing the plan geometry.
+		p.Msgs.BeginMessages(c)
+		w.SetMsgObserver(p.Msgs)
+	}
 	if p.Obs != nil {
 		p.Obs.BeginRun(c)
 	}

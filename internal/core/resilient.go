@@ -172,6 +172,10 @@ func RunSEnKFResilient(p Problem, pl Plan, r Resilience) (*DegradedResult, error
 		return nil, err
 	}
 	w.SetTracer(p.Tr)
+	if p.Msgs != nil {
+		p.Msgs.BeginMessages(cp)
+		w.SetMsgObserver(p.Msgs)
+	}
 	var out *DegradedResult
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {

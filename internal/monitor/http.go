@@ -49,6 +49,7 @@ type Status struct {
 	FlightDump  string             `json:"flight_dump,omitempty"`
 	Cycles      []CycleSample      `json:"cycles,omitempty"`
 	Runtime     *RuntimeStatus     `json:"runtime,omitempty"`
+	Wire        *WireStatus        `json:"wire,omitempty"`
 }
 
 // Status snapshots the monitor.
@@ -69,6 +70,7 @@ func (m *Monitor) Status() Status {
 	if m.runtime.samples > 0 {
 		s.Runtime = &RuntimeStatus{Samples: m.runtime.samples, Last: m.runtime.last}
 	}
+	s.Wire = m.wireStatusLocked()
 	if m.cp != nil {
 		s.Algorithm = string(m.cp.Spec.Algorithm)
 		s.WorldSize = m.cp.WorldSize()

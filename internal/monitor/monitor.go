@@ -113,6 +113,10 @@ type Monitor struct {
 	verdicts []Verdict
 	injected map[string]float64 // announced straggler proc -> factor
 
+	// Wire conformance (wire.go): actual vs expected edge matrix, per-OST
+	// attribution, fed by the wire collector's side events.
+	wire wireState
+
 	// Conformance bookkeeping.
 	events      int64
 	spans       int64
@@ -244,6 +248,7 @@ func (m *Monitor) BeginRun(c *plan.Compiled) {
 	m.divergences = nil
 	m.divCount = 0
 	m.spans = 0
+	m.resetWireLocked(c)
 
 	for q := range c.Compute {
 		m.rankName[c.Compute[q].Rank] = c.Compute[q].Name
@@ -305,6 +310,7 @@ func (m *Monitor) EndRun(err error) error {
 	defer m.mu.Unlock()
 	m.finished = true
 	if err == nil {
+		m.finishWireLocked()
 		// Healthy completion: every live track must have run its full
 		// expected chain. Tracks whose rank death was announced are
 		// exempt — truncation is their expected structure.
@@ -354,6 +360,17 @@ func (m *Monitor) Emit(ev trace.Event) {
 		if ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatRuntime && ev.Name == runtimeobs.SampleEventName {
 			m.foldRuntimeLocked(ev)
 		}
+		return
+	}
+	if ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatComm && ev.Name == "deliver" {
+		// Wire telemetry is high-rate and has its own conformance fold;
+		// keeping it out of the flight ring preserves the plan events a
+		// dump exists to show.
+		m.foldDeliverLocked(ev)
+		return
+	}
+	if ev.Ph == trace.PhaseInstant && ev.Cat == trace.CatOST && ev.Name == "read" {
+		m.foldWireReadLocked(ev)
 		return
 	}
 	m.ring.add(ev)

@@ -232,4 +232,3 @@ func TestMonitoredRunIsBitIdentical(t *testing.T) {
 		t.Errorf("monitored run changed the result: %+v vs %+v", base, mon)
 	}
 }
-

@@ -1,0 +1,153 @@
+// End-to-end wire-conformance tests: a wire collector rides the monitor
+// tee's secondary-only path, so the monitor folds live per-message and
+// per-OST telemetry against the compiled plan's expected edge matrix —
+// clean runs conform exactly, an injected OST outage draws a per-OST
+// verdict naming the saturated target.
+
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"senkf/internal/faults"
+	"senkf/internal/monitor"
+	"senkf/internal/schedule"
+	"senkf/internal/trace"
+	"senkf/internal/wire"
+)
+
+// attachWire extends attach with a wire collector whose side events ride
+// the same tee the monitor drains.
+func attachWire(cfg *schedule.Config, m *monitor.Monitor, buf *trace.Buffer) *wire.Collector {
+	t := m.Tee(buf).(*trace.Tee)
+	cfg.Tracer = trace.New(nil, t)
+	cfg.Obs = m
+	wc := wire.NewCollector()
+	wc.SetSide(t)
+	cfg.Msgs = wc
+	cfg.Reads = wc
+	return wc
+}
+
+// TestMonitorWireConformanceCleanRun checks the live fold on a healthy
+// run: the monitor's actual edge matrix equals both the expected one and
+// the collector's own, the status reports full coverage, and no
+// divergence or verdict fires.
+func TestMonitorWireConformanceCleanRun(t *testing.T) {
+	cfg, ch := simConfig()
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	wc := attachWire(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("clean wired run diverged: %v", st.Conformance.Divergences)
+	}
+	if len(st.Verdicts) != 0 {
+		t.Errorf("clean wired run tripped the watchdog: %+v", st.Verdicts)
+	}
+	if st.Wire == nil {
+		t.Fatal("status carries no wire state despite an attached collector")
+	}
+	if st.Wire.Msgs == 0 || st.Wire.Bytes == 0 {
+		t.Errorf("wire status empty: %+v", st.Wire)
+	}
+	if st.Wire.EdgesObserved == 0 || st.Wire.EdgesObserved != st.Wire.EdgesExpected {
+		t.Errorf("edges observed %d vs expected %d", st.Wire.EdgesObserved, st.Wire.EdgesExpected)
+	}
+	if st.Wire.MissingEdges != 0 || st.Wire.ShortEdges != 0 || st.Wire.UnexpectedEdges != 0 {
+		t.Errorf("clean run flagged edges: %+v", st.Wire)
+	}
+	if st.Wire.OSTs != cfg.FS.OSTs {
+		t.Errorf("wire status saw %d OSTs, config has %d", st.Wire.OSTs, cfg.FS.OSTs)
+	}
+	if st.Wire.PeakOSTUtil <= 0 {
+		t.Errorf("peak OST util %g, want > 0", st.Wire.PeakOSTUtil)
+	}
+	// The monitor's fold and the collector's direct accounting are two
+	// independent derivations of the same stream.
+	if err := wc.Matrix().Diff(m.ActualEdges()); err != nil {
+		t.Errorf("collector vs monitor edge matrices: %v", err)
+	}
+	if m.Registry().CounterValue("monitor/comm/msgs") == 0 {
+		t.Error("monitor/comm/msgs counter not fed")
+	}
+}
+
+// TestMonitorWireBlamesOutagedOST injects a full outage window on one
+// storage target: the monitor must issue a per-OST wire verdict naming the
+// saturated target, and the incident log must explain the stall.
+func TestMonitorWireBlamesOutagedOST(t *testing.T) {
+	cfg, ch := simConfig()
+	cfg.Faults = &faults.Plan{OSTWindows: []faults.OSTWindow{
+		{OST: 3, Start: 0, End: 0.5, Factor: 0},
+	}}
+
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	attachWire(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	var hit *monitor.Verdict
+	for i := range st.Verdicts {
+		if st.Verdicts[i].Phase == "ost" && st.Verdicts[i].Proc == "ost3" {
+			hit = &st.Verdicts[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no wire verdict blaming ost3; verdicts: %+v", st.Verdicts)
+	}
+	if hit.Mode != "wire" {
+		t.Errorf("verdict mode %q, want wire", hit.Mode)
+	}
+	if hit.Observed <= 0 {
+		t.Errorf("outage verdict carries no observed stall: %+v", hit)
+	}
+	var explained bool
+	for _, inc := range st.Incidents {
+		if inc.Proc == "ost3" && strings.Contains(inc.Detail, "outage") {
+			explained = true
+			break
+		}
+	}
+	if !explained {
+		t.Errorf("no incident explaining the ost3 outage: %+v", st.Incidents)
+	}
+	// An outage delays reads but loses nothing: the edge matrix still
+	// conforms (no missing or short edges).
+	if st.Wire == nil || st.Wire.MissingEdges != 0 || st.Wire.ShortEdges != 0 {
+		t.Errorf("outage run lost edges: %+v", st.Wire)
+	}
+}
+
+// TestMonitorWithoutWireReportsNoWireState pins the gating: a monitored
+// but unwired run must not fabricate wire status or missing-edge
+// divergences.
+func TestMonitorWithoutWireReportsNoWireState(t *testing.T) {
+	cfg, ch := simConfig()
+	m := monitor.New(monitor.Options{})
+	defer m.Close()
+	buf := trace.NewBuffer()
+	attach(&cfg, m, buf)
+
+	if _, err := schedule.SimulateSEnKF(cfg, ch); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if st.Wire != nil {
+		t.Errorf("unwired run reports wire state: %+v", st.Wire)
+	}
+	if st.Conformance.DivergenceCount != 0 {
+		t.Errorf("unwired run diverged: %v", st.Conformance.Divergences)
+	}
+}

@@ -53,7 +53,7 @@ type Verdict struct {
 	// fault injection (0 otherwise) — the watchdog caught the injection.
 	Injected float64 `json:"injected_factor,omitempty"`
 	// Edge is the blamed plan edge for starved compute phases.
-	Edge string `json:"edge,omitempty"`
+	Edge string  `json:"edge,omitempty"`
 	At   float64 `json:"at_s"`
 }
 

@@ -1,0 +1,361 @@
+// Wire conformance: the monitor folds the wire collector's per-message
+// "deliver" and per-read "read" instants (internal/wire, arriving on the
+// tee's secondary path) against the expected edge matrix derived from the
+// compiled plan. Missing, unexpected and short edges are plan divergences
+// like any structural one; a saturated storage target or a skewed edge
+// becomes a watchdog verdict naming the culprit.
+//
+// The fold is gated on wire events actually arriving: a run without a
+// collector attached reports no wire state and no missing edges.
+
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"senkf/internal/plan"
+	"senkf/internal/trace"
+)
+
+// wireOST is the live per-storage-target picture built from wire "read"
+// instants.
+type wireOST struct {
+	reads         int64
+	bytes         float64
+	wait          float64
+	service       float64
+	degraded      int64
+	outage        int64
+	first         float64
+	last          float64
+	outageTripped bool
+}
+
+// wireState is the per-run wire-conformance state.
+type wireState struct {
+	expected   plan.EdgeMatrix
+	actual     plan.EdgeMatrix
+	msgs       int64
+	otherMsgs  int64
+	otherBytes int64
+	maxDepth   int
+	unexpected map[plan.EdgeKey]bool // flagged-once unexpected edges
+	over       map[plan.EdgeKey]bool // flagged-once overflowing edges
+	osts       map[int]*wireOST
+	finalized  bool
+}
+
+func (w *wireState) active() bool {
+	return w.msgs > 0 || w.otherMsgs > 0 || len(w.osts) > 0
+}
+
+// resetWireLocked derives the expected edge matrix for the new run. The
+// OST picture is cumulative across cycles (one machine), so only the edge
+// side resets.
+func (m *Monitor) resetWireLocked(c *plan.Compiled) {
+	m.wire.expected = plan.ExpectedEdges(c)
+	m.wire.actual = plan.EdgeMatrix{}
+	m.wire.msgs = 0
+	m.wire.otherMsgs = 0
+	m.wire.otherBytes = 0
+	m.wire.maxDepth = 0
+	m.wire.unexpected = map[plan.EdgeKey]bool{}
+	m.wire.over = map[plan.EdgeKey]bool{}
+	m.wire.finalized = false
+	if m.wire.osts == nil {
+		m.wire.osts = map[int]*wireOST{}
+	}
+}
+
+// foldDeliverLocked folds one wire "deliver" instant: the message lands on
+// its plan edge (or the other bucket), feeds the latency histogram, and is
+// checked live against the expected matrix.
+func (m *Monitor) foldDeliverLocked(ev trace.Event) {
+	src, _ := ev.ArgValue("src")
+	dst, _ := ev.ArgValue("dst")
+	tag, _ := ev.ArgValue("tag")
+	bytes, _ := ev.ArgValue("bytes")
+	lat, _ := ev.ArgValue("lat")
+	depth, _ := ev.ArgValue("depth")
+
+	m.wire.msgs++
+	m.reg.Observe("monitor/msg_latency", lat)
+	m.reg.Inc("monitor/comm/msgs")
+	m.reg.Add("monitor/comm/bytes", bytes)
+	if d := int(depth); d > m.wire.maxDepth {
+		m.wire.maxDepth = d
+		m.reg.SetGauge("monitor/comm/queue_depth_max", depth)
+	}
+
+	if m.cp == nil {
+		return
+	}
+	stage, _, level, ok := m.cp.Spec.InvertTag(int(tag))
+	if !ok {
+		m.wire.otherMsgs++
+		m.wire.otherBytes += int64(bytes)
+		return
+	}
+	k := plan.EdgeKey{Src: int(src), Dst: int(dst), Stage: stage, Level: level}
+	m.wire.actual.Record(k, int64(bytes))
+	exp, known := m.wire.expected[k]
+	switch {
+	case !known:
+		if !m.wire.unexpected[k] {
+			m.wire.unexpected[k] = true
+			m.divergeLocked("unexpected wire edge %s: %d bytes outside the plan's comm matrix", k, int64(bytes))
+		}
+	case m.wire.actual[k].Msgs > exp.Msgs || m.wire.actual[k].Bytes > exp.Bytes:
+		if !m.wire.over[k] {
+			m.wire.over[k] = true
+			got := m.wire.actual[k]
+			m.divergeLocked("wire edge %s overflow: %d msgs/%d bytes exceed planned %d msgs/%d bytes",
+				k, got.Msgs, got.Bytes, exp.Msgs, exp.Bytes)
+		}
+	}
+}
+
+// foldWireReadLocked folds one wire "read" instant into the per-OST
+// picture: utilization gauge, wait/service accounting, and an immediate
+// verdict when an outage stalls the target.
+func (m *Monitor) foldWireReadLocked(ev trace.Event) {
+	osti, _ := ev.ArgValue("ost")
+	bytes, _ := ev.ArgValue("bytes")
+	wait, _ := ev.ArgValue("wait")
+	service, _ := ev.ArgValue("service")
+	degraded, _ := ev.ArgValue("degraded")
+	outage, _ := ev.ArgValue("outage")
+
+	if m.wire.osts == nil {
+		m.wire.osts = map[int]*wireOST{}
+	}
+	a := m.wire.osts[int(osti)]
+	if a == nil {
+		a = &wireOST{first: ev.Ts}
+		m.wire.osts[int(osti)] = a
+	}
+	a.reads++
+	a.bytes += bytes
+	a.wait += wait
+	a.service += service
+	if degraded != 0 {
+		a.degraded++
+	}
+	if outage != 0 {
+		a.outage++
+	}
+	if ev.Ts < a.first {
+		a.first = ev.Ts
+	}
+	if end := ev.Ts + wait + service; end > a.last {
+		a.last = end
+	}
+	if span := a.last - a.first; span > 0 {
+		util := a.service / span
+		if util > 1 {
+			util = 1
+		}
+		m.reg.SetGauge("monitor/"+ev.Track+"/util", util)
+	}
+	m.reg.SetGauge("monitor/"+ev.Track+"/queue_wait", a.wait)
+
+	if outage != 0 && !a.outageTripped {
+		a.outageTripped = true
+		v := Verdict{
+			Proc: ev.Track, Phase: "ost", Stage: -1,
+			Observed: wait, Tolerance: m.opts.Tolerance,
+			Mode: "wire", At: ev.Ts,
+		}
+		if len(m.verdicts) < 256 {
+			m.verdicts = append(m.verdicts, v)
+		}
+		m.reg.Inc("monitor/watchdog_trips")
+		m.incidentLocked(Incident{
+			Kind: "watchdog", Proc: ev.Track, Time: ev.Ts,
+			Detail: fmt.Sprintf("saturated OST %d: outage stalled a read %.3gs (queue wait, %d reads affected)",
+				int(osti), wait, a.outage),
+		}, true)
+	}
+}
+
+// finishWireLocked finalizes wire conformance at run end: every expected
+// edge must have been fully carried (missing/short edges are divergences),
+// and sustained imbalance becomes skew/saturation verdicts. No-op when no
+// wire events arrived (collector not attached).
+func (m *Monitor) finishWireLocked() {
+	w := &m.wire
+	if w.finalized || !w.active() {
+		return
+	}
+	w.finalized = true
+	for _, k := range w.expected.Keys() {
+		exp := w.expected[k]
+		got, ok := w.actual[k]
+		switch {
+		case !ok:
+			m.divergeLocked("wire edge %s missing: planned %d msgs/%d bytes, saw none", k, exp.Msgs, exp.Bytes)
+		case got.Msgs < exp.Msgs || got.Bytes < exp.Bytes:
+			m.divergeLocked("wire edge %s short: %d msgs/%d bytes of planned %d msgs/%d bytes",
+				k, got.Msgs, got.Bytes, exp.Msgs, exp.Bytes)
+		}
+	}
+	m.skewVerdictLocked()
+	m.saturationVerdictLocked()
+}
+
+// skewVerdictLocked blames the receiver whose inbound wire volume exceeds
+// tolerance × the peer median — the comm-skew analogue of the straggler
+// verdict.
+func (m *Monitor) skewVerdictLocked() {
+	perDst := map[int]int64{}
+	for k, es := range m.wire.actual {
+		perDst[k.Dst] += es.Bytes
+	}
+	if len(perDst) < peerMinSamples {
+		return
+	}
+	vols := make([]float64, 0, len(perDst))
+	worst, worstDst := int64(0), -1
+	for dst, b := range perDst {
+		vols = append(vols, float64(b))
+		if b > worst || (b == worst && dst < worstDst) {
+			worst, worstDst = b, dst
+		}
+	}
+	med := median(vols)
+	if med <= 0 || float64(worst) <= med*m.opts.Tolerance {
+		return
+	}
+	name := m.rankName[worstDst]
+	if name == "" {
+		name = fmt.Sprintf("rank %d", worstDst)
+	}
+	v := Verdict{
+		Proc: name, Phase: "comm-skew", Stage: -1,
+		Observed: float64(worst), Budget: med,
+		Tolerance: m.opts.Tolerance, Mode: "wire",
+		Edge: fmt.Sprintf("* -> %s (%d inbound bytes, peer median %.0f)", name, worst, med),
+	}
+	if len(m.verdicts) < 256 {
+		m.verdicts = append(m.verdicts, v)
+	}
+	m.reg.Inc("monitor/watchdog_trips")
+	m.incidentLocked(Incident{
+		Kind: "watchdog", Proc: name,
+		Detail: fmt.Sprintf("skewed wire edge: %s receives %d bytes vs peer median %.0f", name, worst, med),
+		Edge:   v.Edge,
+	}, false)
+}
+
+// saturationVerdictLocked blames a storage target whose mean queue wait
+// per read exceeds tolerance × the peer median (outage-tripped targets
+// already carry their verdict).
+func (m *Monitor) saturationVerdictLocked() {
+	if len(m.wire.osts) < 2 {
+		return
+	}
+	ids := make([]int, 0, len(m.wire.osts))
+	means := make([]float64, 0, len(m.wire.osts))
+	for id, a := range m.wire.osts {
+		if a.reads > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a := m.wire.osts[id]
+		means = append(means, a.wait/float64(a.reads))
+	}
+	med := median(means)
+	for i, id := range ids {
+		a := m.wire.osts[id]
+		if a.outageTripped {
+			continue
+		}
+		mean := means[i]
+		if med <= 0 || mean <= med*m.opts.Tolerance || mean <= med+peerMinSlack {
+			continue
+		}
+		v := Verdict{
+			Proc: fmt.Sprintf("ost%d", id), Phase: "ost-wait", Stage: -1,
+			Observed: mean, Budget: med,
+			Tolerance: m.opts.Tolerance, Mode: "wire", At: a.last,
+		}
+		if len(m.verdicts) < 256 {
+			m.verdicts = append(m.verdicts, v)
+		}
+		m.reg.Inc("monitor/watchdog_trips")
+		m.incidentLocked(Incident{
+			Kind: "watchdog", Proc: v.Proc, Time: a.last,
+			Detail: fmt.Sprintf("saturated OST %d: mean queue wait %.3gs vs peer median %.3gs", id, mean, med),
+		}, false)
+	}
+}
+
+// WireStatus is the wire-conformance slice of /status.
+type WireStatus struct {
+	Msgs            int64   `json:"msgs"`
+	Bytes           int64   `json:"bytes"`
+	EdgesObserved   int     `json:"edges_observed"`
+	EdgesExpected   int     `json:"edges_expected"`
+	OtherMsgs       int64   `json:"other_msgs"`
+	OtherBytes      int64   `json:"other_bytes"`
+	MaxQueueDepth   int     `json:"max_queue_depth"`
+	MissingEdges    int     `json:"missing_edges"`
+	ShortEdges      int     `json:"short_edges"`
+	UnexpectedEdges int     `json:"unexpected_edges"`
+	OSTs            int     `json:"osts"`
+	PeakOSTUtil     float64 `json:"peak_ost_util"`
+}
+
+// wireStatusLocked snapshots the wire state, or nil when no wire events
+// arrived.
+func (m *Monitor) wireStatusLocked() *WireStatus {
+	w := &m.wire
+	if !w.active() {
+		return nil
+	}
+	s := &WireStatus{
+		Msgs:            w.msgs,
+		EdgesObserved:   len(w.actual),
+		EdgesExpected:   len(w.expected),
+		OtherMsgs:       w.otherMsgs,
+		OtherBytes:      w.otherBytes,
+		MaxQueueDepth:   w.maxDepth,
+		UnexpectedEdges: len(w.unexpected),
+		OSTs:            len(w.osts),
+	}
+	s.Bytes = w.actual.Totals().Bytes
+	for _, k := range w.expected.Keys() {
+		got, ok := w.actual[k]
+		exp := w.expected[k]
+		switch {
+		case !ok:
+			s.MissingEdges++
+		case got.Msgs < exp.Msgs || got.Bytes < exp.Bytes:
+			s.ShortEdges++
+		}
+	}
+	for _, a := range w.osts {
+		if span := a.last - a.first; span > 0 {
+			util := a.service / span
+			if util > 1 {
+				util = 1
+			}
+			if util > s.PeakOSTUtil {
+				s.PeakOSTUtil = util
+			}
+		}
+	}
+	return s
+}
+
+// ActualEdges returns a copy of the edge matrix the monitor assembled from
+// wire events — the third derivation (after the collector's and the
+// expected one) the parity tests pin.
+func (m *Monitor) ActualEdges() plan.EdgeMatrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wire.actual.Clone()
+}

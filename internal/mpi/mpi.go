@@ -41,8 +41,24 @@ type Message struct {
 }
 
 type envelope struct {
-	context int
+	context  int
+	worldSrc int     // sender's world rank (Message.Src is communicator-scoped)
+	sentAt   float64 // enqueue time on the world clock, stamped when observed
 	Message
+}
+
+// MsgObserver receives one callback per delivered point-to-point message:
+// sender and receiver world ranks, the message tag, the on-wire byte size
+// (8·(meta+data) words, matching CommStats), the enqueue and delivery
+// timestamps on the world clock (the tracer's clock when tracing, wall
+// seconds since world creation otherwise), and the receiver's remaining
+// inbox depth at match time. Callbacks run on receiving goroutines
+// concurrently — implementations must be safe for concurrent use. The
+// interface is declared here, structurally identical to the plan layer's
+// MsgObserver, so one implementation (internal/wire's collector) serves
+// both without this package importing the plan layer.
+type MsgObserver interface {
+	OnMessage(src, dst, tag int, bytes int64, sentAt, deliveredAt float64, depth int)
 }
 
 // ErrAborted is returned by blocked receives when another rank of the
@@ -142,8 +158,9 @@ func (ib *inbox) aborted() error {
 
 // take removes and returns the first message matching (context, src, tag),
 // blocking until one arrives, the world aborts, or the timeout (when
-// positive) expires.
-func (ib *inbox) take(context, src, tag int, timeout time.Duration) (Message, error) {
+// positive) expires. The second result is the inbox depth remaining after
+// the match — the queue-depth reading the message observer reports.
+func (ib *inbox) take(context, src, tag int, timeout time.Duration) (envelope, int, error) {
 	var expired bool
 	if timeout > 0 {
 		t := time.AfterFunc(timeout, func() {
@@ -168,13 +185,13 @@ func (ib *inbox) take(context, src, tag int, timeout time.Duration) (Message, er
 				continue
 			}
 			ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
-			return e.Message, nil
+			return e, len(ib.msgs), nil
 		}
 		if ib.cause != nil {
-			return Message{}, ib.cause
+			return envelope{}, 0, ib.cause
 		}
 		if expired {
-			return Message{}, errTakeExpired
+			return envelope{}, 0, errTakeExpired
 		}
 		ib.cond.Wait()
 	}
@@ -210,6 +227,8 @@ type World struct {
 	inboxes []*inbox
 	stats   []rankStats
 	tracer  *trace.Tracer
+	msgObs  MsgObserver
+	epoch   time.Time // wall-clock origin when no tracer supplies a clock
 
 	mu          sync.Mutex
 	nextContext int
@@ -220,7 +239,7 @@ func NewWorld(n int) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
 	}
-	w := &World{size: n, inboxes: make([]*inbox, n), stats: make([]rankStats, n), nextContext: 1}
+	w := &World{size: n, inboxes: make([]*inbox, n), stats: make([]rankStats, n), nextContext: 1, epoch: time.Now()}
 	for i := range w.inboxes {
 		w.inboxes[i] = newInbox()
 	}
@@ -233,6 +252,21 @@ func (w *World) Size() int { return w.size }
 // SetTracer attaches a tracer (wall-clocked: this runtime executes for
 // real). Must be called before Run; a nil tracer disables instrumentation.
 func (w *World) SetTracer(tr *trace.Tracer) { w.tracer = tr }
+
+// SetMsgObserver attaches the per-message observer. Must be called before
+// Run; a nil observer (the default) disables per-message telemetry at the
+// cost of one pointer check per delivery.
+func (w *World) SetMsgObserver(o MsgObserver) { w.msgObs = o }
+
+// now reads the world clock: the tracer's clock when tracing (so message
+// timestamps line up with trace spans), wall seconds since world creation
+// otherwise.
+func (w *World) now() float64 {
+	if w.tracer.Enabled() {
+		return w.tracer.Now()
+	}
+	return time.Since(w.epoch).Seconds()
+}
 
 // RankStats returns the cumulative totals of the given world rank.
 func (w *World) RankStats(rank int) CommStats {
@@ -397,8 +431,12 @@ func (c *Comm) SendDeadline(dst, tag int, meta []int, data []float64, timeout ti
 
 func (c *Comm) send(dst, tag int, meta []int, data []float64) {
 	e := envelope{
-		context: c.context,
-		Message: Message{Src: c.rank, Tag: tag},
+		context:  c.context,
+		worldSrc: c.group[c.rank],
+		Message:  Message{Src: c.rank, Tag: tag},
+	}
+	if c.world.msgObs != nil {
+		e.sentAt = c.world.now()
 	}
 	if meta != nil {
 		e.Meta = append([]int(nil), meta...)
@@ -436,19 +474,24 @@ func (c *Comm) takeTimeout(src, tag int, timeout time.Duration) (Message, error)
 	if tr.Enabled() {
 		t0 = tr.Now()
 	}
-	m, err := c.world.inboxes[c.group[c.rank]].take(c.context, src, tag, timeout)
+	e, depth, err := c.world.inboxes[c.group[c.rank]].take(c.context, src, tag, timeout)
 	if err != nil {
 		if err == errTakeExpired {
 			err = &DeadlineError{Rank: c.group[c.rank], Src: src, Tag: tag, Timeout: timeout}
 		}
-		return m, err
+		return e.Message, err
 	}
+	m := e.Message
 	st := &c.world.stats[c.group[c.rank]]
 	st.msgsRecvd.Add(1)
 	st.bytesRecvd.Add(msgBytes(m.Meta, m.Data))
 	if tr.Enabled() {
 		tr.Span(c.track(), "mpi", opName(tag), t0, tr.Now(),
 			trace.Arg{Key: "bytes", Val: float64(msgBytes(m.Meta, m.Data))})
+	}
+	if obs := c.world.msgObs; obs != nil {
+		obs.OnMessage(e.worldSrc, c.group[c.rank], m.Tag,
+			msgBytes(m.Meta, m.Data), e.sentAt, c.world.now(), depth)
 	}
 	return m, nil
 }

@@ -82,6 +82,18 @@ type OSTStats struct {
 	BytesRead float64
 }
 
+// ReadObserver receives one callback per completed read, attributing it to
+// its storage target: the OST index, the payload bytes, the read's start
+// time on the simulated clock, the time spent waiting (OST queue + backbone
+// throttle + outage stalls), the service time actually spent seeking and
+// streaming, and whether a degraded-bandwidth or outage fault window was
+// hit. The wire-telemetry collector (internal/wire) implements this shape;
+// parfs declares its own interface so the plan layer never depends on a
+// substrate package.
+type ReadObserver interface {
+	OnRead(ost int, bytes float64, start, wait, service float64, degraded, outage bool)
+}
+
 // FS is a simulated parallel file system.
 type FS struct {
 	cfg      Config
@@ -91,6 +103,7 @@ type FS struct {
 	stats    Stats
 	perOST   []OSTStats
 	faults   *faults.Plan
+	readObs  ReadObserver
 }
 
 // New creates a file system inside env.
@@ -111,6 +124,10 @@ func New(env *sim.Env, cfg Config) (*FS, error) {
 
 // Config returns the file system configuration.
 func (fs *FS) Config() Config { return fs.cfg }
+
+// SetReadObserver installs the per-read OST-attribution observer. A nil
+// observer (the default) changes nothing.
+func (fs *FS) SetReadObserver(obs ReadObserver) { fs.readObs = obs }
 
 // SetFaults installs a fault plan: reads hitting an OST inside an outage
 // window stall (holding their OST slot — requests pile up server-side, as
@@ -161,6 +178,8 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 	}
 	waited := p.Now() - start
 	service := float64(seeks)*fs.cfg.SeekTime + bytes*fs.cfg.ByteTime
+	var stalled float64
+	var degraded, outage bool
 	// Fault windows: stall through outages (re-checking, since windows may
 	// abut), then apply any degraded-bandwidth factor active at service time.
 	for {
@@ -179,6 +198,8 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 			}
 			fs.stats.OutageStalls++
 			fs.stats.OutageTime += stall
+			outage = true
+			stalled += stall
 			p.Sleep(stall)
 			continue
 		}
@@ -190,6 +211,7 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 			reg.Inc("faults.ost.degraded")
 		}
 		fs.stats.DegradedReads++
+		degraded = true
 		service *= w.Factor
 		break
 	}
@@ -218,6 +240,9 @@ func (fs *FS) Read(p *sim.Proc, file, seeks int, bytes float64) float64 {
 		reg.Add("parfs.bytes", bytes)
 		reg.Observe("parfs.wait", waited)
 		reg.Observe("parfs.service", service)
+	}
+	if fs.readObs != nil {
+		fs.readObs.OnRead(osti, bytes, start, waited+stalled, service, degraded, outage)
 	}
 	return p.Now() - start
 }

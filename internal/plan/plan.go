@@ -53,6 +53,12 @@ type Problem struct {
 	// Obs, when non-nil, observes the run: BeginRun with the compiled
 	// plan before ranks start, EndRun with the outcome (see RunObserver).
 	Obs RunObserver
+	// Msgs, when non-nil, observes every point-to-point message the run
+	// carries: BeginMessages with the compiled plan before ranks start,
+	// then one OnMessage per delivery (see MsgObserver). The engine hands
+	// it to the transport, which invokes it through its own structurally
+	// identical interface.
+	Msgs MsgObserver
 	// Faults, when non-nil, injects deterministic anomalies into the real
 	// substrate: straggler ranks have each busy phase dilated to
 	// Factor × its real duration (the wall-clock mirror of the simulated
@@ -117,8 +123,9 @@ type MultiLevelProblem struct {
 	Nets []*obs.Network // one network per vertical level
 	Rec  *metrics.Recorder
 	Tr   *trace.Tracer
-	// Obs, Faults and Prof mirror the Problem hooks of the same names.
+	// Obs, Msgs, Faults and Prof mirror the Problem hooks of the same names.
 	Obs    RunObserver
+	Msgs   MsgObserver
 	Faults *faults.Plan
 	Prof   *runtimeobs.LabelSet
 }
@@ -127,7 +134,7 @@ type MultiLevelProblem struct {
 func (p MultiLevelProblem) Problem() Problem {
 	return Problem{
 		Cfg: p.Cfg, Dir: p.Dir, Nets: p.Nets,
-		Rec: p.Rec, Tr: p.Tr, Obs: p.Obs, Faults: p.Faults, Prof: p.Prof,
+		Rec: p.Rec, Tr: p.Tr, Obs: p.Obs, Msgs: p.Msgs, Faults: p.Faults, Prof: p.Prof,
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"senkf/internal/costmodel"
 	"senkf/internal/figures"
 	"senkf/internal/metrics"
+	"senkf/internal/wire"
 )
 
 // Schema is the BENCH_<n>.json schema version.
@@ -47,6 +48,29 @@ type Run struct {
 	// RunID names the archived run-ledger record this cell was derived
 	// from (empty when the record was collected without an archive).
 	RunID string `json:"run_id,omitempty"`
+	// Wire-telemetry summary of the cell's simulated run. All omitempty so
+	// records predating wire telemetry compare cleanly (-check matches on
+	// Runtime only).
+	WireMsgs      int64   `json:"wire_msgs,omitempty"`
+	WireEdgeBytes int64   `json:"wire_edge_bytes,omitempty"`
+	PeakOSTUtil   float64 `json:"peak_ost_util,omitempty"`
+}
+
+// attachWire installs a fresh wire collector on the suite's config for the
+// next simulated cell; applyWire reduces it into the cell's summary fields.
+// The collectors observe only — virtual-clock runtimes are untouched.
+func attachWire(s *figures.Suite) *wire.Collector {
+	c := wire.NewCollector()
+	s.O.Cfg.Msgs = c
+	s.O.Cfg.Reads = c
+	return c
+}
+
+func applyWire(r *Run, c *wire.Collector) {
+	sum := c.Summary(1)
+	r.WireMsgs = sum.Msgs
+	r.WireEdgeBytes = sum.Bytes
+	r.PeakOSTUtil = sum.PeakOSTUtil
 }
 
 func (r Run) key() string { return fmt.Sprintf("%s/np%d", r.Algorithm, r.NP) }
@@ -68,14 +92,18 @@ type Record struct {
 func FromSuite(s *figures.Suite, scale string) (Record, error) {
 	rec := Record{Schema: Schema, Scale: scale, Eps: s.O.Eps}
 	for _, np := range s.O.ProcCounts {
+		wc := attachWire(s)
 		pres, err := s.PEnKFAt(np)
 		if err != nil {
 			return Record{}, err
 		}
-		rec.Runs = append(rec.Runs, Run{
+		prun := Run{
 			Algorithm: pres.Algorithm, NP: pres.NP, Runtime: pres.Runtime,
 			IO: pres.IO, Compute: pres.Compute,
-		})
+		}
+		applyWire(&prun, wc)
+		rec.Runs = append(rec.Runs, prun)
+		wc = attachWire(s)
 		sres, tuned, err := s.SEnKFAt(np)
 		if err != nil {
 			return Record{}, err
@@ -85,6 +113,7 @@ func FromSuite(s *figures.Suite, scale string) (Record, error) {
 			FirstStage: sres.FirstStage, OverlapFraction: sres.OverlapFraction,
 			IO: sres.IO, Compute: sres.Compute,
 		}
+		applyWire(&run, wc)
 		t := tuned
 		run.Tuned = &t
 		// Result breakdowns are per-processor totals over L stages; the
@@ -100,6 +129,7 @@ func FromSuite(s *figures.Suite, scale string) (Record, error) {
 		}
 		rec.Runs = append(rec.Runs, run)
 		if s.O.MLLevels > 1 {
+			wc = attachWire(s)
 			mres, mtuned, err := s.SEnKFMLAt(np)
 			if err != nil {
 				return Record{}, err
@@ -109,6 +139,7 @@ func FromSuite(s *figures.Suite, scale string) (Record, error) {
 				FirstStage: mres.FirstStage, OverlapFraction: mres.OverlapFraction,
 				IO: mres.IO, Compute: mres.Compute,
 			}
+			applyWire(&ml, wc)
 			mt := mtuned
 			ml.Tuned = &mt
 			if l := float64(mtuned.Choice.L); l > 0 {

@@ -30,6 +30,7 @@ type Flags struct {
 	linger         *time.Duration
 	runtimeSample  *time.Duration
 	captureProfile *bool
+	wire           *bool
 }
 
 // Register installs the full observability flag set — -trace, -counters,
@@ -47,6 +48,7 @@ func Register(fs *flag.FlagSet, binary string) *Flags {
 	f.linger = fs.Duration("linger", 0, "keep serving -metrics-addr for this long after the run, so it can be scraped")
 	f.runtimeSample = fs.Duration("runtime-sample", 0, "sample runtime/metrics (goroutines, heap, GC pauses) on this cadence into the trace and registry (0 = off)")
 	f.captureProfile = fs.Bool("capture-profile", false, "with -archive: capture a whole-run labeled CPU profile and archive it with hot-stage attribution")
+	f.wire = fs.Bool("wire", false, "collect wire telemetry: per-edge comm accounting and per-OST read attribution (wire summary after the run, wire.json with -archive, live conformance with -monitor)")
 	return f
 }
 
@@ -98,6 +100,9 @@ func (f *Flags) RuntimeSampleEvery() time.Duration {
 
 // CaptureProfileOn reports -capture-profile.
 func (f *Flags) CaptureProfileOn() bool { return boolOf(f.captureProfile) }
+
+// WireOn reports -wire.
+func (f *Flags) WireOn() bool { return boolOf(f.wire) }
 
 // Linger returns the -linger duration.
 func (f *Flags) Linger() time.Duration {

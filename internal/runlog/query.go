@@ -213,8 +213,8 @@ type Diff struct {
 	Lineage     string        `json:"lineage,omitempty"`
 	ResumeCycle int           `json:"resume_cycle,omitempty"`
 	Config      []ConfigDelta `json:"config,omitempty"`
-	RuntimeA  float64       `json:"runtime_a,omitempty"`
-	RuntimeB  float64       `json:"runtime_b,omitempty"`
+	RuntimeA    float64       `json:"runtime_a,omitempty"`
+	RuntimeB    float64       `json:"runtime_b,omitempty"`
 	// CriticalPath holds the per-"class/phase" critical-path attribution
 	// deltas (seconds).
 	CriticalPath []ValueDelta `json:"critical_path,omitempty"`

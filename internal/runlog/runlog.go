@@ -59,6 +59,9 @@ const (
 	// CPUProfileFile is the attached CPU profile: the whole-run labeled
 	// capture under -capture-profile, or the anomaly-hook snapshot.
 	CPUProfileFile = "profiles/cpu.pprof"
+	// WireFile is the wire-telemetry summary (edge matrix top lines, OST
+	// utilization timelines) written under -wire.
+	WireFile = "wire.json"
 )
 
 // SpecInfo summarizes the compiled algorithm spec in the manifest.
@@ -82,7 +85,7 @@ type Manifest struct {
 	Binary string `json:"binary"`
 	// Start is the run's UTC start time in RFC 3339 format; the run ID
 	// embeds the same instant at second resolution.
-	Start     string `json:"start_utc"`
+	Start     string  `json:"start_utc"`
 	DurationS float64 `json:"duration_s"`
 	// Substrate is "real", "simulated", or "" for binaries that execute
 	// no plan (senkf-gen).

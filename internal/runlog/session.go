@@ -23,6 +23,7 @@ import (
 	"senkf/internal/report"
 	"senkf/internal/runtimeobs"
 	"senkf/internal/trace"
+	"senkf/internal/wire"
 )
 
 // ErrInterrupted is the run outcome when SIGINT/SIGTERM lands gracefully:
@@ -44,6 +45,11 @@ type Session struct {
 	Tracer *trace.Tracer
 	// Monitor is the live monitor, nil without -monitor.
 	Monitor *monitor.Monitor
+	// Wire is the wire-telemetry collector, nil without -wire. It
+	// implements plan.MsgObserver and, structurally, the substrate observer
+	// interfaces (mpi.MsgObserver, parfs.ReadObserver) — binaries attach it
+	// to Problem.Msgs / schedule Config.Msgs+Reads.
+	Wire *wire.Collector
 
 	flags   *Flags
 	start   time.Time
@@ -117,15 +123,28 @@ func (f *Flags) Start() (*Session, error) {
 			RunRegistry: s.Registry,
 			RunID:       s.RunID,
 			Logger:      s.Log,
-			// Scrapes always carry the baseline go/process gauges, even
-			// when the periodic sampler is off.
-			ScrapeHook: func() { runtimeobs.CollectBaseline(s.Registry) },
+			// Scrapes always carry the baseline go/process gauges plus the
+			// comm/OST totals, even when the periodic sampler and wire
+			// telemetry are off.
+			ScrapeHook: func() {
+				runtimeobs.CollectBaseline(s.Registry)
+				s.collectWireBaseline()
+			},
 		}
 		if s.archive != nil {
 			opts.AnomalyHook = s.captureAnomalyProfiles
 		}
 		s.Monitor = monitor.New(opts)
 		primary = s.Monitor.Tee(primary)
+	}
+	if f.WireOn() {
+		s.Wire = wire.NewCollector()
+		// With a monitor attached, wire events ride the tee's
+		// secondary-only path (EmitSide): the monitor folds them live while
+		// the primary Chrome sink stays byte-identical to an unwired run.
+		if t, ok := primary.(*trace.Tee); ok {
+			s.Wire.SetSide(t)
+		}
 	}
 	if primary != nil || f.CountersOn() || f.CountersCSV() != "" {
 		var sinks []trace.Sink
@@ -251,6 +270,26 @@ func (s *Session) Observer() plan.RunObserver {
 		return nil
 	}
 	return s.Monitor
+}
+
+// MsgObserver returns the wire collector as a plan.MsgObserver, or a nil
+// interface without -wire (same typed-nil guard as Observer).
+func (s *Session) MsgObserver() plan.MsgObserver {
+	if s.Wire == nil {
+		return nil
+	}
+	return s.Wire
+}
+
+// collectWireBaseline mirrors the always-on transport and file-system
+// counters (mpi.*, parfs.*) into comm/ost gauges, so every /metrics scrape
+// carries senkf_comm_* and senkf_ost_* series even when -wire is off.
+func (s *Session) collectWireBaseline() {
+	s.Registry.SetGauge("comm/msgs_total", s.Registry.CounterValue("mpi.msgs"))
+	s.Registry.SetGauge("comm/bytes_total", s.Registry.CounterValue("mpi.bytes"))
+	s.Registry.SetGauge("ost/requests_total", s.Registry.CounterValue("parfs.requests"))
+	s.Registry.SetGauge("ost/bytes_total", s.Registry.CounterValue("parfs.bytes"))
+	s.Registry.SetGauge("ost/seeks_total", s.Registry.CounterValue("parfs.seeks"))
 }
 
 // Describe records what the run executes: the algorithm name, the
@@ -416,6 +455,10 @@ func (s *Session) Finish(runErr error) error {
 			fmt.Printf("wrote counters CSV to %s\n", out)
 		}
 	}
+	if s.Wire != nil {
+		fmt.Println()
+		fail(s.Wire.Summary(0).WriteTable(os.Stdout))
+	}
 
 	if s.archive != nil {
 		if dir, err := s.writeArchiveRecord(runErr); err != nil {
@@ -451,7 +494,7 @@ func (s *Session) Finish(runErr error) error {
 // Fatal reports a run error, lands the session, and exits non-zero — the
 // session-aware replacement for log.Fatal after Start().
 func (s *Session) Fatal(err error) {
-	s.Log.Error(s.flags.binary+": "+err.Error())
+	s.Log.Error(s.flags.binary + ": " + err.Error())
 	s.Finish(err)
 	os.Exit(1)
 }
@@ -621,6 +664,13 @@ func (s *Session) writeArchiveRecord(runErr error) (string, error) {
 			return "", err
 		}
 		files[CyclesFile] = data
+	}
+	if s.Wire != nil {
+		data, err := jsonMarshalIndent(s.Wire.Summary(0))
+		if err != nil {
+			return "", err
+		}
+		files[WireFile] = data
 	}
 	return s.archive.WriteRecord(m, files)
 }

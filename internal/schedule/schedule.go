@@ -70,6 +70,31 @@ type Config struct {
 	// sweeps" item — attributes CPU to the same proc names the trace
 	// uses. Nil disables labeling.
 	Prof *runtimeobs.LabelSet
+
+	// Msgs, when non-nil, receives the simulated substrate's mirror of the
+	// real engine's per-message accounting: BeginMessages with the compiled
+	// plan, then one OnMessage per (member, level, destination) stage-data
+	// send, byte-sized by plan.StageMsgBytes — the real transport's formula,
+	// not the cost model's nominal volume — so the simulated edge matrix is
+	// bit-identical to the real and expected ones. Delivery timestamps are
+	// the virtual send instants (zero latency: the simulator aggregates
+	// messages into notifications; only the matrix is mirrored).
+	Msgs plan.MsgObserver
+
+	// Reads, when non-nil, receives per-read OST attribution from the
+	// simulated file system (see parfs.ReadObserver). The wire collector
+	// (internal/wire) implements both Msgs and Reads.
+	Reads parfs.ReadObserver
+}
+
+// installWire attaches the wire observers to a simulated run. Nil-safe.
+func (c Config) installWire(cp *plan.Compiled, fs *parfs.FS) {
+	if c.Msgs != nil {
+		c.Msgs.BeginMessages(cp)
+	}
+	if c.Reads != nil {
+		fs.SetReadObserver(c.Reads)
+	}
 }
 
 // observe wraps an execution outcome through the configured RunObserver
@@ -319,6 +344,7 @@ func SimulatePEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		return Result{}, err
 	}
 	cfg.installFaults(env, fs)
+	cfg.installWire(cp, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
 	if cfg.Obs != nil {
@@ -392,6 +418,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 		return Result{}, err
 	}
 	cfg.installFaults(env, fs)
+	cfg.installWire(cp, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
 	if cfg.Obs != nil {
@@ -399,6 +426,7 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 	}
 	cfg.announceFaults(tr)
 
+	lv := cp.Spec.LevelCount()
 	boxes := make([]*sim.Mailbox, cp.NumCompute())
 	for r := range boxes {
 		boxes[r] = sim.NewMailbox(env, fmt.Sprintf("mb%d", r))
@@ -420,6 +448,14 @@ func SimulateLEnKF(cfg Config, nsdx, nsdy int) (Result, error) {
 			obs(tr, rec, rd.Name, metrics.PhaseComm, t0, p.Now())
 			for _, dst := range st.Comm.Dsts {
 				boxes[dst].Send(k)
+				// Mirror the real engine's per-(member, level) stage-data
+				// message, byte-sized by the transport's formula.
+				if cfg.Msgs != nil {
+					for lvl := 0; lvl < lv; lvl++ {
+						cfg.Msgs.OnMessage(rd.Rank, dst, cp.Spec.Tag(st.Stage, k, lvl),
+							plan.StageMsgBytes(cp, dst, st.Stage), p.Now(), p.Now(), 0)
+					}
+				}
 			}
 		}
 	})
@@ -488,6 +524,7 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 		return Result{}, err
 	}
 	cfg.installFaults(env, fs)
+	cfg.installWire(cp, fs)
 	rec := metrics.NewRecorder()
 	tr := cfg.Tracer
 	if cfg.Obs != nil {
@@ -629,8 +666,24 @@ func SimulateSEnKF(cfg Config, ch costmodel.Choice) (Result, error) {
 				obs(tr, rec, name, metrics.PhaseComm, t0, proc.Now(),
 					trace.Arg{Key: trace.ArgStage, Val: float64(l)})
 				for _, row := range serve {
-					for _, dst := range cp.IOAt(g, row).Stages[l].Comm.Dsts {
+					rp := cp.IOAt(g, row)
+					for _, dst := range rp.Stages[l].Comm.Dsts {
 						boxes[dst].Send(stageMsg{stage: l})
+						// Mirror the per-(member, level) messages the real
+						// engine sends for this aggregated notification;
+						// dropped members carry no payload on either
+						// substrate.
+						if cfg.Msgs != nil {
+							for _, file := range st.Members {
+								if pl.Drops(file) {
+									continue
+								}
+								for lvl := 0; lvl < lv; lvl++ {
+									cfg.Msgs.OnMessage(rp.Rank, dst, cp.Spec.Tag(l, file, lvl),
+										plan.StageMsgBytes(cp, dst, l), proc.Now(), proc.Now(), 0)
+								}
+							}
+						}
 					}
 				}
 			}

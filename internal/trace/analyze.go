@@ -39,6 +39,17 @@ const CatOST = "ost"
 // outages, member drops, rank deaths, failovers, retries).
 const CatFault = "fault"
 
+// CatComm is the category of per-message wire-telemetry events: one
+// "deliver" instant per matched point-to-point message, carrying src, dst,
+// tag, bytes, enqueue→deliver latency and the receiver's queue depth at
+// match time. Wire events travel through Tee.EmitSide — secondary sinks
+// only — so an unfaulted run's primary Chrome buffer stays byte-identical
+// whether or not wire telemetry is on.
+const CatComm = "comm"
+
+// CommTrack is the track per-message wire events are emitted on.
+const CommTrack = "comm"
+
 // CatModel is the category of cost-model events: the "prediction" instant
 // a simulated S-EnKF run emits at tuner decision time (carrying the
 // Table-1 parameters, the chosen configuration and the Eq. 7–10 predicted

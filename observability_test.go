@@ -273,6 +273,250 @@ func TestRealSEnKFCrossChecksSimulatedAccounting(t *testing.T) {
 	}
 }
 
+// TestWireAccountingMatchesTransportTotals is the wire layer's conservation
+// invariant, on every algorithm variant: on the real substrate, the edge
+// matrix plus the "other" bucket accounts for every message and byte the
+// transport counted (mpi.msgs/mpi.bytes); on the simulated substrate, the
+// per-OST attribution sums to exactly the file-system model's BytesRead.
+func TestWireAccountingMatchesTransportTotals(t *testing.T) {
+	const (
+		members = 8
+		nsdx    = 4
+		nsdy    = 2
+		layers  = 2
+		ncg     = 2
+		levels  = 3
+	)
+	mesh, err := NewMesh(48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius, err := NewRadius(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := GenerateTruth(mesh, DefaultFieldSpec, 11)
+	ens, err := GenerateEnsemble(mesh, truth, members, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := WriteEnsemble(dir, mesh, ens); err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewStridedNetwork(mesh, truth, 3, 3, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecomposition(mesh, nsdx, nsdy, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mesh: mesh, Radius: radius, N: members, Seed: 11}
+
+	truths, err := GenerateTruthLevels(mesh, DefaultFieldSpec, levels, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlEns, err := GenerateEnsembleLevels(mesh, truths, members, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlDir := t.TempDir()
+	if _, err := WriteEnsembleLevels(mlDir, mesh, mlEns); err != nil {
+		t.Fatal(err)
+	}
+	nets := make([]*Network, levels)
+	for l := range nets {
+		if nets[l], err = NewStridedNetwork(mesh, truths[l], 3, 3, 0.01, 11+uint64(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Real substrate: the collector sees every delivered message; the
+	// registry counts every sent one. The engines drain all mailboxes, so
+	// the two totals must agree exactly.
+	realVariants := []struct {
+		name string
+		run  func(p Problem, mp MultiLevelProblem) error
+	}{
+		{"SEnKF", func(p Problem, _ MultiLevelProblem) error {
+			_, err := RunSEnKF(p, Plan{Dec: dec, L: layers, NCg: ncg})
+			return err
+		}},
+		{"PEnKF", func(p Problem, _ MultiLevelProblem) error {
+			_, err := RunPEnKF(p, dec)
+			return err
+		}},
+		{"LEnKF", func(p Problem, _ MultiLevelProblem) error {
+			_, err := RunLEnKF(p, dec)
+			return err
+		}},
+		{"SEnKF-ML", func(_ Problem, mp MultiLevelProblem) error {
+			_, err := RunSEnKFMultiLevel(mp, Plan{Dec: dec, L: layers, NCg: ncg})
+			return err
+		}},
+		{"PEnKF-ML", func(_ Problem, mp MultiLevelProblem) error {
+			_, err := RunPEnKFMultiLevel(mp, dec)
+			return err
+		}},
+	}
+	for _, v := range realVariants {
+		t.Run(v.name, func(t *testing.T) {
+			reg := NewCounterRegistry()
+			tr := NewWallTracer()
+			tr.SetCounters(reg)
+			wc := NewWireCollector()
+			p := Problem{Cfg: cfg, Dir: dir, Net: net, Tr: tr, Msgs: wc}
+			mp := MultiLevelProblem{Cfg: cfg, Dir: mlDir, Nets: nets, Tr: tr, Msgs: wc}
+			if err := v.run(p, mp); err != nil {
+				t.Fatal(err)
+			}
+			tot := wc.Matrix().Totals()
+			om, ob := wc.Other()
+			if got, want := float64(tot.Msgs+om), reg.CounterValue("mpi.msgs"); got != want {
+				t.Errorf("wire msgs %g (edges %d + other %d) vs transport %g",
+					got, tot.Msgs, om, want)
+			}
+			if got, want := float64(tot.Bytes+ob), reg.CounterValue("mpi.bytes"); got != want {
+				t.Errorf("wire bytes %g (edges %d + other %d) vs transport %g",
+					got, tot.Bytes, ob, want)
+			}
+		})
+	}
+
+	// Simulated substrate: the collector's per-OST attribution must sum to
+	// exactly what the parallel-file-system model reports having served.
+	simCfg := schedule.Config{
+		P: costmodel.Params{
+			N: members, NX: 48, NY: 24,
+			A: 1e-6, B: 1e-9, C: 1e-6,
+			Theta: 1e-9, Xi: 4, Eta: 2, H: 8,
+		},
+		FS: parfs.Config{
+			OSTs:              2,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          1e-9,
+			BackboneStreams:   4,
+		},
+	}
+	simVariants := []struct {
+		name   string
+		levels int
+		run    func(sc schedule.Config) (SimResult, error)
+	}{
+		{"sim-SEnKF", 1, func(sc schedule.Config) (SimResult, error) {
+			return schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
+		}},
+		{"sim-PEnKF", 1, func(sc schedule.Config) (SimResult, error) {
+			return schedule.SimulatePEnKF(sc, nsdx, nsdy)
+		}},
+		{"sim-LEnKF", 1, func(sc schedule.Config) (SimResult, error) {
+			return schedule.SimulateLEnKF(sc, nsdx, nsdy)
+		}},
+		{"sim-SEnKF-ML", levels, func(sc schedule.Config) (SimResult, error) {
+			return schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
+		}},
+		{"sim-PEnKF-ML", levels, func(sc schedule.Config) (SimResult, error) {
+			return schedule.SimulatePEnKF(sc, nsdx, nsdy)
+		}},
+	}
+	for _, v := range simVariants {
+		t.Run(v.name, func(t *testing.T) {
+			sc := simCfg
+			sc.P.Levels = v.levels
+			wc := NewWireCollector()
+			sc.Msgs = wc
+			sc.Reads = wc
+			res, err := v.run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := wc.OSTBytes(), res.FSStats.BytesRead; !relClose(got, want, 1e-9) {
+				t.Errorf("wire OST bytes %g vs parfs BytesRead %g", got, want)
+			}
+			if res.FSStats.BytesRead <= 0 {
+				t.Error("simulated run read no bytes")
+			}
+		})
+	}
+}
+
+// TestWireTelemetryKeepsPrimarySinkByteIdentical pins the tee guarantee:
+// attaching a wire collector (side events riding EmitSide) must leave the
+// primary Chrome trace byte-for-byte identical to an unwired run, while
+// the secondary sink sees the deliver/read instants.
+func TestWireTelemetryKeepsPrimarySinkByteIdentical(t *testing.T) {
+	simCfg := schedule.Config{
+		P: costmodel.Params{
+			N: 8, NX: 48, NY: 24,
+			A: 1e-6, B: 1e-9, C: 1e-6,
+			Theta: 1e-9, Xi: 4, Eta: 2, H: 8,
+		},
+		FS: parfs.Config{
+			OSTs:              2,
+			ConcurrencyPerOST: 2,
+			SeekTime:          1e-4,
+			ByteTime:          1e-9,
+			BackboneStreams:   4,
+		},
+	}
+	choice := costmodel.Choice{NSdx: 4, NSdy: 2, L: 2, NCg: 2}
+
+	run := func(wired bool) (string, []TraceEvent) {
+		primary := trace.NewBuffer()
+		sc := simCfg
+		var side *TraceBuffer
+		if wired {
+			side = trace.NewBuffer()
+			tee := NewTraceTee(primary, side)
+			wc := NewWireCollector()
+			wc.SetSide(tee)
+			sc.Msgs = wc
+			sc.Reads = wc
+			sc.Tracer = trace.New(nil, tee)
+			if _, err := schedule.SimulateSEnKF(sc, choice); err != nil {
+				t.Fatal(err)
+			}
+			tee.Flush()
+		} else {
+			sc.Tracer = trace.New(nil, primary)
+			if _, err := schedule.SimulateSEnKF(sc, choice); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out bytes.Buffer
+		if err := primary.WriteChrome(&out); err != nil {
+			t.Fatal(err)
+		}
+		var sideEvents []TraceEvent
+		if side != nil {
+			sideEvents = side.Events()
+		}
+		return out.String(), sideEvents
+	}
+
+	plain, _ := run(false)
+	wired, side := run(true)
+	if plain != wired {
+		t.Errorf("primary Chrome trace differs with wire telemetry on (%d vs %d bytes)",
+			len(plain), len(wired))
+	}
+	var delivers, reads int
+	for _, ev := range side {
+		switch {
+		case ev.Cat == trace.CatComm && ev.Name == "deliver":
+			delivers++
+		case ev.Cat == trace.CatOST && ev.Name == "read":
+			reads++
+		}
+	}
+	if delivers == 0 || reads == 0 {
+		t.Errorf("secondary sink saw %d delivers and %d reads, want both > 0", delivers, reads)
+	}
+}
+
 // TestRealAndSimulatedSchedulesShareStructure is the plan engine's central
 // invariant: the phase-span DAG of a traced real run is structurally
 // identical to the simulated schedule at the same geometry, and both equal
@@ -329,25 +573,29 @@ func TestRealAndSimulatedSchedulesShareStructure(t *testing.T) {
 		},
 	}
 
-	real := func(t *testing.T, run func(Problem) error) []TraceEvent {
+	real := func(t *testing.T, run func(Problem) error) ([]TraceEvent, *WireCollector) {
 		t.Helper()
 		buf := trace.NewBuffer()
-		if err := run(Problem{Cfg: cfg, Dir: dir, Net: net, Tr: NewWallTracer(buf)}); err != nil {
+		wc := NewWireCollector()
+		if err := run(Problem{Cfg: cfg, Dir: dir, Net: net, Tr: NewWallTracer(buf), Msgs: wc}); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Events()
+		return buf.Events(), wc
 	}
-	simulated := func(t *testing.T, run func(schedule.Config) error) []TraceEvent {
+	simulated := func(t *testing.T, run func(schedule.Config) error) ([]TraceEvent, *WireCollector) {
 		t.Helper()
 		buf := trace.NewBuffer()
 		sc := simCfg
 		sc.Tracer = trace.New(nil, buf)
+		wc := NewWireCollector()
+		sc.Msgs = wc
+		sc.Reads = wc
 		if err := run(sc); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Events()
+		return buf.Events(), wc
 	}
-	check := func(t *testing.T, spec AlgorithmSpec, realEvents, simEvents []TraceEvent) {
+	check := func(t *testing.T, spec AlgorithmSpec, realEvents, simEvents []TraceEvent, realWC, simWC *WireCollector) {
 		t.Helper()
 		cp, err := CompilePlan(spec)
 		if err != nil {
@@ -360,40 +608,50 @@ func TestRealAndSimulatedSchedulesShareStructure(t *testing.T) {
 		if err := DiffDAG(TraceDAG(simEvents), want); err != nil {
 			t.Errorf("simulated vs plan: %v", err)
 		}
+		// Wire telemetry's central invariant: the edge matrix observed on
+		// the real transport, the one mirrored by the simulated schedule,
+		// and the one derived from the compiled plan alone are bit-identical.
+		wantEdges := ExpectedEdges(cp)
+		if err := wantEdges.Diff(realWC.Matrix()); err != nil {
+			t.Errorf("expected vs real edges: %v", err)
+		}
+		if err := wantEdges.Diff(simWC.Matrix()); err != nil {
+			t.Errorf("expected vs simulated edges: %v", err)
+		}
 	}
 
 	t.Run("SEnKF", func(t *testing.T) {
-		realEvents := real(t, func(p Problem) error {
+		realEvents, realWC := real(t, func(p Problem) error {
 			_, err := RunSEnKF(p, Plan{Dec: dec, L: layers, NCg: ncg})
 			return err
 		})
-		simEvents := simulated(t, func(sc schedule.Config) error {
+		simEvents, simWC := simulated(t, func(sc schedule.Config) error {
 			_, err := schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
 			return err
 		})
-		check(t, SEnKFSpec(dec, members, layers, ncg), realEvents, simEvents)
+		check(t, SEnKFSpec(dec, members, layers, ncg), realEvents, simEvents, realWC, simWC)
 	})
 	t.Run("PEnKF", func(t *testing.T) {
-		realEvents := real(t, func(p Problem) error {
+		realEvents, realWC := real(t, func(p Problem) error {
 			_, err := RunPEnKF(p, dec)
 			return err
 		})
-		simEvents := simulated(t, func(sc schedule.Config) error {
+		simEvents, simWC := simulated(t, func(sc schedule.Config) error {
 			_, err := schedule.SimulatePEnKF(sc, nsdx, nsdy)
 			return err
 		})
-		check(t, PEnKFSpec(dec, members), realEvents, simEvents)
+		check(t, PEnKFSpec(dec, members), realEvents, simEvents, realWC, simWC)
 	})
 	t.Run("LEnKF", func(t *testing.T) {
-		realEvents := real(t, func(p Problem) error {
+		realEvents, realWC := real(t, func(p Problem) error {
 			_, err := RunLEnKF(p, dec)
 			return err
 		})
-		simEvents := simulated(t, func(sc schedule.Config) error {
+		simEvents, simWC := simulated(t, func(sc schedule.Config) error {
 			_, err := schedule.SimulateLEnKF(sc, nsdx, nsdy)
 			return err
 		})
-		check(t, LEnKFSpec(dec, members), realEvents, simEvents)
+		check(t, LEnKFSpec(dec, members), realEvents, simEvents, realWC, simWC)
 	})
 
 	// The multilevel variants run on the same engine from the same plans
@@ -419,46 +677,50 @@ func TestRealAndSimulatedSchedulesShareStructure(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	realML := func(t *testing.T, run func(MultiLevelProblem) error) []TraceEvent {
+	realML := func(t *testing.T, run func(MultiLevelProblem) error) ([]TraceEvent, *WireCollector) {
 		t.Helper()
 		buf := trace.NewBuffer()
-		if err := run(MultiLevelProblem{Cfg: cfg, Dir: mlDir, Nets: nets, Tr: NewWallTracer(buf)}); err != nil {
+		wc := NewWireCollector()
+		if err := run(MultiLevelProblem{Cfg: cfg, Dir: mlDir, Nets: nets, Tr: NewWallTracer(buf), Msgs: wc}); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Events()
+		return buf.Events(), wc
 	}
-	simulatedML := func(t *testing.T, run func(schedule.Config) error) []TraceEvent {
+	simulatedML := func(t *testing.T, run func(schedule.Config) error) ([]TraceEvent, *WireCollector) {
 		t.Helper()
 		buf := trace.NewBuffer()
 		sc := simCfg
 		sc.P.Levels = levels
 		sc.Tracer = trace.New(nil, buf)
+		wc := NewWireCollector()
+		sc.Msgs = wc
+		sc.Reads = wc
 		if err := run(sc); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Events()
+		return buf.Events(), wc
 	}
 
 	t.Run("SEnKF-ML", func(t *testing.T) {
-		realEvents := realML(t, func(p MultiLevelProblem) error {
+		realEvents, realWC := realML(t, func(p MultiLevelProblem) error {
 			_, err := RunSEnKFMultiLevel(p, Plan{Dec: dec, L: layers, NCg: ncg})
 			return err
 		})
-		simEvents := simulatedML(t, func(sc schedule.Config) error {
+		simEvents, simWC := simulatedML(t, func(sc schedule.Config) error {
 			_, err := schedule.SimulateSEnKF(sc, costmodel.Choice{NSdx: nsdx, NSdy: nsdy, L: layers, NCg: ncg})
 			return err
 		})
-		check(t, SEnKFSpec(dec, members, layers, ncg).WithLevels(levels), realEvents, simEvents)
+		check(t, SEnKFSpec(dec, members, layers, ncg).WithLevels(levels), realEvents, simEvents, realWC, simWC)
 	})
 	t.Run("PEnKF-ML", func(t *testing.T) {
-		realEvents := realML(t, func(p MultiLevelProblem) error {
+		realEvents, realWC := realML(t, func(p MultiLevelProblem) error {
 			_, err := RunPEnKFMultiLevel(p, dec)
 			return err
 		})
-		simEvents := simulatedML(t, func(sc schedule.Config) error {
+		simEvents, simWC := simulatedML(t, func(sc schedule.Config) error {
 			_, err := schedule.SimulatePEnKF(sc, nsdx, nsdy)
 			return err
 		})
-		check(t, PEnKFSpec(dec, members).WithLevels(levels), realEvents, simEvents)
+		check(t, PEnKFSpec(dec, members).WithLevels(levels), realEvents, simEvents, realWC, simWC)
 	})
 }
